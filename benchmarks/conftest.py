@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each benchmark executes
+its harness once (``pedantic(rounds=1)``): the interesting output is the
+regenerated paper table/figure (printed and saved under
+``benchmarks/results/``), not micro-timings of the harness itself.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a harness exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,188 @@
+"""Shared benchmark harness: systems, workloads, table rendering.
+
+Every benchmark regenerates one artifact of §9 (a table or figure) at
+laptop scale. "time" is the simulated time of the calibrated cost model
+(see DESIGN.md substitutions); #get, #data and comm are exact counts from
+the real execution. Reports are printed and also written under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.parallel.metrics import ExecutionMetrics
+from repro.relational import Database
+from repro.systems import SQLOverNoSQL, ZidianSystem
+from repro.workloads import airca_generator, mot_generator
+from repro.workloads.airca import airca_baav_schema, generate_airca
+from repro.workloads.mot import generate_mot, mot_baav_schema
+from repro.workloads.tpch import (
+    QUERIES as TPCH_QUERIES,
+    generate_tpch,
+    query_names,
+    tpch_baav_schema,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BACKENDS = ("hbase", "kudu", "cassandra")
+
+#: paper "GB" -> our scale knob. One unit is one dbgen step; the grids in
+#: the growth experiments keep the paper's doubling shape.
+TPCH_UNIT_SF = 0.00025
+MOT_UNIT_SCALE = 4.0
+AIRCA_UNIT_SCALE = 1.5
+
+
+# --------------------------------------------------------------------------
+# datasets (cached across benchmark modules)
+# --------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def tpch_db(units: int) -> Database:
+    return generate_tpch(scale_factor=TPCH_UNIT_SF * units, seed=19)
+
+
+@functools.lru_cache(maxsize=None)
+def mot_db(units: int) -> Database:
+    return generate_mot(scale=MOT_UNIT_SCALE * units, seed=29)
+
+
+@functools.lru_cache(maxsize=None)
+def airca_db(units: int) -> Database:
+    return generate_airca(scale=AIRCA_UNIT_SCALE * units, seed=31)
+
+
+def dataset(name: str, units: int) -> Database:
+    return {"tpch": tpch_db, "mot": mot_db, "airca": airca_db}[name](units)
+
+
+def baav_schema_for(name: str):
+    return {
+        "tpch": tpch_baav_schema,
+        "mot": mot_baav_schema,
+        "airca": airca_baav_schema,
+    }[name]()
+
+
+def queries_for(name: str, db: Database, seed: int = 97,
+                per_template: int = 1) -> List[Tuple[str, str]]:
+    """(label, sql) pairs for a dataset's full query set."""
+    if name == "tpch":
+        return [(q, TPCH_QUERIES[q]) for q in query_names()]
+    generator = mot_generator(seed) if name == "mot" else airca_generator(seed)
+    return [
+        (q.template, q.sql)
+        for q in generator.generate(db, per_template=per_template)
+    ]
+
+
+# --------------------------------------------------------------------------
+# systems
+# --------------------------------------------------------------------------
+
+
+def build_pair(
+    db: Database,
+    baav_schema,
+    backend: str,
+    workers: int = 8,
+    storage_nodes: int = 4,
+    **zidian_kwargs,
+) -> Tuple[SQLOverNoSQL, ZidianSystem]:
+    base = SQLOverNoSQL(backend, workers=workers, storage_nodes=storage_nodes)
+    base.load(db)
+    zidian = ZidianSystem(
+        backend, workers=workers, storage_nodes=storage_nodes, **zidian_kwargs
+    )
+    zidian.load(db, baav_schema)
+    return base, zidian
+
+
+@dataclass
+class QueryRun:
+    label: str
+    scan_free: bool
+    bounded: bool
+    base: ExecutionMetrics
+    zidian: ExecutionMetrics
+
+    @property
+    def speedup(self) -> float:
+        if self.zidian.sim_time_ms <= 0:
+            return float("inf")
+        return self.base.sim_time_ms / self.zidian.sim_time_ms
+
+
+def run_queries(
+    base: SQLOverNoSQL,
+    zidian: ZidianSystem,
+    queries: Sequence[Tuple[str, str]],
+) -> List[QueryRun]:
+    runs = []
+    for label, sql in queries:
+        m_base = base.execute(sql).metrics
+        z_result = zidian.execute(sql)
+        runs.append(
+            QueryRun(
+                label=label,
+                scan_free=z_result.decision.is_scan_free,
+                bounded=z_result.decision.is_bounded,
+                base=m_base,
+                zidian=z_result.metrics,
+            )
+        )
+    return runs
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+# --------------------------------------------------------------------------
+# reporting
+# --------------------------------------------------------------------------
+
+
+def fmt(value: float) -> str:
+    """Paper-style number formatting (1.5e3-ish for big values)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    cells = [[str(h) for h in headers]] + [
+        [c if isinstance(c, str) else fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

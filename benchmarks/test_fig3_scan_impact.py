@@ -1,0 +1,109 @@
+"""Figure 3 — impact of scans: single worker, growing datasets (Exp-2).
+
+Four panels: MOT scan-free (3a), MOT non-scan-free (3b), TPC-H scan-free
+(3c), TPC-H non-scan-free (3d). Expected shapes:
+
+* scan-free & bounded (MOT q1–q6): Zidian time *flat* as |D| grows, while
+  the baseline grows linearly;
+* scan-free unbounded (TPC-H): Zidian grows but stays well below;
+* non-scan-free: both grow; Zidian still wins via block locality and
+  scan-free sub-queries.
+"""
+
+import pytest
+
+from harness import (
+    baav_schema_for,
+    build_pair,
+    dataset,
+    fmt,
+    mean,
+    publish,
+    queries_for,
+    render_table,
+    run_queries,
+)
+
+GRID = (1, 2, 4, 8)
+WORKERS = 1
+
+TPCH_SF_SUBSET = ("q3", "q11", "q17")
+TPCH_NSF_SUBSET = ("q1", "q6", "q13")
+
+
+def run_panel(name: str, scan_free: bool):
+    """One panel: (units -> (baseline avg ms, zidian avg ms))."""
+    baav = baav_schema_for(name)
+    series = {}
+    for units in GRID:
+        db = dataset(name, units)
+        queries = queries_for(name, db)
+        if name == "tpch":
+            subset = TPCH_SF_SUBSET if scan_free else TPCH_NSF_SUBSET
+            queries = [(l, s) for l, s in queries if l in subset]
+        base, zidian = build_pair(
+            db, baav, "hbase", workers=WORKERS, storage_nodes=4
+        )
+        runs = run_queries(base, zidian, queries)
+        runs = [r for r in runs if r.scan_free == scan_free]
+        series[units] = (
+            mean(r.base.sim_time_ms for r in runs),
+            mean(r.zidian.sim_time_ms for r in runs),
+            all(r.bounded for r in runs) if runs else False,
+        )
+    return series
+
+
+def publish_panel(panel_id: str, title: str, series):
+    rows = [
+        [f"{units}", fmt(base / 1000), fmt(z / 1000)]
+        for units, (base, z, _) in sorted(series.items())
+    ]
+    publish(
+        f"fig3{panel_id}",
+        render_table(
+            f"Figure 3{panel_id} (repro): {title} — 1 worker",
+            ["scale units", "SoH time (s)", "SoHZidian time (s)"],
+            rows,
+        ),
+    )
+
+
+def growth(series, which: int) -> float:
+    lo = series[GRID[0]][which]
+    hi = series[GRID[-1]][which]
+    return hi / max(lo, 1e-9)
+
+
+def test_fig3a_mot_scan_free(once):
+    series = once(run_panel, "mot", True)
+    publish_panel("a", "MOT scan-free (bounded) queries", series)
+    assert all(bounded for _, _, bounded in series.values())
+    # baseline grows ~linearly with |D|; bounded Zidian stays flat
+    assert growth(series, 0) > 3.0
+    assert growth(series, 1) < 1.8
+    assert all(z < b for b, z, _ in series.values())
+
+
+def test_fig3b_mot_non_scan_free(once):
+    series = once(run_panel, "mot", False)
+    publish_panel("b", "MOT non-scan-free queries", series)
+    # both grow, Zidian still faster
+    assert growth(series, 0) > 3.0
+    assert growth(series, 1) > 1.5
+    assert all(z < b for b, z, _ in series.values())
+
+
+def test_fig3c_tpch_scan_free(once):
+    series = once(run_panel, "tpch", True)
+    publish_panel("c", "TPC-H scan-free (unbounded) queries", series)
+    assert all(z < b for b, z, _ in series.values())
+    # unbounded: Zidian grows with |D| (unlike MOT's bounded queries)
+    assert growth(series, 1) > 1.5
+
+
+def test_fig3d_tpch_non_scan_free(once):
+    series = once(run_panel, "tpch", False)
+    publish_panel("d", "TPC-H non-scan-free queries", series)
+    assert all(z < b for b, z, _ in series.values())
+    assert growth(series, 0) > 3.0

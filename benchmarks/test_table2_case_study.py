@@ -1,0 +1,81 @@
+"""Table 2 — case study: Q1 of Example 3 on TPC-H, all six systems.
+
+Paper row format: time (s), #data, #get, comm (MB) for SoH/SoK/SoC with
+and without Zidian. Expected shape: Zidian wins on every metric for every
+backend; get counts drop by orders of magnitude.
+"""
+
+from harness import (
+    BACKENDS,
+    baav_schema_for,
+    build_pair,
+    fmt,
+    publish,
+    render_table,
+    tpch_db,
+)
+
+Q1 = """
+select PS.suppkey, SUM(PS.supplycost) as total
+from PARTSUPP PS, SUPPLIER S, NATION N
+where PS.suppkey = S.suppkey and S.nationkey = N.nationkey
+  and N.name = 'GERMANY'
+group by PS.suppkey
+"""
+
+SCALE_UNITS = 16
+WORKERS = 8
+
+
+def run_case_study():
+    db = tpch_db(SCALE_UNITS)
+    baav = baav_schema_for("tpch")
+    out = {}
+    for backend in BACKENDS:
+        base, zidian = build_pair(db, baav, backend, workers=WORKERS)
+        out[backend] = (
+            base.execute(Q1).metrics,
+            zidian.execute(Q1),
+        )
+    return db, out
+
+
+def test_table2_case_study(once):
+    db, results = once(run_case_study)
+
+    headers = ["metric"]
+    for backend in BACKENDS:
+        short = backend[0].upper()
+        headers += [f"So{short}", f"So{short}Zidian"]
+    rows = []
+    for metric, getter in (
+        ("time (s)", lambda m: m.sim_time_s),
+        ("#data", lambda m: m.data_values),
+        ("#get", lambda m: m.n_get),
+        ("comm (MB)", lambda m: m.comm_bytes / 1e6),
+    ):
+        row = [metric]
+        for backend in BACKENDS:
+            m_base, z_result = results[backend]
+            row += [fmt(getter(m_base)), fmt(getter(z_result.metrics))]
+        rows.append(row)
+
+    publish(
+        "table2_case_study",
+        render_table(
+            f"Table 2 (repro): Q1 case study, TPC-H {SCALE_UNITS} units, "
+            f"{WORKERS} workers — |D|={db.num_tuples()} tuples",
+            headers,
+            rows,
+        ),
+    )
+
+    # shape assertions (paper: ~10x time, ~60x data, ~2e3x gets, ~28x comm)
+    for backend in BACKENDS:
+        m_base, z_result = results[backend]
+        m_z = z_result.metrics
+        assert z_result.decision.is_scan_free
+        assert m_base.sim_time_ms / m_z.sim_time_ms > 2, backend
+        assert m_base.data_values / max(1, m_z.data_values) > 10, backend
+        assert m_base.n_get / max(1, m_z.n_get) > 100, backend
+        assert m_base.comm_bytes / max(1, m_z.comm_bytes) > 5, backend

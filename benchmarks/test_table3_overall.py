@@ -1,0 +1,93 @@
+"""Table 3 — average evaluation time on MOT / AIRCA / TPC-H, all systems.
+
+Paper shape: Zidian improves every stack on every dataset; the real-life
+(skewed) datasets improve by much larger factors than skew-free TPC-H;
+SoK is the fastest baseline and SoH the slowest.
+"""
+
+from harness import (
+    BACKENDS,
+    baav_schema_for,
+    build_pair,
+    dataset,
+    fmt,
+    mean,
+    publish,
+    queries_for,
+    render_table,
+    run_queries,
+)
+
+SCALE_UNITS = {"mot": 16, "airca": 12, "tpch": 8}
+WORKERS = 8
+
+
+def run_table3():
+    out = {}
+    for name in ("mot", "airca", "tpch"):
+        db = dataset(name, SCALE_UNITS[name])
+        baav = baav_schema_for(name)
+        queries = queries_for(name, db)
+        per_backend = {}
+        for backend in BACKENDS:
+            base, zidian = build_pair(db, baav, backend, workers=WORKERS)
+            per_backend[backend] = run_queries(base, zidian, queries)
+        out[name] = per_backend
+    return out
+
+
+def test_table3_overall(once):
+    results = once(run_table3)
+
+    headers = ["dataset"]
+    for backend in BACKENDS:
+        short = backend[0].upper()
+        headers += [f"So{short}", f"So{short}Zidian", "speedup"]
+    rows = []
+    for name in ("mot", "airca", "tpch"):
+        row = [name.upper()]
+        for backend in BACKENDS:
+            runs = results[name][backend]
+            base_t = mean(r.base.sim_time_s for r in runs)
+            z_t = mean(r.zidian.sim_time_s for r in runs)
+            row += [fmt(base_t), fmt(z_t), f"{base_t / z_t:.0f}x"]
+        rows.append(row)
+
+    publish(
+        "table3_overall",
+        render_table(
+            "Table 3 (repro): average time (simulated s), "
+            f"{WORKERS} workers",
+            headers,
+            rows,
+        ),
+    )
+
+    for name in ("mot", "airca", "tpch"):
+        for backend in BACKENDS:
+            runs = results[name][backend]
+            base_t = mean(r.base.sim_time_ms for r in runs)
+            z_t = mean(r.zidian.sim_time_ms for r in runs)
+            assert z_t < base_t, (name, backend)
+
+    # the paper reports the mean of per-query speedup *ratios*; for
+    # scan-free queries the skewed real-life datasets beat TPC-H
+    # (the paper's Observation in Exp-1)
+    def ratio_speedup(name, backend, scan_free):
+        runs = [
+            r for r in results[name][backend] if r.scan_free == scan_free
+        ]
+        return mean(r.speedup for r in runs)
+
+    for backend in BACKENDS:
+        assert ratio_speedup("mot", backend, True) > ratio_speedup(
+            "tpch", backend, True
+        ), backend
+        assert ratio_speedup("mot", backend, False) > 1.0, backend
+
+    # baseline ordering on scan-bound TPC-H: SoK < SoC < SoH
+    tpch = results["tpch"]
+    base_time = {
+        b: mean(r.base.sim_time_ms for r in tpch[b]) for b in BACKENDS
+    }
+    assert base_time["kudu"] < base_time["cassandra"] < base_time["hbase"]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fleet analytics over the MOT workload: bounded vs unbounded queries.
+
+Demonstrates the paper's headline operational property (Exp-2): *bounded*
+queries — scan-free plans over instances with bounded block degree — cost
+the same no matter how large the database grows, while the conventional
+stack degrades linearly.
+
+Run:  python examples/mot_fleet_analytics.py
+"""
+
+from repro.systems import SQLOverNoSQL, ZidianSystem
+from repro.workloads.mot import generate_mot, mot_baav_schema
+
+# q1-style bounded lookup: one vehicle's full test history
+HISTORY = """
+select V.make, V.model, T.test_date, T.result, T.odometer
+from VEHICLE V, TEST T
+where V.vehicle_id = T.vehicle_id and V.vehicle_id = 17
+"""
+
+# q7-style unbounded analytics: fleet-wide CO2 by make
+FLEET_CO2 = """
+select V.make, avg(T.co2) as avg_co2, count(*) as n_tests
+from VEHICLE V, TEST T
+where V.vehicle_id = T.vehicle_id
+group by V.make
+order by avg_co2 desc
+limit 5
+"""
+
+
+def run_at_scale(scale: float):
+    database = generate_mot(scale=scale)
+    baseline = SQLOverNoSQL("hbase", workers=8, storage_nodes=4)
+    baseline.load(database)
+    zidian = ZidianSystem("hbase", workers=8, storage_nodes=4)
+    zidian.load(database, mot_baav_schema())
+    return database, baseline, zidian
+
+
+def main() -> None:
+    print("Scaling the MOT database; re-running the same two queries.\n")
+    print(
+        f"{'|D| (tuples)':>14} | {'history: SoH':>13} {'SoHZidian':>10} "
+        f"{'bounded?':>8} | {'fleet co2: SoH':>15} {'SoHZidian':>10}"
+    )
+    print("-" * 86)
+    for scale in (1, 2, 4, 8):
+        database, baseline, zidian = run_at_scale(scale)
+        history_base = baseline.execute(HISTORY).metrics
+        history_z = zidian.execute(HISTORY)
+        fleet_base = baseline.execute(FLEET_CO2).metrics
+        fleet_z = zidian.execute(FLEET_CO2)
+        print(
+            f"{database.num_tuples():>14} | "
+            f"{history_base.sim_time_s:>12.3f}s "
+            f"{history_z.metrics.sim_time_s:>9.3f}s "
+            f"{str(history_z.decision.is_bounded):>8} | "
+            f"{fleet_base.sim_time_s:>14.3f}s "
+            f"{fleet_z.metrics.sim_time_s:>9.3f}s"
+        )
+
+    print(
+        "\nThe bounded lookup's Zidian cost is flat (it touches two keyed"
+        "\nblocks regardless of |D|); the baseline re-scans everything."
+        "\nThe fleet aggregate is not scan-free, but block locality and"
+        "\ncompression still help."
+    )
+
+    # show live maintenance: new test results flow into the BaaV store
+    database, baseline, zidian = run_at_scale(2)
+    before = zidian.execute(HISTORY)
+    new_test = (
+        9_000_001, 17, "2010-12-01", 4, "NORMAL", "FAIL", 88_000, 5,
+        1600, 210.0, 3, 1, False, 51, 54.85, 42,
+    )
+    zidian.apply_updates("TEST", inserts=[new_test])
+    after = zidian.execute(HISTORY)
+    print(
+        f"\nIncremental maintenance: vehicle 17 had {len(before.rows)} "
+        f"tests, now {len(after.rows)} after inserting one result "
+        "(O(|Δ|·deg) work, no rebuild)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""A guided tour through the paper's running examples (Examples 1–7).
+
+Each section builds the exact artifact the paper describes and prints
+what the corresponding theorem or algorithm concludes about it.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import AttrType, Database, RelationSchema
+from repro.baav import BaaVSchema, BaaVStore, KVSchema, kv_schema
+from repro.core import (
+    Zidian,
+    compute_get,
+    compute_vc,
+    is_data_preserving,
+    is_result_preserving,
+    is_scan_free,
+)
+from repro.kba import ExecContext, Extend, JoinK, ScanKV, Shift, execute
+from repro.kv import KVCluster
+from repro.sql import analyze, bind, minimize, parse
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+# --- Example 1: BaaV schemas over simplified TPC-H -------------------------
+
+banner("Example 1 — KV schemas with arbitrary key attributes")
+
+SUPPLIER = RelationSchema.of(
+    "SUPPLIER", {"suppkey": AttrType.INT, "nationkey": AttrType.INT},
+    ["suppkey"])
+PARTSUPP = RelationSchema.of(
+    "PARTSUPP",
+    {"partkey": AttrType.INT, "suppkey": AttrType.INT,
+     "supplycost": AttrType.FLOAT, "availqty": AttrType.INT},
+    ["partkey", "suppkey"])
+NATION = RelationSchema.of(
+    "NATION", {"nationkey": AttrType.INT, "name": AttrType.STR},
+    ["nationkey"])
+
+baav1 = BaaVSchema([
+    kv_schema("nation_by_name", NATION, ["name"]),
+    kv_schema("sup_by_nation", SUPPLIER, ["nationkey"]),
+    kv_schema("ps_by_sup", PARTSUPP, ["suppkey"]),
+])
+for schema in baav1:
+    print(f"  {schema!r}   (key is not the relation's primary key!)")
+
+# --- Example 2: the KBA operators ∝ / ↑ / ⋈ ---------------------------------
+
+banner("Example 2 — extension, shift and join on keyed blocks")
+
+T1 = RelationSchema.of("T1", {"A": AttrType.INT, "B": AttrType.INT})
+T2 = RelationSchema.of("T2", {"B": AttrType.INT, "C": AttrType.INT})
+T3 = RelationSchema.of("T3", {"A": AttrType.INT, "C": AttrType.INT})
+toy = Database.from_dict(
+    [T1, T2, T3],
+    {"T1": [(1, 2), (2, 1)], "T2": [(2, 1), (2, 3), (1, 3)],
+     "T3": [(1, 1), (2, 3), (3, 2)]},
+)
+toy_baav = BaaVSchema([
+    kv_schema("R1", T1, ["A"]), kv_schema("R2", T2, ["B"]),
+    kv_schema("R3", T3, ["A"]),
+])
+toy_store = BaaVStore.map_database(toy, toy_baav, KVCluster(2))
+ctx = ExecContext(toy_store)
+
+r4 = Extend(ScanKV("R1", "r1"), "R2", "r2", (("r1.B", "B"),))
+print("R1 ∝ R2 (schema <AB, C>):", sorted(execute(r4, ctx).iter_full()))
+r5 = Shift(r4, ("r1.A",))
+print("(R1 ∝ R2) ↑ A (schema <A, BC>):",
+      sorted(execute(r5, ctx).iter_full()))
+joined = JoinK(r5, ScanKV("R3", "r3"), (("r1.A", "r3.A"), ("r2.C", "r3.C")))
+print("... ⋈_{A,C} R3:", sorted(execute(joined, ctx).expand()))
+
+# --- Example 3 + 4: Q1, data preservation ----------------------------------
+
+banner("Examples 3 & 4 — Q1 and Condition (I)")
+
+db = Database.from_dict(
+    [SUPPLIER, PARTSUPP, NATION],
+    {
+        "SUPPLIER": [(1, 10), (2, 10), (3, 20)],
+        "PARTSUPP": [(100, 1, 5.0, 7), (100, 2, 3.0, 9),
+                     (200, 1, 2.0, 4), (300, 3, 8.0, 1)],
+        "NATION": [(10, "GERMANY"), (20, "FRANCE")],
+    },
+)
+Q1 = """
+select PS.suppkey, SUM(PS.supplycost) as total
+from PARTSUPP as PS, SUPPLIER as S, NATION as N
+where PS.suppkey = S.suppkey and S.nationkey = N.nationkey
+  and N.name = 'GERMANY'
+group by PS.suppkey
+"""
+report = is_data_preserving(db.schema, baav1)
+print(f"R̃1 data preserving for R1 (Theorem 1): {report.preserved}, "
+      f"witnesses = {report.witnesses}")
+
+# --- Example 5: result preservation under min(Q) ----------------------------
+
+banner("Example 5 — Condition (II) needs min(Q)")
+
+partial = BaaVSchema([
+    kv_schema("nation_by_name", NATION, ["name"]),
+    kv_schema("sup_by_nation", SUPPLIER, ["nationkey"]),
+    KVSchema("ps_prime", PARTSUPP, ["suppkey"], ["partkey", "supplycost"]),
+])
+print("R̃'1 drops availqty from PARTSUPP:",
+      not is_data_preserving(db.schema, partial).preserved,
+      "(not data preserving)")
+q2 = """
+select PS.suppkey, PS.supplycost
+from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+where N.name = 'GERMANY' and N.nationkey = S.nationkey
+  and S.suppkey = PS.suppkey
+  and PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+  and PS.partkey = PS2.partkey
+"""
+analysis = analyze(bind(parse(q2), db.schema))
+minimal = minimize(analysis)
+print(f"Q2 atoms {sorted(analysis.atoms)} -> min(Q2) atoms "
+      f"{sorted(minimal.atoms)} (the PS2 copy folds away)")
+print("R̃'1 result preserving for Q2 (Theorem 2):",
+      is_result_preserving(analysis, partial).preserved)
+
+# --- Example 6: GET / VC / Condition (III) -----------------------------------
+
+banner("Example 6 — GET, VC and scan-freeness")
+
+q1_analysis = analyze(bind(parse(Q1), db.schema))
+get = compute_get(q1_analysis, baav1)
+print("GET(Q1, R̃1) ⊇",
+      sorted(a for a in get.attrs if not a.endswith("availqty"))[:8], "...")
+print("chasing sequence:",
+      " -> ".join(step.schema.name for step in get.steps))
+vc = compute_vc(q1_analysis, baav1, get)
+print("VC entries:", [(e.alias, sorted(e.attrs)) for e in vc])
+sf = is_scan_free(q1_analysis, baav1)
+print(f"Q1 scan-free over R̃1 (Theorem 4/5): {sf.scan_free}")
+
+# --- Example 7: the generated plan ξ1 ---------------------------------------
+
+banner("Example 7 — the chase generates ξ1")
+
+store = BaaVStore.map_database(db, baav1, KVCluster(4))
+zidian = Zidian(db.schema, baav1, store)
+print(zidian.explain(Q1))
+
+print("\nDone — every claim above is also a unit test "
+      "(see docs/paper_mapping.md).")

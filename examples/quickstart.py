@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example (Examples 1, 3 and 7) in code.
+
+Build the simplified TPC-H relations of Example 1, store them under both
+TaaV and BaaV, and answer Q1 (the simplified q11) with and without Zidian.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttrType, Database, RelationSchema
+from repro.baav import BaaVSchema, kv_schema
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+# --- Example 1: relations and their BaaV schema ---------------------------
+
+SUPPLIER = RelationSchema.of(
+    "SUPPLIER",
+    {"suppkey": AttrType.INT, "nationkey": AttrType.INT},
+    ["suppkey"],
+)
+PARTSUPP = RelationSchema.of(
+    "PARTSUPP",
+    {
+        "partkey": AttrType.INT,
+        "suppkey": AttrType.INT,
+        "supplycost": AttrType.FLOAT,
+        "availqty": AttrType.INT,
+    },
+    ["partkey", "suppkey"],
+)
+NATION = RelationSchema.of(
+    "NATION",
+    {"nationkey": AttrType.INT, "name": AttrType.STR},
+    ["nationkey"],
+)
+
+database = Database.from_dict(
+    [SUPPLIER, PARTSUPP, NATION],
+    {
+        "SUPPLIER": [(1, 10), (2, 10), (3, 20), (4, 10)],
+        "PARTSUPP": [
+            (100, 1, 5.0, 7),
+            (100, 2, 3.0, 9),
+            (200, 1, 2.0, 4),
+            (300, 3, 8.0, 1),
+            (300, 4, 1.5, 2),
+        ],
+        "NATION": [(10, "GERMANY"), (20, "FRANCE")],
+    },
+)
+
+# Under BaaV, *any* attributes may serve as keys — here nationkey, suppkey
+# and name, none of which are primary keys of their relations.
+baav_schema = BaaVSchema(
+    [
+        kv_schema("nation_by_name", NATION, ["name"]),
+        kv_schema("sup_by_nation", SUPPLIER, ["nationkey"]),
+        kv_schema("ps_by_sup", PARTSUPP, ["suppkey"]),
+    ]
+)
+
+# --- Example 3: Q1, the simplified TPC-H q11 ------------------------------
+
+Q1 = """
+select PS.suppkey, SUM(PS.supplycost) as total
+from PARTSUPP as PS, SUPPLIER as S, NATION as N
+where PS.suppkey = S.suppkey and S.nationkey = N.nationkey
+  and N.name = 'GERMANY'
+group by PS.suppkey
+order by total desc
+"""
+
+
+def main() -> None:
+    print("Database:")
+    print(database.summary())
+
+    # the conventional SQL-over-NoSQL stack (SparkSQL-over-HBase-like)
+    baseline = SQLOverNoSQL("hbase", workers=4, storage_nodes=2)
+    baseline.load(database)
+    base_result = baseline.execute(Q1)
+
+    # the same stack with Zidian plugged in
+    zidian = ZidianSystem("hbase", workers=4, storage_nodes=2)
+    zidian.load(database, baav_schema)
+    z_result = zidian.execute(Q1)
+
+    print("\nQ1 answer:")
+    print(z_result.relation.pretty())
+    assert sorted(z_result.rows) == sorted(base_result.rows)
+
+    decision = z_result.decision
+    print(f"\nZidian's verdict : {decision.summary()}")
+
+    plan, _ = zidian.middleware.plan(Q1)
+    print("\nKBA plan (the chain of Example 7):")
+    print(plan.root.describe())
+
+    print("\nMetrics (SoH vs SoHZidian):")
+    print(f"  baseline : {base_result.metrics.summary()}")
+    print(f"  zidian   : {z_result.metrics.summary()}")
+    speedup = (
+        base_result.metrics.sim_time_ms / z_result.metrics.sim_time_ms
+    )
+    print(f"  speedup  : {speedup:.1f}x, "
+          f"gets {base_result.metrics.n_get} -> {z_result.metrics.n_get}")
+
+
+if __name__ == "__main__":
+    main()

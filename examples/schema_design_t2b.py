@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Automatic BaaV schema design with T2B (§8.1, module M4).
+
+Mines QCS access patterns from a workload of historical queries, runs the
+T2B designer under a storage budget (3.5x the dataset, like the paper's
+setting), and verifies that the workload becomes scan-free over the
+designed schema.
+
+Run:  python examples/schema_design_t2b.py
+"""
+
+from repro.core import Zidian, design_schema, extract_workload_qcs
+from repro.sql import bind, parse
+from repro.systems import ZidianSystem
+from repro.workloads.airca import generate_airca
+from repro.workloads import airca_generator
+
+
+def main() -> None:
+    database = generate_airca(scale=2.0)
+    print(database.summary())
+
+    # the "historical workload": instances of the scan-free templates
+    generator = airca_generator(seed=123)
+    workload = [
+        q.sql
+        for q in generator.generate(
+            database, per_template=2,
+            templates=("q1", "q2", "q3", "q4", "q5", "q6"),
+        )
+    ]
+    print(f"\nWorkload: {len(workload)} historical queries")
+
+    # step 1: abstract the workload into QCS Z[X]
+    bound_queries = [bind(parse(sql), database.schema) for sql in workload]
+    qcs = extract_workload_qcs(bound_queries)
+    print(f"\nMined {len(qcs)} distinct QCS access patterns:")
+    for pattern in qcs:
+        print(f"  {pattern}")
+
+    # step 2: run T2B under a storage budget of 3.5x the dataset
+    budget = int(3.5 * database.size_bytes())
+    baav, report = design_schema(
+        database.schema, qcs, database, budget_bytes=budget
+    )
+    print(f"\nT2B designed {len(baav)} KV schemas "
+          f"(estimated {report.estimated_bytes / 1e6:.2f} MB, "
+          f"budget {budget / 1e6:.2f} MB, "
+          f"within budget: {report.within_budget}):")
+    for schema in baav:
+        print(f"  {schema!r}")
+    if report.removed:
+        print(f"  removed as redundant: {report.removed}")
+    if report.merged:
+        print(f"  merged for budget: {report.merged}")
+
+    # step 3: every historical query is scan-free over the design
+    zidian = Zidian(database.schema, baav)
+    scan_free = sum(
+        1 for sql in workload if zidian.decide(sql).is_scan_free
+    )
+    print(f"\nScan-free over the designed schema: "
+          f"{scan_free}/{len(workload)} workload queries")
+
+    # step 4: deploy it
+    system = ZidianSystem("kudu", workers=8, storage_nodes=4)
+    system.load(database, baav)
+    result = system.execute(workload[0])
+    print(f"\nSample query over the designed store: "
+          f"{result.metrics.summary()}")
+    print(f"decision: {result.decision.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Case study: TPC-H q11 (the paper's Q1) across all three backends.
+
+Regenerates a small version of Table 2: time, #data, #get and comm for
+SoH / SoK / SoC with and without Zidian, plus the scan-free chasing
+sequence the middleware derives (§6.2, Example 7).
+
+Run:  python examples/tpch_case_study.py [scale_factor]
+"""
+
+import sys
+
+from repro.systems import SQLOverNoSQL, ZidianSystem
+from repro.workloads.tpch import QUERIES, generate_tpch, tpch_baav_schema
+
+Q1 = QUERIES["q11"]
+BACKENDS = ("hbase", "kudu", "cassandra")
+
+
+def main(scale_factor: float = 0.004) -> None:
+    print(f"Generating TPC-H at scale factor {scale_factor} ...")
+    database = generate_tpch(scale_factor)
+    print(database.summary())
+    baav = tpch_baav_schema()
+
+    print("\nQuery (simplified TPC-H q11):")
+    print(Q1.strip())
+
+    header = (
+        f"\n{'system':<12}{'time (s)':>10}{'#data':>12}{'#get':>10}"
+        f"{'comm (MB)':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for backend in BACKENDS:
+        base = SQLOverNoSQL(backend, workers=8, storage_nodes=4)
+        base.load(database)
+        m_base = base.execute(Q1).metrics
+
+        zidian = ZidianSystem(backend, workers=8, storage_nodes=4)
+        zidian.load(database, baav)
+        z_result = zidian.execute(Q1)
+        m_z = z_result.metrics
+
+        short = backend[0].upper()
+        for name, metrics in (
+            (f"So{short}", m_base),
+            (f"So{short}Zidian", m_z),
+        ):
+            print(
+                f"{name:<12}{metrics.sim_time_s:>10.3f}"
+                f"{metrics.data_values:>12}{metrics.n_get:>10}"
+                f"{metrics.comm_bytes / 1e6:>12.3f}"
+            )
+
+    # show the decision machinery once
+    zidian = ZidianSystem("hbase", workers=8, storage_nodes=4)
+    zidian.load(database, baav)
+    plan, decision = zidian.middleware.plan(Q1)
+    print(f"\nM1 decision      : {decision.summary()}")
+    print(f"M2 access modes  : {plan.access}")
+    print("\nGenerated KBA plan:")
+    print(plan.root.describe())
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.004)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""An interactive SQL shell over a Zidian deployment.
+
+Loads a workload (tpch / mot / airca), builds the baseline and Zidian
+systems side by side, and answers every statement on both, printing the
+result and the comparative metrics. Dot-commands expose the middleware:
+
+    .explain <sql>   M1/M2 trace: decision, chase, witnesses, KBA plan
+    .schema          the BaaV schema in play
+    .tables          relations and sizes
+    .queries         the workload's canned queries (by name, e.g. q11)
+    .quit
+
+Run:  python examples/zidian_shell.py [tpch|mot|airca] [scale]
+Pipe a script:  echo "q11" | python examples/zidian_shell.py tpch
+"""
+
+import sys
+
+from repro.errors import ReproError
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+
+def load_workload(name: str, scale: float):
+    if name == "tpch":
+        from repro.workloads.tpch import QUERIES, generate_tpch, tpch_baav_schema
+
+        db = generate_tpch(scale_factor=0.001 * scale)
+        return db, tpch_baav_schema(), dict(QUERIES)
+    if name == "mot":
+        from repro.workloads import mot_generator
+        from repro.workloads.mot import generate_mot, mot_baav_schema
+
+        db = generate_mot(scale=scale)
+        canned = {
+            q.template: q.sql
+            for q in mot_generator(1).generate(db, per_template=1)
+        }
+        return db, mot_baav_schema(), canned
+    if name == "airca":
+        from repro.workloads import airca_generator
+        from repro.workloads.airca import airca_baav_schema, generate_airca
+
+        db = generate_airca(scale=scale)
+        canned = {
+            q.template: q.sql
+            for q in airca_generator(1).generate(db, per_template=1)
+        }
+        return db, airca_baav_schema(), canned
+    raise SystemExit(f"unknown workload {name!r} (tpch|mot|airca)")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tpch"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    print(f"Loading {name} (scale {scale}) ...")
+    db, baav, canned = load_workload(name, scale)
+    print(db.summary())
+
+    baseline = SQLOverNoSQL("hbase", workers=8, storage_nodes=4)
+    baseline.load(db)
+    zidian = ZidianSystem("hbase", workers=8, storage_nodes=4)
+    zidian.load(db, baav)
+    print(f"\nSystems ready: {baseline.name} vs {zidian.name}. "
+          "Type SQL, a canned query name, or .help")
+
+    while True:
+        try:
+            line = input("zidian> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line in (".quit", ".exit"):
+            break
+        if line == ".help":
+            print(__doc__)
+            continue
+        if line == ".tables":
+            print(db.summary())
+            continue
+        if line == ".schema":
+            for schema in baav:
+                print(f"  {schema!r}")
+            continue
+        if line == ".queries":
+            for label in sorted(canned, key=str):
+                print(f"  {label}")
+            continue
+        if line.startswith(".explain"):
+            sql = line[len(".explain"):].strip()
+            sql = canned.get(sql, sql)
+            try:
+                print(zidian.middleware.explain(sql))
+            except ReproError as exc:
+                print(f"error: {exc}")
+            continue
+        sql = canned.get(line, line)
+        try:
+            base_result = baseline.execute(sql)
+            z_result = zidian.execute(sql)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        print(z_result.relation.pretty(limit=15))
+        print(f"\n  decision : {z_result.decision.summary()}")
+        print(f"  {baseline.name:<10}: {base_result.metrics.summary()}")
+        print(f"  {zidian.name:<10}: {z_result.metrics.summary()}")
+        ratio = (
+            base_result.metrics.sim_time_ms
+            / max(z_result.metrics.sim_time_ms, 1e-9)
+        )
+        print(f"  speedup  : {ratio:.1f}x\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: a reproduction of "Block as a Value for SQL over NoSQL" (VLDB'19).
+
+Public API highlights
+---------------------
+* :class:`repro.relational.Database` -- relational substrate.
+* :func:`repro.sql.plan_sql` / :func:`repro.sql.execute` -- SQL front-end.
+* :class:`repro.baav.KVSchema` / :class:`repro.baav.BaaVStore` -- the BaaV
+  model (section 4.1).
+* :class:`repro.core.Zidian` -- the middleware (section 5): preservation
+  checks, scan-free analysis, KBA plan generation.
+* :class:`repro.systems.SQLOverNoSQL` / :class:`repro.systems.ZidianSystem`
+  -- end-to-end engines used by the benchmarks.
+"""
+
+__version__ = "0.1.0"
+
+from repro.relational import (
+    AttrType,
+    Attribute,
+    Database,
+    DatabaseSchema,
+    Relation,
+    RelationSchema,
+)
+
+__all__ = [
+    "AttrType",
+    "Attribute",
+    "Database",
+    "DatabaseSchema",
+    "Relation",
+    "RelationSchema",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""BaaV schemas: KV schemas ``R̃⟨X, Y⟩`` and sets thereof (§4.1).
+
+A KV schema declares how (part of) one relation is stored as keyed blocks:
+``X`` are the key attributes, ``Y`` the value attributes; any attributes of
+the relation may serve as key — the defining liberty of BaaV over TaaV.
+
+A KV schema may carry a primary key ``W ⊆ XY``: tuples of a block are
+distinct on ``W ∩ Y``. When the relation's primary key is contained in
+``XY`` it is inherited; otherwise the whole ``XY`` serves as the default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class KVSchema:
+    """A KV schema ``R̃⟨X, Y⟩`` over one relation schema."""
+
+    __slots__ = ("name", "relation", "key", "value", "primary_key")
+
+    def __init__(
+        self,
+        name: str,
+        relation: RelationSchema,
+        key: Sequence[str],
+        value: Sequence[str],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("KV schema name must be non-empty")
+        if not key:
+            raise SchemaError(f"KV schema {name!r} needs at least one key attribute")
+        if not value:
+            raise SchemaError(f"KV schema {name!r} needs at least one value attribute")
+        for attr in list(key) + list(value):
+            if attr not in relation:
+                raise SchemaError(
+                    f"KV schema {name!r}: {attr!r} is not an attribute of "
+                    f"{relation.name!r}"
+                )
+        overlap = set(key) & set(value)
+        if overlap:
+            raise SchemaError(
+                f"KV schema {name!r}: key and value overlap on {sorted(overlap)}"
+            )
+        self.name = name
+        self.relation = relation
+        self.key: Tuple[str, ...] = tuple(key)
+        self.value: Tuple[str, ...] = tuple(value)
+        attrs = set(self.key) | set(self.value)
+        if primary_key is not None:
+            if not set(primary_key) <= attrs:
+                raise SchemaError(
+                    f"KV schema {name!r}: primary key must be within XY"
+                )
+            self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        elif relation.primary_key and set(relation.primary_key) <= attrs:
+            self.primary_key = tuple(relation.primary_key)
+        else:
+            self.primary_key = self.key + self.value
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """``att(R̃)`` — all attributes, key first."""
+        return self.key + self.value
+
+    @property
+    def width(self) -> int:
+        return len(self.key) + len(self.value)
+
+    def covers(self, attrs: Iterable[str]) -> bool:
+        return set(attrs) <= set(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KVSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.relation.name == other.relation.name
+            and self.key == other.key
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.relation.name, self.key, self.value))
+
+    def __repr__(self) -> str:
+        return (
+            f"KVSchema({self.name}: {self.relation.name}"
+            f"<{','.join(self.key)} | {','.join(self.value)}>)"
+        )
+
+
+class BaaVSchema:
+    """A set of KV schemas — the paper's ``R̃``."""
+
+    def __init__(self, schemas: Iterable[KVSchema] = ()) -> None:
+        self._schemas: Dict[str, KVSchema] = {}
+        for schema in schemas:
+            self.add(schema)
+
+    def add(self, schema: KVSchema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"duplicate KV schema name {schema.name!r}")
+        self._schemas[schema.name] = schema
+
+    def __iter__(self) -> Iterator[KVSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def get(self, name: str) -> KVSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(f"unknown KV schema {name!r}") from None
+
+    def over_relation(self, relation: str) -> List[KVSchema]:
+        """All KV schemas declared over ``relation``."""
+        return [s for s in self if s.relation.name == relation]
+
+    def relations(self) -> Set[str]:
+        return {s.relation.name for s in self}
+
+    def total_attributes(self) -> int:
+        """The paper's |R̃| (attribute count over all KV schemas)."""
+        return sum(s.width for s in self)
+
+    def __repr__(self) -> str:
+        return f"BaaVSchema({', '.join(self._schemas)})"
+
+
+def kv_schema(
+    name: str,
+    relation: RelationSchema,
+    key: Sequence[str],
+    value: Optional[Sequence[str]] = None,
+    primary_key: Optional[Sequence[str]] = None,
+) -> KVSchema:
+    """Convenience constructor; ``value=None`` means "all other attributes"."""
+    if value is None:
+        value = [a for a in relation.attribute_names if a not in set(key)]
+    return KVSchema(name, relation, key, value, primary_key)
+
+
+def taav_equivalent_schema(relation: RelationSchema) -> KVSchema:
+    """The KV schema whose instances coincide with the TaaV layout.
+
+    TaaV is the special case of BaaV with singleton blocks (§4.1): key the
+    primary key, value everything else.
+    """
+    if not relation.primary_key:
+        raise SchemaError(
+            f"relation {relation.name!r} has no primary key for TaaV layout"
+        )
+    value = [
+        a for a in relation.attribute_names if a not in set(relation.primary_key)
+    ]
+    if not value:
+        # degenerate all-key relation: re-expose the last key attr as value
+        value = [relation.attribute_names[-1]]
+        key = [a for a in relation.primary_key if a != value[0]]
+        return KVSchema(f"taav_{relation.name}", relation, key, value)
+    return KVSchema(
+        f"taav_{relation.name}", relation, relation.primary_key, value
+    )

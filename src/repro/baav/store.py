@@ -1,0 +1,344 @@
+"""KV instances and BaaV stores over the KV cluster (§4.1, §8.2).
+
+A :class:`KVInstance` materializes one KV schema ``R̃⟨X, Y⟩`` as keyed
+blocks living in the shared :class:`repro.kv.KVCluster`:
+
+* physical key = ``(x1, ..., xn, segment)`` — blocks above the split
+  threshold are stored as multiple segments that logically form one block;
+* physical value = the encoded block segment, whose first varint records
+  the total number of segments of that key (written on segment 0);
+* a sidecar ``...#stats`` entry per key holds the per-block group-by
+  statistics used by the aggregate fast path.
+
+A :class:`BaaVStore` is the set of KV instances of a BaaV schema —
+the paper's ``D̃``, with its degree ``deg(D̃)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baav.block import Block, BlockStats, split_block
+from repro.baav.schema import BaaVSchema, KVSchema
+from repro.errors import BaaVError
+from repro.kv import codec
+from repro.kv.cluster import KVCluster
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import Row
+
+DEFAULT_SPLIT_THRESHOLD = 10_000
+
+
+class KVInstance:
+    """A KV instance ``D̃`` of one KV schema, stored in the cluster."""
+
+    def __init__(
+        self,
+        schema: KVSchema,
+        cluster: KVCluster,
+        compress: bool = True,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+        keep_stats: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.cluster = cluster
+        self.compress = compress
+        self.split_threshold = split_threshold
+        self.keep_stats = keep_stats
+        self.namespace = f"baav:{schema.name}"
+        self.stats_namespace = f"baav:{schema.name}#stats"
+        self._degree = 0
+        self._num_blocks = 0
+        self._num_tuples = 0
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """``deg(D̃)``: the maximum logical block size."""
+        return self._degree
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def num_tuples(self) -> int:
+        return self._num_tuples
+
+    # -- bulk load ------------------------------------------------------------
+
+    def build_from(self, relation: Relation) -> None:
+        """Map ``relation`` onto this KV schema: project on XY, group by X."""
+        if relation.schema.name != self.schema.relation.name:
+            raise BaaVError(
+                f"instance of {self.schema.relation.name!r} cannot be built "
+                f"from {relation.schema.name!r}"
+            )
+        key_pos = relation.schema.indexes_of(self.schema.key)
+        value_pos = relation.schema.indexes_of(self.schema.value)
+        grouped: Dict[Row, List[Row]] = defaultdict(list)
+        for row in relation.rows:
+            key = tuple(row[p] for p in key_pos)
+            grouped[key].append(tuple(row[p] for p in value_pos))
+        for key, rows in grouped.items():
+            block = Block.from_rows(rows, compress=self.compress)
+            self._write_block(key, block)
+
+    def _write_block(self, key: Row, block: Block) -> None:
+        segments = split_block(block, self.split_threshold)
+        n_segments = len(segments)
+        for index, segment in enumerate(segments):
+            payload = _encode_segment(n_segments if index == 0 else 0, segment)
+            self.cluster.put(
+                self.namespace,
+                codec.encode_key(key + (index,)),
+                payload,
+                n_values=segment.num_values(),
+            )
+        if self.keep_stats:
+            stats = block.stats(self.schema.value)
+            if stats:
+                self.cluster.put(
+                    self.stats_namespace,
+                    codec.encode_key(key),
+                    _encode_stats(stats),
+                    n_values=len(stats) * 4,
+                )
+        self._num_blocks += 1
+        self._num_tuples += block.num_tuples
+        if block.num_tuples > self._degree:
+            self._degree = block.num_tuples
+
+    # -- point access -----------------------------------------------------------
+
+    def get(self, key: Row) -> Optional[Block]:
+        """Fetch the whole logical block for ``key`` (1 get per segment)."""
+        first = self.cluster.get(
+            self.namespace, codec.encode_key(tuple(key) + (0,)), n_values=1
+        )
+        if first is None:
+            return None
+        n_segments, block = _decode_segment(first)
+        self._charge_block_values(block)
+        for index in range(1, n_segments):
+            data = self.cluster.get(
+                self.namespace, codec.encode_key(tuple(key) + (index,)), n_values=1
+            )
+            if data is None:
+                raise BaaVError(
+                    f"missing segment {index} of key {key!r} in {self.schema.name}"
+                )
+            _, segment = _decode_segment(data)
+            self._charge_block_values(segment)
+            block.entries.extend(segment.entries)
+        return block
+
+    def _charge_block_values(self, block: Block) -> None:
+        """Account the logical values of a fetched block.
+
+        ``cluster.get`` counted ``n_values=1`` (the serving node is only
+        known inside the cluster); the remainder is spread evenly, which
+        keeps totals exact and per-node counts approximate.
+        """
+        extra = block.num_values() - 1
+        if extra > 0:
+            nodes = list(self.cluster.nodes.values())
+            share, remainder = divmod(extra, len(nodes))
+            for index, node in enumerate(nodes):
+                node.counters.values_read += share + (
+                    1 if index < remainder else 0
+                )
+
+    def get_stats(self, key: Row) -> Optional[Dict[str, BlockStats]]:
+        """Fetch only the per-block statistics (1 get, tiny payload)."""
+        if not self.keep_stats:
+            return None
+        data = self.cluster.get(
+            self.stats_namespace, codec.encode_key(tuple(key)), n_values=4
+        )
+        if data is None:
+            return None
+        return _decode_stats(data)
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[Row, Block]]:
+        """Iterate all logical blocks (gets counted per physical segment).
+
+        Segments of one key may be served by different nodes; we merge them
+        by buffering partial blocks.
+        """
+        partial: Dict[Row, List[Tuple[int, Block]]] = defaultdict(list)
+        for key_bytes, payload in self.cluster.scan(
+            self.namespace, count_as_gets=True
+        ):
+            physical_key = codec.decode_key(key_bytes)
+            key, segment_index = physical_key[:-1], physical_key[-1]
+            _, segment = _decode_segment(payload)
+            self._charge_block_values(segment)
+            partial[key].append((segment_index, segment))
+        for key, segments in partial.items():
+            segments.sort(key=lambda pair: pair[0])
+            block = Block([])
+            for _, segment in segments:
+                block.entries.extend(segment.entries)
+            yield key, block
+
+    def keys(self) -> List[Row]:
+        """All logical keys (uncounted; planner metadata)."""
+        out = []
+        for key_bytes in self.cluster.namespace_keys(self.namespace):
+            physical_key = codec.decode_key(key_bytes)
+            if physical_key[-1] == 0:
+                out.append(physical_key[:-1])
+        return out
+
+    # -- conversions -----------------------------------------------------------
+
+    def relational_version(self) -> Relation:
+        """Flatten to the relational version over schema ``(X, Y)`` (§4.1)."""
+        rel_schema = self.relation_view_schema()
+        rows: List[Row] = []
+        for key, block in self.scan():
+            for row in block.expand():
+                rows.append(tuple(key) + tuple(row))
+        return Relation(rel_schema, rows)
+
+    def relation_view_schema(self) -> RelationSchema:
+        source = self.schema.relation
+        attrs = [
+            Attribute(a, source.type_of(a))
+            for a in self.schema.key + self.schema.value
+        ]
+        return RelationSchema(f"{self.schema.name}_view", attrs)
+
+    def size_bytes(self) -> int:
+        total = 0
+        for key_bytes in self.cluster.namespace_keys(self.namespace):
+            payload = self.cluster.peek(self.namespace, key_bytes)
+            if payload is not None:
+                total += len(key_bytes) + len(payload)
+        return total
+
+    def recompute_degree(self) -> int:
+        """Recompute the degree by scanning (uncounted); also refresh it."""
+        degree = 0
+        counts: Dict[Row, int] = defaultdict(int)
+        for key_bytes in self.cluster.namespace_keys(self.namespace):
+            payload = self.cluster.peek(self.namespace, key_bytes)
+            if payload is None:
+                continue
+            physical_key = codec.decode_key(key_bytes)
+            _, segment = _decode_segment(payload)
+            counts[physical_key[:-1]] += segment.num_tuples
+        if counts:
+            degree = max(counts.values())
+        self._degree = degree
+        self._num_blocks = len(counts)
+        self._num_tuples = sum(counts.values())
+        return degree
+
+    def __repr__(self) -> str:
+        return (
+            f"KVInstance({self.schema.name}, blocks={self._num_blocks}, "
+            f"deg={self._degree})"
+        )
+
+
+def _encode_segment(n_segments: int, block: Block) -> bytes:
+    head: List[bytes] = []
+    codec._write_varint(head, n_segments)
+    return b"".join(head) + block.encode()
+
+
+def _decode_segment(data: bytes) -> Tuple[int, Block]:
+    n_segments, pos = codec._read_varint(data, 0)
+    entries, _ = codec.decode_entries(data, pos)
+    return n_segments, Block(entries)
+
+
+def _encode_stats(stats: Dict[str, BlockStats]) -> bytes:
+    rows = [
+        ((attr, s.minimum, s.maximum, s.total, s.count),)
+        for attr, s in sorted(stats.items())
+    ]
+    flat = [row[0] for row in rows]
+    return codec.encode_entries([(row, 1) for row in flat])
+
+
+def _decode_stats(data: bytes) -> Dict[str, BlockStats]:
+    entries, _ = codec.decode_entries(data)
+    out: Dict[str, BlockStats] = {}
+    for row, _count in entries:
+        attr, minimum, maximum, total, count = row
+        out[attr] = BlockStats(minimum, maximum, total, count)
+    return out
+
+
+class BaaVStore:
+    """A BaaV store ``D̃``: the KV instances of a BaaV schema."""
+
+    def __init__(
+        self,
+        schema: BaaVSchema,
+        cluster: KVCluster,
+        compress: bool = True,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+        keep_stats: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.cluster = cluster
+        self.compress = compress
+        self.split_threshold = split_threshold
+        self.keep_stats = keep_stats
+        self.instances: Dict[str, KVInstance] = {}
+
+    @classmethod
+    def map_database(
+        cls,
+        database: Database,
+        schema: BaaVSchema,
+        cluster: KVCluster,
+        compress: bool = True,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+        keep_stats: bool = True,
+    ) -> "BaaVStore":
+        """The mapping of ``D`` on ``R̃`` (§4.1): build every KV instance."""
+        store = cls(schema, cluster, compress, split_threshold, keep_stats)
+        for kv_schema in schema:
+            instance = KVInstance(
+                kv_schema, cluster, compress, split_threshold, keep_stats
+            )
+            instance.build_from(database.relation(kv_schema.relation.name))
+            store.instances[kv_schema.name] = instance
+        return store
+
+    def instance(self, name: str) -> KVInstance:
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise BaaVError(f"no KV instance named {name!r}") from None
+
+    def __iter__(self) -> Iterator[KVInstance]:
+        return iter(self.instances.values())
+
+    def degree(self) -> int:
+        """``deg(D̃)``: max degree over all instances."""
+        if not self.instances:
+            return 0
+        return max(instance.degree for instance in self)
+
+    def instances_over(self, relation: str) -> List[KVInstance]:
+        return [
+            i for i in self if i.schema.relation.name == relation
+        ]
+
+    def size_bytes(self) -> int:
+        return sum(instance.size_bytes() for instance in self)
+
+    def __repr__(self) -> str:
+        return f"BaaVStore({len(self.instances)} instances, deg={self.degree()})"

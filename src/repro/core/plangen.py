@@ -1,0 +1,848 @@
+"""Chase-based KBA plan generation — module M2 of Zidian (§6.2).
+
+Given a bound SQL query and the available BaaV schema, the generator
+replays the GET chasing sequence (§6.1) to build a KBA plan:
+
+1. Start from a *constant keyed block* holding the query's constant-bound
+   terms (equality constants and IN-lists; their cartesian product is one
+   small constant KV instance).
+2. Greedily apply ``∝`` extensions whose probe keys are already
+   materialized (through equality transitivity), interleaving selections
+   (constants, residual predicates, term equalities) and projections that
+   prune attributes no longer needed — exactly the T1/T2/T3 chain of
+   Example 7.
+3. Aliases the chain cannot cover are fetched with KV-instance scans
+   (possibly extended within the alias following the ``clo`` chain) or, as
+   the last resort, TaaV scans; these sub-plans join into the chain.
+4. A trailing group-by (plus HAVING) becomes ``GroupK``/``SelectK``;
+   everything above (ORDER BY / LIMIT / final projection / DISTINCT) runs
+   on the flattened table by substituting a :class:`TableNode` into the
+   original RA plan.
+
+The generated plan is scan-free whenever the query is (Theorem 6): every
+covered alias is reached through ``∝`` from constants only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.baav.schema import BaaVSchema, KVSchema
+from repro.errors import NotPreservedError, PlanError
+from repro.kba import plan as kp
+from repro.sql import algebra, ast
+from repro.sql.planner import BoundQuery, build_plan
+from repro.sql.spc import SPCAnalysis, Term
+
+
+@dataclass
+class ZidianPlan:
+    """A generated KBA plan plus the RA top it plugs back into."""
+
+    #: KBA plan computing the SPJ core (and group-by/having when present)
+    root: kp.KBANode
+    #: RA plan of the whole query; ``replace_node`` is the subtree whose
+    #: result the KBA root computes
+    ra_plan: algebra.PlanNode
+    replace_node: algebra.PlanNode
+    bound: BoundQuery
+    #: alias -> access mode: "chain" (scan-free ∝), "scan_kv", "taav"
+    access: Dict[str, str] = field(default_factory=dict)
+    scan_free: bool = False
+    uses_stats: bool = False
+
+    def kv_schemas_used(self) -> List[str]:
+        return kp.kv_schemas_used(self.root)
+
+    def describe(self) -> str:
+        lines = [
+            f"scan_free={self.scan_free} access={self.access}",
+            self.root.describe(),
+        ]
+        return "\n".join(lines)
+
+
+class PlanGenerator:
+    """Generates KBA plans for bound queries over a BaaV schema."""
+
+    def __init__(
+        self,
+        baav: BaaVSchema,
+        allow_taav_fallback: bool = True,
+        use_stats: bool = True,
+    ) -> None:
+        self.baav = baav
+        self.allow_taav_fallback = allow_taav_fallback
+        self.use_stats = use_stats
+
+    # -- public entry -------------------------------------------------------
+
+    def generate(
+        self, bound: BoundQuery, analysis: SPCAnalysis
+    ) -> ZidianPlan:
+        ra_plan = build_plan(bound)
+        core, replace_node, groupby, having = _split_top(ra_plan)
+
+        state = _ChainState(analysis, self.baav)
+        covered = state.stable_coverage()
+        root, access = self._build_core(analysis, state, covered)
+
+        scan_free = all(mode == "chain" for mode in access.values()) and bool(
+            access
+        )
+        uses_stats = False
+
+        if groupby is not None:
+            stats_plan = self._try_stats_path(analysis, root, groupby, access)
+            if stats_plan is not None:
+                root = stats_plan
+                uses_stats = True
+            else:
+                root = kp.GroupK(
+                    root, tuple(groupby.keys), tuple(groupby.aggs)
+                )
+            if having is not None:
+                root = kp.SelectK(root, having.predicate)
+
+        plan = ZidianPlan(
+            root=root,
+            ra_plan=ra_plan,
+            replace_node=replace_node,
+            bound=bound,
+            access=access,
+            scan_free=scan_free and not uses_stats,
+            uses_stats=uses_stats,
+        )
+        return plan
+
+    # -- core construction -----------------------------------------------------
+
+    def _build_core(
+        self,
+        analysis: SPCAnalysis,
+        state: "_ChainState",
+        covered: Set[str],
+    ) -> Tuple[kp.KBANode, Dict[str, str]]:
+        access: Dict[str, str] = {}
+        chain_plan = None
+        if covered:
+            chain_plan = state.build_chain(covered)
+            for alias in covered:
+                access[alias] = "chain"
+
+        subplans: List[Tuple[kp.KBANode, Set[str]]] = []
+        if chain_plan is not None:
+            subplans.append((chain_plan, set(state.avail)))
+
+        for alias in sorted(set(analysis.atoms) - covered):
+            subplan, attrs, mode = self._scan_subplan(analysis, alias)
+            access[alias] = mode
+            subplans.append((subplan, attrs))
+
+        if not subplans:
+            raise PlanError("query has no relations")
+
+        root, root_attrs = subplans[0]
+        remaining = subplans[1:]
+        applied_residuals = set(state.applied_residuals)
+        while remaining:
+            # prefer a subplan connected to the current result
+            index = 0
+            best_pairs: List[Tuple[str, str]] = []
+            for i, (_, attrs) in enumerate(remaining):
+                pairs = _equi_pairs_between(analysis, root_attrs, attrs)
+                if pairs:
+                    index, best_pairs = i, pairs
+                    break
+            subplan, attrs = remaining.pop(index)
+            root = kp.JoinK(root, subplan, tuple(best_pairs))
+            root_attrs = root_attrs | attrs
+            root = _apply_residuals(
+                analysis, root, root_attrs, applied_residuals
+            )
+        return root, access
+
+    def _scan_subplan(
+        self, analysis: SPCAnalysis, alias: str
+    ) -> Tuple[kp.KBANode, Set[str], str]:
+        """Fetch an uncovered alias by scanning (§6.2 step 3)."""
+        relation = analysis.atoms[alias]
+        need = {
+            a.split(".", 1)[1] for a in analysis.x_attrs(alias)
+        }
+        if not need:
+            # pure existence check: any attribute will do
+            schemas = self.baav.over_relation(relation)
+            need = (
+                {schemas[0].attributes[0]}
+                if schemas
+                else set()
+            )
+
+        candidates = self.baav.over_relation(relation)
+        # single instance covering everything
+        best_single = None
+        for schema in candidates:
+            if need <= set(schema.attributes):
+                if best_single is None or schema.width < best_single.width:
+                    best_single = schema
+        plan: Optional[kp.KBANode] = None
+        attrs: Set[str] = set()
+        if best_single is not None:
+            plan = kp.ScanKV(best_single.name, alias)
+            attrs = {f"{alias}.{a}" for a in best_single.attributes}
+        else:
+            plan, attrs = self._scan_with_extensions(
+                alias, relation, need, candidates
+            )
+
+        if plan is None:
+            if not self.allow_taav_fallback:
+                raise NotPreservedError(
+                    f"alias {alias} ({relation}) is not covered by the "
+                    f"BaaV schema and TaaV fallback is disabled"
+                )
+            plan = kp.TaaVScan(relation, alias)
+            attrs = {
+                f"{alias}.{a}"
+                for a in analysis.bound.aliases[alias].attribute_names
+            }
+            mode = "taav"
+        else:
+            mode = "scan_kv"
+
+        plan, attrs = _apply_alias_predicates(analysis, alias, plan, attrs)
+        return plan, attrs, mode
+
+    def _scan_with_extensions(
+        self,
+        alias: str,
+        relation: str,
+        need: Set[str],
+        candidates: Sequence[KVSchema],
+    ) -> Tuple[Optional[kp.KBANode], Set[str]]:
+        """Scan one instance, then follow the clo chain with ∝ within the
+        alias (probing by key, verified on the relation's primary key)."""
+        if not candidates:
+            return None, set()
+        # start from the schema covering the most needed attributes,
+        # requiring the relation's primary key so extensions stay
+        # combination-correct (see DESIGN.md)
+        def coverage(schema: KVSchema) -> int:
+            return len(need & set(schema.attributes))
+
+        starts = sorted(candidates, key=coverage, reverse=True)
+        for start in starts:
+            have = set(start.attributes)
+            pk = set(start.relation.primary_key or ())
+            if pk and not pk <= have:
+                continue
+            plan: kp.KBANode = kp.ScanKV(start.name, alias)
+            used = {start.name}
+            progress = True
+            while not need <= have and progress:
+                progress = False
+                for schema in candidates:
+                    if schema.name in used:
+                        continue
+                    if not set(schema.key) <= have:
+                        continue
+                    if pk and not pk <= (have | set(schema.key)):
+                        continue
+                    new_values = set(schema.value) - have
+                    if not new_values:
+                        continue
+                    plan, have = _extend_same_alias(
+                        plan, alias, schema, have
+                    )
+                    used.add(schema.name)
+                    progress = True
+                    break
+            if need <= have:
+                return plan, {f"{alias}.{a}" for a in have}
+        return None, set()
+
+    # -- statistics fast path ----------------------------------------------------
+
+    def _try_stats_path(
+        self,
+        analysis: SPCAnalysis,
+        root: kp.KBANode,
+        groupby: algebra.GroupByNode,
+        access: Dict[str, str],
+    ) -> Optional[kp.KBANode]:
+        """§8.2(2): single-instance scan grouped by its key -> block stats."""
+        if not self.use_stats:
+            return None
+        if not isinstance(root, kp.ScanKV):
+            return None
+        alias = root.alias
+        scanned = self.baav.get(root.kv_name)
+        # the scan may have picked an equally-covering schema with a
+        # different key; any sibling schema whose key matches the group
+        # keys and whose values cover the aggregates works
+        for schema in self.baav.over_relation(scanned.relation.name):
+            expected_keys = tuple(f"{alias}.{a}" for a in schema.key)
+            if tuple(groupby.keys) != expected_keys:
+                continue
+            if self._aggs_over(schema, alias, groupby.aggs):
+                return kp.StatsGroup(schema.name, alias, tuple(groupby.aggs))
+        return None
+
+    @staticmethod
+    def _aggs_over(schema: KVSchema, alias: str, aggs) -> bool:
+        for spec in aggs:
+            if spec.distinct or spec.arg is None:
+                return False
+            if spec.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+                return False
+            if not isinstance(spec.arg, ast.Column):
+                return False
+            name = spec.arg.name
+            if not name.startswith(alias + "."):
+                return False
+            if name.split(".", 1)[1] not in schema.value:
+                return False
+        return True
+
+
+# --------------------------------------------------------------------------
+# chain construction
+# --------------------------------------------------------------------------
+
+
+class _ChainState:
+    """Greedy ∝-chain builder with a dry-run coverage fixpoint."""
+
+    def __init__(self, analysis: SPCAnalysis, baav: BaaVSchema) -> None:
+        self.analysis = analysis
+        self.baav = baav
+        self.needed = self._needed_attrs()
+        self.avail: Set[str] = set()
+        self.applied_residuals: Set[int] = set()
+
+    def _needed_attrs(self) -> Set[str]:
+        analysis = self.analysis
+        needed = set(analysis.output_attrs) | set(analysis.residual_attrs)
+        for term in analysis.live_terms():
+            if term.is_bound or len(term.attrs) > 1:
+                needed |= term.attrs
+        return needed
+
+    # -- constants ------------------------------------------------------------
+
+    def _bound_terms(self) -> List[Term]:
+        return [t for t in self.analysis.live_terms() if t.is_bound]
+
+    def _constant_leaf(self) -> Optional[Tuple[kp.Constant, Set[str]]]:
+        terms = self._bound_terms()
+        if not terms:
+            return None
+        reps: List[str] = []
+        value_sets: List[Tuple[object, ...]] = []
+        for term in terms:
+            reps.append(min(term.attrs))
+            if term.has_constant:
+                value_sets.append((term.constant,))
+            else:
+                value_sets.append(tuple(term.in_values or ()))
+        keys = tuple(itertools.product(*value_sets))
+        return kp.Constant(tuple(reps), keys), set(reps)
+
+    # -- candidate extends ---------------------------------------------------------
+
+    def _supplier(self, attr: str, avail: Set[str]) -> Optional[str]:
+        if attr in avail:
+            return attr
+        term = self.analysis.term_of(attr)
+        if term is None:
+            return None
+        for member in sorted(term.attrs):
+            if member in avail:
+                return member
+        return None
+
+    def _candidates(
+        self,
+        avail: Set[str],
+        fetched: Dict[str, Set[str]],
+        used: Set[Tuple[str, str]],
+        allowed_aliases: Optional[Set[str]],
+    ) -> List[Tuple[str, KVSchema, List[Tuple[str, str]]]]:
+        out = []
+        for alias in sorted(self.analysis.atoms):
+            if allowed_aliases is not None and alias not in allowed_aliases:
+                continue
+            relation = self.analysis.atoms[alias]
+            for schema in self.baav.over_relation(relation):
+                if (alias, schema.name) in used:
+                    continue
+                adds_something = any(
+                    f"{alias}.{a}" not in avail for a in schema.attributes
+                )
+                if not adds_something:
+                    continue
+                if alias in fetched:
+                    # secondary fetch: probe keys must come from the alias's
+                    # own *currently materialized* attributes and the
+                    # relation's primary key must be pinned down
+                    # (combination correctness)
+                    if not all(
+                        f"{alias}.{k}" in avail for k in schema.key
+                    ):
+                        continue
+                    have = {
+                        a
+                        for a in schema.relation.attribute_names
+                        if f"{alias}.{a}" in avail
+                    }
+                    pk = set(schema.relation.primary_key or ())
+                    if not pk:
+                        continue
+                    if not pk <= (have | set(schema.key)):
+                        continue
+                    if not pk <= set(schema.attributes):
+                        continue
+                    probes = [
+                        (k, f"{alias}.{k}") for k in schema.key
+                    ]
+                else:
+                    probes = []
+                    ok = True
+                    for key_attr in schema.key:
+                        supplier = self._supplier(
+                            f"{alias}.{key_attr}", avail
+                        )
+                        if supplier is None:
+                            ok = False
+                            break
+                        probes.append((key_attr, supplier))
+                    if not ok:
+                        continue
+                if (
+                    alias in fetched
+                    and self._score(alias, schema, avail)[0] == 0
+                ):
+                    # a secondary fetch that materializes nothing needed
+                    # downstream is pure overhead; a *first* fetch is still
+                    # required even with zero gain — the alias acts as an
+                    # existence/multiplicity check (e.g. V.vehicle_id = c)
+                    continue
+                out.append((alias, schema, probes))
+        return out
+
+    def _score(
+        self, alias: str, schema: KVSchema, avail: Set[str]
+    ) -> Tuple[int, int]:
+        gain_needed = sum(
+            1
+            for a in schema.attributes
+            if f"{alias}.{a}" in self.needed and f"{alias}.{a}" not in avail
+        )
+        gain_any = sum(
+            1 for a in schema.attributes if f"{alias}.{a}" not in avail
+        )
+        return (gain_needed, gain_any, -schema.width)
+
+    # -- dry-run coverage fixpoint -------------------------------------------------
+
+    def _dry_run(self, allowed: Optional[Set[str]]) -> Set[str]:
+        """Which aliases end up fully covered by a chain over ``allowed``."""
+        leaf = self._constant_leaf()
+        if leaf is None:
+            return set()
+        avail = set(leaf[1])
+        fetched: Dict[str, Set[str]] = {}
+        used: Set[Tuple[str, str]] = set()
+        while True:
+            candidates = self._candidates(avail, fetched, used, allowed)
+            if not candidates:
+                break
+            alias, schema, probes = max(
+                candidates,
+                key=lambda c: (self._score(c[0], c[1], avail), c[0], c[1].name),
+            )
+            used.add((alias, schema.name))
+            fetched.setdefault(alias, set()).update(schema.attributes)
+            fetched[alias].update(k for k, _ in probes)
+            for attr in schema.attributes:
+                avail.add(f"{alias}.{attr}")
+            # equality transitivity: everything in a materialized term is
+            # available as a supplier
+            for attr in list(avail):
+                term = self.analysis.term_of(attr)
+                if term is not None:
+                    avail |= {m for m in term.attrs}
+        covered = set()
+        for alias in self.analysis.atoms:
+            x_attrs = self.analysis.x_attrs(alias)
+            if not x_attrs:
+                continue
+            if alias in fetched and x_attrs <= avail:
+                covered.add(alias)
+        return covered
+
+    def stable_coverage(self) -> Set[str]:
+        """Fixpoint: restrict the chain to aliases it can fully cover."""
+        allowed: Optional[Set[str]] = None
+        while True:
+            covered = self._dry_run(allowed)
+            if allowed is not None and covered == allowed:
+                return covered
+            if not covered:
+                return set()
+            allowed = covered
+
+    # -- real chain ------------------------------------------------------------------
+
+    def build_chain(self, allowed: Set[str]) -> kp.KBANode:
+        analysis = self.analysis
+        leaf = self._constant_leaf()
+        if leaf is None:
+            raise PlanError("chain requested without constant bindings")
+        plan, avail = leaf
+        plan_node: kp.KBANode = plan
+        fetched: Dict[str, Set[str]] = {}
+        used: Set[Tuple[str, str]] = set()
+
+        # equality availability (suppliers) is broader than materialized
+        supplier_avail = set(avail)
+
+        while True:
+            candidates = self._candidates(
+                supplier_avail, fetched, used, allowed
+            )
+            if not candidates:
+                break
+            alias, schema, probes = max(
+                candidates,
+                key=lambda c: (
+                    self._score(c[0], c[1], supplier_avail),
+                    c[0],
+                    c[1].name,
+                ),
+            )
+            used.add((alias, schema.name))
+            plan_node, avail = self._apply_extend(
+                plan_node, avail, alias, schema, probes, fetched
+            )
+            supplier_avail = set(avail)
+            for attr in avail:
+                term = analysis.term_of(attr)
+                if term is not None:
+                    supplier_avail |= term.attrs
+
+        # materialize needed attributes whose term-mate is available
+        copies: List[Tuple[str, str]] = []
+        for attr in sorted(self.needed - avail):
+            alias = attr.split(".", 1)[0]
+            if alias not in fetched:
+                continue
+            supplier = self._supplier(attr, avail)
+            if supplier is not None:
+                copies.append((supplier, attr))
+                avail.add(attr)
+        if copies:
+            plan_node = kp.CopyK(plan_node, tuple(copies))
+
+        self.avail = avail
+        return plan_node
+
+    def _apply_extend(
+        self,
+        plan: kp.KBANode,
+        avail: Set[str],
+        alias: str,
+        schema: KVSchema,
+        probes: List[Tuple[str, str]],
+        fetched: Dict[str, Set[str]],
+    ) -> Tuple[kp.KBANode, Set[str]]:
+        analysis = self.analysis
+        # resolve probe suppliers against *materialized* attributes
+        on: List[Tuple[str, str]] = []
+        for key_attr, supplier in probes:
+            if supplier not in avail:
+                resolved = self._supplier(supplier, avail)
+                if resolved is None:
+                    raise PlanError(
+                        f"probe supplier {supplier} not materialized"
+                    )
+                supplier = resolved
+            on.append((supplier, key_attr))
+
+        expose: List[Tuple[str, str]] = []
+        for key_attr in schema.key:
+            qualified = f"{alias}.{key_attr}"
+            if qualified not in avail and qualified in self.needed:
+                expose.append((key_attr, qualified))
+
+        rename: List[Tuple[str, str]] = []
+        dup_checks: List[Tuple[str, str]] = []  # (original, temp)
+        for value_attr in schema.value:
+            qualified = f"{alias}.{value_attr}"
+            if qualified in avail:
+                temp = f"{qualified}#dup"
+                rename.append((value_attr, temp))
+                dup_checks.append((qualified, temp))
+
+        node: kp.KBANode = kp.Extend(
+            plan,
+            schema.name,
+            alias,
+            tuple(on),
+            tuple(expose),
+            tuple(rename),
+        )
+        new_attrs = [name for _, name in expose]
+        for value_attr in schema.value:
+            qualified = f"{alias}.{value_attr}"
+            if qualified not in avail:
+                new_attrs.append(qualified)
+        avail = set(avail) | set(new_attrs) | {t for _, t in rename}
+
+        # duplicate-fetch verification, then drop the temporaries
+        preds: List[ast.Expr] = [
+            ast.Cmp("=", ast.Column(orig), ast.Column(temp))
+            for orig, temp in dup_checks
+        ]
+
+        # enforce term constraints on newly materialized value attributes
+        exposed_names = {name for _, name in expose}
+        for attr in new_attrs:
+            if attr in exposed_names:
+                continue  # equals its probe supplier by construction
+            term = analysis.term_of(attr)
+            if term is None:
+                continue
+            if term.has_constant:
+                preds.append(
+                    ast.Cmp("=", ast.Column(attr), ast.Lit(term.constant))
+                )
+            elif term.in_values is not None:
+                preds.append(
+                    ast.InList(ast.Column(attr), list(term.in_values))
+                )
+            mates = sorted(
+                m for m in term.attrs if m in avail and m != attr
+                and m not in new_attrs
+            )
+            if mates:
+                preds.append(
+                    ast.Cmp("=", ast.Column(attr), ast.Column(mates[0]))
+                )
+        # equalities among multiple new attrs of one term
+        by_term: Dict[int, List[str]] = {}
+        for attr in new_attrs:
+            term = analysis.term_of(attr)
+            if term is not None:
+                by_term.setdefault(term.term_id, []).append(attr)
+        for members in by_term.values():
+            for extra in members[1:]:
+                preds.append(
+                    ast.Cmp("=", ast.Column(members[0]), ast.Column(extra))
+                )
+        if preds:
+            node = kp.SelectK(node, ast.make_and(preds))
+
+        # residual predicates that just became applicable
+        node = _apply_residuals(
+            analysis, node, avail, self.applied_residuals
+        )
+
+        # prune: keep only needed attributes (drops #dup temporaries)
+        keep = tuple(
+            a for a in sorted(avail) if a in self.needed
+        )
+        if keep and set(keep) != avail:
+            node = kp.ProjectK(node, keep)
+            avail = set(keep)
+
+        fetched.setdefault(alias, set()).update(schema.attributes)
+        return node, avail
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _apply_residuals(
+    analysis: SPCAnalysis,
+    node: kp.KBANode,
+    avail: Set[str],
+    applied: Set[int],
+) -> kp.KBANode:
+    preds: List[ast.Expr] = []
+    for index, residual in enumerate(analysis.residuals):
+        if index in applied:
+            continue
+        cols = {c for c in residual.columns() if "." in c}
+        if cols <= avail:
+            preds.append(residual)
+            applied.add(index)
+    if preds:
+        return kp.SelectK(node, ast.make_and(preds))
+    return node
+
+
+def _apply_alias_predicates(
+    analysis: SPCAnalysis,
+    alias: str,
+    plan: kp.KBANode,
+    attrs: Set[str],
+) -> Tuple[kp.KBANode, Set[str]]:
+    """Constants and alias-local residuals on a scanned alias."""
+    preds: List[ast.Expr] = []
+    prefix = alias + "."
+    for term in analysis.live_terms():
+        for attr in term.attrs:
+            if not attr.startswith(prefix) or attr not in attrs:
+                continue
+            if term.has_constant:
+                preds.append(
+                    ast.Cmp("=", ast.Column(attr), ast.Lit(term.constant))
+                )
+            # intra-alias equalities within one term
+            mates = sorted(
+                m
+                for m in term.attrs
+                if m != attr and m.startswith(prefix) and m in attrs
+            )
+            for mate in mates:
+                if attr < mate:
+                    preds.append(
+                        ast.Cmp("=", ast.Column(attr), ast.Column(mate))
+                    )
+    for residual in analysis.residuals:
+        cols = {c for c in residual.columns() if "." in c}
+        if cols and cols <= attrs and all(
+            c.startswith(prefix) for c in cols
+        ):
+            preds.append(residual)
+    if preds:
+        plan = kp.SelectK(plan, ast.make_and(preds))
+    return plan, attrs
+
+
+def _extend_same_alias(
+    plan: kp.KBANode,
+    alias: str,
+    schema: KVSchema,
+    have: Set[str],
+) -> Tuple[kp.KBANode, Set[str]]:
+    """Extend a scanned alias with another schema of the same relation."""
+    on = tuple((f"{alias}.{k}", k) for k in schema.key)
+    rename: List[Tuple[str, str]] = []
+    dup_checks: List[Tuple[str, str]] = []
+    new_attrs: List[str] = []
+    for value_attr in schema.value:
+        if value_attr in have:
+            temp = f"{alias}.{value_attr}#dup"
+            rename.append((value_attr, temp))
+            dup_checks.append((f"{alias}.{value_attr}", temp))
+        else:
+            new_attrs.append(value_attr)
+    node: kp.KBANode = kp.Extend(
+        plan, schema.name, alias, on, (), tuple(rename)
+    )
+    if dup_checks:
+        preds = [
+            ast.Cmp("=", ast.Column(orig), ast.Column(temp))
+            for orig, temp in dup_checks
+        ]
+        node = kp.SelectK(node, ast.make_and(preds))
+        keep = tuple(
+            sorted({f"{alias}.{a}" for a in have} | {
+                f"{alias}.{a}" for a in new_attrs
+            })
+        )
+        node = kp.ProjectK(node, keep)
+    return node, have | set(new_attrs)
+
+
+def _equi_pairs_between(
+    analysis: SPCAnalysis, left: Set[str], right: Set[str]
+) -> List[Tuple[str, str]]:
+    pairs: List[Tuple[str, str]] = []
+    for term in analysis.live_terms():
+        lefts = sorted(term.attrs & left)
+        rights = sorted(term.attrs & right)
+        if lefts and rights:
+            pairs.append((lefts[0], rights[0]))
+    return pairs
+
+
+def _split_top(
+    ra_plan: algebra.PlanNode,
+) -> Tuple[
+    algebra.PlanNode,
+    algebra.PlanNode,
+    Optional[algebra.GroupByNode],
+    Optional[algebra.SelectNode],
+]:
+    """Find the SPJ core of an RA plan and the group-by/having above it.
+
+    Returns ``(core, replace_node, groupby, having)``: ``replace_node`` is
+    the subtree whose result the KBA plan computes (core, or group-by, or
+    having-select) — the system substitutes a TableNode there.
+    """
+    core_types = (
+        algebra.ScanNode,
+        algebra.SelectNode,
+        algebra.JoinNode,
+        algebra.CrossNode,
+    )
+
+    def is_core(node: algebra.PlanNode) -> bool:
+        if not isinstance(node, core_types):
+            return False
+        return all(is_core(c) for c in node.children())
+
+    # descend through unary top operators to the core
+    path: List[algebra.PlanNode] = []
+    node = ra_plan
+    while not is_core(node):
+        children = node.children()
+        if len(children) != 1:
+            raise PlanError(
+                f"cannot locate SPJ core below {type(node).__name__}"
+            )
+        path.append(node)
+        node = children[0]
+    core = node
+
+    groupby: Optional[algebra.GroupByNode] = None
+    having: Optional[algebra.SelectNode] = None
+    replace_node: algebra.PlanNode = core
+    # walk back up: GroupBy directly above the core, optional Select above it
+    if path and isinstance(path[-1], algebra.GroupByNode):
+        groupby = path[-1]
+        replace_node = groupby
+        if len(path) >= 2 and isinstance(path[-2], algebra.SelectNode):
+            having = path[-2]
+            replace_node = having
+    return core, replace_node, groupby, having
+
+
+def substitute_table(
+    ra_plan: algebra.PlanNode,
+    target: algebra.PlanNode,
+    table,
+) -> algebra.PlanNode:
+    """Replace ``target`` inside ``ra_plan`` with a TableNode over ``table``."""
+    replacement = algebra.TableNode(table)
+    if ra_plan is target:
+        return replacement
+
+    def rebuild(node: algebra.PlanNode) -> algebra.PlanNode:
+        if node is target:
+            return replacement
+        for attr in ("child", "left", "right"):
+            child = getattr(node, attr, None)
+            if child is not None and isinstance(child, algebra.PlanNode):
+                setattr(node, attr, rebuild(child))
+        return node
+
+    return rebuild(ra_plan)

@@ -1,0 +1,117 @@
+"""QCS — query column sets with known attributes, ``Z[X]`` (§8.1).
+
+A QCS ``Z[X]`` abstracts an access pattern of historical query plans: a
+plan touches attributes ``Z`` of a relation when values for ``X ⊆ Z`` are
+already known (from constants or from attributes produced earlier in the
+plan). T2B (module M4) turns a workload's QCS into a BaaV schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sql.planner import BoundQuery
+from repro.sql.spc import SPCAnalysis, analyze
+
+
+@dataclass(frozen=True)
+class QCS:
+    """An access pattern ``Z[X]`` over one relation."""
+
+    relation: str
+    z: FrozenSet[str]
+    x: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.x <= self.z:
+            object.__setattr__(self, "z", self.z | self.x)
+
+    def __str__(self) -> str:
+        z = ",".join(sorted(self.z))
+        x = ",".join(sorted(self.x))
+        return f"{self.relation}.{{{z}}}[{{{x}}}]"
+
+
+def extract_qcs(
+    bound: BoundQuery, analysis: Optional[SPCAnalysis] = None
+) -> List[QCS]:
+    """Abstract one query into QCS, one per relation occurrence.
+
+    The extraction simulates plan-order access: process aliases starting
+    from those with constant bindings, following join edges; an attribute
+    of an alias is "known" (in ``X``) when it is constant-bound or equated
+    to an attribute of an already-processed alias.
+    """
+    analysis = analysis if analysis is not None else analyze(bound)
+    aliases = list(analysis.atoms)
+
+    def has_bound(alias: str) -> bool:
+        prefix = alias + "."
+        return any(
+            attr.startswith(prefix)
+            for term in analysis.live_terms()
+            if term.is_bound
+            for attr in term.attrs
+        )
+
+    ordered: List[str] = []
+    remaining = sorted(aliases, key=lambda a: (not has_bound(a), a))
+    edges = analysis.join_edges()
+
+    def connected(alias: str, done: Sequence[str]) -> bool:
+        return any(
+            (alias == a and b in done) or (alias == b and a in done)
+            for a, b in edges
+        )
+
+    while remaining:
+        chosen = None
+        for alias in remaining:
+            if not ordered or connected(alias, ordered):
+                chosen = alias
+                break
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+
+    out: List[QCS] = []
+    done: Set[str] = set()
+    for alias in ordered:
+        relation = analysis.atoms[alias]
+        prefix = alias + "."
+        z = {
+            attr.split(".", 1)[1]
+            for attr in analysis.x_attrs(alias)
+        }
+        known: Set[str] = set()
+        for term in analysis.live_terms():
+            members = [a for a in term.attrs if a.startswith(prefix)]
+            if not members:
+                continue
+            if term.is_bound or any(
+                a.split(".", 1)[0] in done
+                for a in term.attrs
+                if not a.startswith(prefix)
+            ):
+                known.update(m.split(".", 1)[1] for m in members)
+        done.add(alias)
+        if not z:
+            continue
+        out.append(QCS(relation, frozenset(z), frozenset(known & z)))
+    return out
+
+
+def extract_workload_qcs(
+    bound_queries: Iterable[BoundQuery],
+) -> List[QCS]:
+    """Deduplicated QCS of a whole workload."""
+    seen: Set[QCS] = set()
+    out: List[QCS] = []
+    for bound in bound_queries:
+        for qcs in extract_qcs(bound):
+            if qcs not in seen:
+                seen.add(qcs)
+                out.append(qcs)
+    return out

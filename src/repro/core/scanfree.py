@@ -1,0 +1,263 @@
+"""Scan-free and bounded query analysis — module M2 of Zidian (§6.1).
+
+Implements the paper's characterization:
+
+* ``GET(Q, R̃)`` — retrievable attributes: the fixpoint of
+  (a) constant-bound attributes (extended here with IN-lists: finitely many
+  constants still mean finitely many gets),
+  (b) equality transitivity, and
+  (c) key-to-value propagation per KV schema.
+* ``VC(Q, R̃)`` — verifiable combinations: per relation occurrence, the
+  closures of the KV schemas whose attributes are all retrievable.
+* Condition (III), Theorem 4: Q is scan-free over ``R̃`` iff for every
+  relation occurrence of ``min(Q)`` its ``X`` attributes sit inside some
+  member of ``VC(min(Q), R̃)``.
+* Boundedness (§6.1 end): scan-free plus instance degrees below a constant.
+
+``GET`` is computed with a *derivation log* — the chasing sequence of §6.2
+— which the plan generator replays to build scan-free KBA plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.baav.schema import BaaVSchema, KVSchema
+from repro.baav.store import BaaVStore
+from repro.sql.minimize import minimize
+from repro.sql.spc import SPCAnalysis
+
+DEFAULT_DEGREE_BOUND = 64
+
+
+@dataclass
+class ChaseStep:
+    """One application of GET rule (c): extend through a KV schema."""
+
+    alias: str
+    schema: KVSchema
+    #: for each key attribute of the schema (in key order), the qualified
+    #: query attribute that supplies its value (a GET member of its term)
+    probes: Tuple[Tuple[str, str], ...]  # (kv key attr, supplying query attr)
+    #: attributes newly added to GET by this step
+    added: Tuple[str, ...]
+
+
+@dataclass
+class GetResult:
+    """GET(Q, R̃) plus its derivation."""
+
+    attrs: FrozenSet[str]
+    steps: List[ChaseStep]
+    #: attrs retrievable per alias (unqualified attribute names)
+    per_alias: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def compute_get(analysis: SPCAnalysis, baav: BaaVSchema) -> GetResult:
+    """Compute GET(Q, R̃) with its chasing sequence (§6.1 rules a–c)."""
+    get: Set[str] = set()
+    steps: List[ChaseStep] = []
+
+    # rule (a): constant-bound attributes (plus IN-bound, see module doc),
+    # closed under rule (b) since terms already merge equated attributes.
+    for term in analysis.live_terms():
+        if term.is_bound:
+            get |= term.attrs
+
+    def term_supplier(attr: str) -> Optional[str]:
+        """A GET member of ``attr``'s term (rule (b) transitivity)."""
+        if attr in get:
+            return attr
+        term = analysis.term_of(attr)
+        if term is None:
+            return None
+        for member in term.attrs:
+            if member in get:
+                return member
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for alias, relation in sorted(analysis.atoms.items()):
+            for schema in baav.over_relation(relation):
+                probes: List[Tuple[str, str]] = []
+                ok = True
+                for key_attr in schema.key:
+                    qualified = f"{alias}.{key_attr}"
+                    supplier = term_supplier(qualified)
+                    if supplier is None:
+                        ok = False
+                        break
+                    probes.append((key_attr, supplier))
+                if not ok:
+                    continue
+                added: List[str] = []
+                for attr in schema.attributes:
+                    qualified = f"{alias}.{attr}"
+                    if qualified not in get:
+                        added.append(qualified)
+                        get.add(qualified)
+                        # rule (b): propagate through the attr's term
+                        term = analysis.term_of(qualified)
+                        if term is not None:
+                            for member in term.attrs:
+                                if member not in get:
+                                    get.add(member)
+                                    added.append(member)
+                if added:
+                    steps.append(
+                        ChaseStep(alias, schema, tuple(probes), tuple(added))
+                    )
+                    changed = True
+
+    per_alias: Dict[str, Set[str]] = {a: set() for a in analysis.atoms}
+    for attr in get:
+        alias = attr.split(".", 1)[0]
+        if alias in per_alias:
+            per_alias[alias].add(attr.split(".", 1)[1])
+    return GetResult(frozenset(get), steps, per_alias)
+
+
+@dataclass
+class VCEntry:
+    """One member of VC(Q, R̃): a verifiable attribute combination."""
+
+    alias: str
+    schema: KVSchema  # the S̃ whose closure this is
+    attrs: FrozenSet[str]  # qualified attributes of `alias`
+
+
+def compute_vc(
+    analysis: SPCAnalysis, baav: BaaVSchema, get: Optional[GetResult] = None
+) -> List[VCEntry]:
+    """Compute VC(Q, R̃) per §6.1.
+
+    ``R̃_Q`` holds the (alias, KV schema) pairs whose attributes are all in
+    GET; each entry's attribute set is the closure of one member within
+    ``R̃_Q`` restricted to its alias (clo chains through primary keys).
+    """
+    get = get if get is not None else compute_get(analysis, baav)
+    entries: List[VCEntry] = []
+    for alias, relation in analysis.atoms.items():
+        retrievable = get.per_alias.get(alias, set())
+        candidates = [
+            s
+            for s in baav.over_relation(relation)
+            if set(s.attributes) <= retrievable
+        ]
+        for start in candidates:
+            clo: Set[str] = set(start.attributes)
+            changed = True
+            while changed:
+                changed = False
+                for other in candidates:
+                    other_attrs = set(other.attributes)
+                    if other_attrs <= clo:
+                        continue
+                    if set(other.primary_key) <= clo:
+                        clo |= other_attrs
+                        changed = True
+            entries.append(
+                VCEntry(
+                    alias,
+                    start,
+                    frozenset(f"{alias}.{a}" for a in clo),
+                )
+            )
+    return entries
+
+
+@dataclass
+class ScanFreeReport:
+    """Outcome of the Condition (III) check."""
+
+    scan_free: bool
+    #: alias -> witnessing VC entry (when covered)
+    witnesses: Dict[str, VCEntry] = field(default_factory=dict)
+    #: aliases of min(Q) that are not covered
+    missing: List[str] = field(default_factory=list)
+    get: Optional[GetResult] = None
+    vc: List[VCEntry] = field(default_factory=list)
+    minimal_aliases: FrozenSet[str] = frozenset()
+
+
+def is_scan_free(
+    analysis: SPCAnalysis,
+    baav: BaaVSchema,
+    minimized: Optional[SPCAnalysis] = None,
+) -> ScanFreeReport:
+    """Condition (III) over ``min(Q)`` (Theorems 4 and 5).
+
+    An alias with an empty ``X`` set (a pure existence check) is never
+    scan-free: nothing pins down which blocks to fetch.
+    """
+    minimal = minimized if minimized is not None else minimize(analysis)
+    get = compute_get(minimal, baav)
+    vc = compute_vc(minimal, baav, get)
+    report = ScanFreeReport(
+        scan_free=True,
+        get=get,
+        vc=vc,
+        minimal_aliases=frozenset(minimal.atoms),
+    )
+    by_alias: Dict[str, List[VCEntry]] = {}
+    for entry in vc:
+        by_alias.setdefault(entry.alias, []).append(entry)
+    for alias in minimal.atoms:
+        x_attrs = minimal.x_attrs(alias)
+        if not x_attrs:
+            report.scan_free = False
+            report.missing.append(alias)
+            continue
+        witness = None
+        for entry in by_alias.get(alias, ()):
+            if x_attrs <= entry.attrs:
+                witness = entry
+                break
+        if witness is None:
+            report.scan_free = False
+            report.missing.append(alias)
+        else:
+            report.witnesses[alias] = witness
+    return report
+
+
+@dataclass
+class BoundedReport:
+    bounded: bool
+    scan_free: bool
+    degree_bound: int
+    #: KV schema name -> observed degree for the instances involved
+    degrees: Dict[str, int] = field(default_factory=dict)
+
+
+def is_bounded(
+    analysis: SPCAnalysis,
+    store: BaaVStore,
+    degree_bound: int = DEFAULT_DEGREE_BOUND,
+    scan_free_report: Optional[ScanFreeReport] = None,
+) -> BoundedReport:
+    """Boundedness check (§6.1): scan-free plus bounded instance degrees."""
+    report = (
+        scan_free_report
+        if scan_free_report is not None
+        else is_scan_free(analysis, store.schema)
+    )
+    degrees: Dict[str, int] = {}
+    if not report.scan_free:
+        return BoundedReport(False, False, degree_bound, degrees)
+    names: Set[str] = set()
+    for entry in report.witnesses.values():
+        names.add(entry.schema.name)
+    if report.get is not None:
+        for step in report.get.steps:
+            names.add(step.schema.name)
+    bounded = True
+    for name in sorted(names):
+        degree = store.instance(name).degree
+        degrees[name] = degree
+        if degree > degree_bound:
+            bounded = False
+    return BoundedReport(bounded, True, degree_bound, degrees)

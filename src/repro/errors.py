@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Sub-hierarchies mirror the subsystems:
+relational schema errors, SQL front-end errors, KV storage errors, BaaV
+model errors and Zidian planning errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Invalid relational or KV schema definition or usage."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was not found in the database schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was not found in a relation or block schema."""
+
+    def __init__(self, attr: str, where: str = "") -> None:
+        suffix = f" in {where}" if where else ""
+        super().__init__(f"unknown attribute: {attr!r}{suffix}")
+        self.attr = attr
+
+
+class TypeMismatchError(SchemaError):
+    """A value did not match the declared attribute type."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SQLAnalysisError(SQLError):
+    """The SQL parsed but failed semantic analysis (binding, typing)."""
+
+
+class UnsupportedSQLError(SQLError):
+    """The SQL uses a feature outside the supported subset."""
+
+
+class KVError(ReproError):
+    """Base class for KV storage errors."""
+
+
+class KeyNotFoundError(KVError):
+    """``get`` was called for a key that is not present."""
+
+
+class CodecError(KVError):
+    """A value could not be encoded to or decoded from bytes."""
+
+
+class BaaVError(ReproError):
+    """Base class for BaaV model errors."""
+
+
+class NotPreservedError(BaaVError):
+    """A query is not result-preserved by the available BaaV schema."""
+
+
+class PlanError(ReproError):
+    """A KBA or RA plan could not be generated or executed."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed during execution."""

@@ -1,0 +1,401 @@
+"""Sequential executor for KBA plans over a BaaV (and TaaV) store.
+
+Execution is *logical*: it computes exact results on block sets while the
+underlying cluster counts gets / values / bytes. The parallel engine
+(:mod:`repro.parallel.engine`) re-walks the same plan to attribute those
+costs to workers and stages.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.baav.block import Block
+from repro.baav.store import BaaVStore
+from repro.errors import ExecutionError, PlanError
+from repro.kba import plan as kp
+from repro.kba.blockset import BlockSet, Entry
+from repro.kv.taav import TaaVStore
+from repro.relational.types import Row
+from repro.sql.aggregates import make_accumulator
+from repro.sql.algebra import AggSpec
+
+
+class ExecContext:
+    """Stores available to a KBA plan execution."""
+
+    def __init__(
+        self,
+        baav: Optional[BaaVStore],
+        taav: Optional[TaaVStore] = None,
+    ) -> None:
+        self.baav = baav
+        self.taav = taav
+
+    def instance(self, name: str):
+        if self.baav is None:
+            raise ExecutionError("no BaaV store available")
+        return self.baav.instance(name)
+
+
+def execute(node: kp.KBANode, ctx: ExecContext) -> BlockSet:
+    """Execute a KBA plan and return its BlockSet result."""
+    inputs = [execute(child, ctx) for child in node.children()]
+    return execute_node(node, ctx, inputs)
+
+
+def execute_node(
+    node: kp.KBANode, ctx: ExecContext, inputs: List[BlockSet]
+) -> BlockSet:
+    """Execute one operator given its children's results.
+
+    The parallel engine (M3) drives its own recursion through this entry
+    so it can meter storage counters and intermediate sizes per operator.
+    """
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise ExecutionError(f"no handler for KBA node {type(node).__name__}")
+    return handler(node, ctx, inputs)
+
+
+# -- leaves -----------------------------------------------------------------
+
+
+def _run_constant(node: kp.Constant, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    return BlockSet.constant(node.attrs, node.keys)
+
+
+def _run_scan_kv(node: kp.ScanKV, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    instance = ctx.instance(node.kv_name)
+    alias = node.alias
+    key_attrs = tuple(f"{alias}.{a}" for a in instance.schema.key)
+    value_attrs = tuple(f"{alias}.{a}" for a in instance.schema.value)
+    data: Dict[Row, List[Entry]] = {}
+    for key, block in instance.scan():
+        data.setdefault(key, []).extend(block.entries)
+    return BlockSet(key_attrs, value_attrs, data)
+
+
+def _run_taav_scan(node: kp.TaaVScan, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    if ctx.taav is None or node.relation not in ctx.taav:
+        raise ExecutionError(
+            f"TaaV store has no relation {node.relation!r}"
+        )
+    taav = ctx.taav.relation(node.relation)
+    relation = taav.fetch_all()
+    attrs = tuple(
+        f"{node.alias}.{a}" for a in relation.schema.attribute_names
+    )
+    entries = [(row, 1) for row in relation.rows]
+    return BlockSet((), attrs, {(): entries} if entries else {})
+
+
+# -- BaaV-specific operators ---------------------------------------------------
+
+
+def _run_extend(node: kp.Extend, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    instance = ctx.instance(node.kv_name)
+    schema = instance.schema
+    alias = node.alias
+
+    # order the probe positions by the KV schema's key order
+    probe_of: Dict[str, str] = {kv_attr: c_attr for c_attr, kv_attr in node.on}
+    if set(probe_of) != set(schema.key):
+        raise PlanError(
+            f"extend on {schema.name}: probe attrs {sorted(probe_of)} "
+            f"must cover key {schema.key}"
+        )
+    child_attrs = child.attrs
+    probe_positions = [
+        child_attrs.index(probe_of[kv_attr]) for kv_attr in schema.key
+    ]
+
+    exposed_names = tuple(name for _, name in node.expose_key)
+    exposed_positions = [
+        schema.key.index(kv_attr) for kv_attr, _ in node.expose_key
+    ]
+    rename = dict(node.value_rename)
+    value_attrs = tuple(
+        rename.get(a, f"{alias}.{a}") for a in schema.value
+    )
+
+    cache: Dict[Row, Optional[Block]] = {}
+    data: Dict[Row, List[Entry]] = {}
+    for key, value, count in child.iter_entries():
+        full = key + value
+        probe = tuple(full[p] for p in probe_positions)
+        if None in probe:
+            continue
+        block = cache.get(probe, _MISSING)
+        if block is _MISSING:
+            block = instance.get(probe)
+            cache[probe] = block
+        if block is None:
+            continue
+        out_key = full + tuple(probe[p] for p in exposed_positions)
+        bucket = data.get(out_key)
+        if bucket is None:
+            bucket = []
+            data[out_key] = bucket
+        for row, block_count in block.entries:
+            bucket.append((row, block_count * count))
+    return BlockSet(child_attrs + exposed_names, value_attrs, data)
+
+
+_MISSING = object()
+
+
+def _run_shift(node: kp.Shift, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    return child.shift(node.new_key)
+
+
+# -- relational operators over blocks -------------------------------------------
+
+
+def _run_select(node: kp.SelectK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    predicate = node.predicate
+    attrs = child.attrs
+    n_key = len(child.key_attrs)
+    data: Dict[Row, List[Entry]] = {}
+    for key, entries in child.data.items():
+        kept: List[Entry] = []
+        for row, count in entries:
+            env = dict(zip(attrs, key + row))
+            if predicate.eval(env):
+                kept.append((row, count))
+        if kept:
+            data[key] = kept
+    return BlockSet(child.key_attrs, child.value_attrs, data)
+
+
+def _run_project(node: kp.ProjectK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    kept = tuple(node.attrs)
+    kept_set = set(kept)
+    new_key = tuple(a for a in child.key_attrs if a in kept_set)
+    new_value = tuple(a for a in kept if a not in set(new_key))
+    positions_key = [child.position(a) for a in new_key]
+    positions_value = [child.position(a) for a in new_value]
+    data: Dict[Row, Dict[Row, int]] = defaultdict(dict)
+    for full, count in child.iter_full():
+        key = tuple(full[p] for p in positions_key)
+        value = tuple(full[p] for p in positions_value)
+        bucket = data[key]
+        bucket[value] = bucket.get(value, 0) + count
+    packed = {key: list(bucket.items()) for key, bucket in data.items()}
+    return BlockSet(new_key, new_value, packed)
+
+
+def _run_copy(node: kp.CopyK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    sources = [child.position(src) for src, _ in node.copies]
+    new_names = tuple(dst for _, dst in node.copies)
+    n_key = len(child.key_attrs)
+    data: Dict[Row, List[Entry]] = {}
+    for key, entries in child.data.items():
+        out_entries: List[Entry] = []
+        for row, count in entries:
+            full = key + row
+            extra = tuple(full[p] for p in sources)
+            out_entries.append((row + extra, count))
+        data[key] = out_entries
+    return BlockSet(
+        child.key_attrs, child.value_attrs + new_names, data
+    )
+
+
+def _run_join(node: kp.JoinK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    left, right = inputs
+    return join_blocksets(left, right, node.on, node.residual)
+
+
+def join_blocksets(
+    left: BlockSet,
+    right: BlockSet,
+    on: Tuple[Tuple[str, str], ...],
+    residual=None,
+) -> BlockSet:
+    """Hash-join two block sets; result keyed by X1 ∪ X2 (§4.2)."""
+    left_attrs = left.attrs
+    right_attrs = right.attrs
+    left_pos = [left.position(l) for l, _ in on]
+    right_pos = [right.position(r) for _, r in on]
+
+    index: Dict[Row, List[Entry]] = defaultdict(list)
+    for full, count in right.iter_full():
+        probe = tuple(full[p] for p in right_pos)
+        if None in probe:
+            continue
+        index[probe].append((full, count))
+
+    out_key_attrs = left.key_attrs + right.key_attrs
+    out_value_attrs = left.value_attrs + right.value_attrs
+    n_left_key = len(left.key_attrs)
+    n_right_key = len(right.key_attrs)
+
+    all_attrs = left_attrs + right_attrs
+    data: Dict[Row, List[Entry]] = defaultdict(list)
+    for lfull, lcount in left.iter_full():
+        probe = tuple(lfull[p] for p in left_pos)
+        if None in probe:
+            continue
+        for rfull, rcount in index.get(probe, ()):
+            if residual is not None:
+                env = dict(zip(all_attrs, lfull + rfull))
+                if not residual.eval(env):
+                    continue
+            key = lfull[:n_left_key] + rfull[:n_right_key]
+            value = lfull[n_left_key:] + rfull[n_right_key:]
+            data[key].append((value, lcount * rcount))
+    return BlockSet(out_key_attrs, out_value_attrs, dict(data))
+
+
+def _run_union(node: kp.UnionK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    left, right = inputs
+    if left.attrs != right.attrs:
+        right = right.shift(left.key_attrs)
+        if left.attrs != right.attrs:
+            raise ExecutionError(
+                f"union operands misaligned: {left.attrs} vs {right.attrs}"
+            )
+    out = BlockSet(left.key_attrs, left.value_attrs, dict(left.data))
+    for key, entries in right.data.items():
+        out.merge_key(key, entries)
+    return out
+
+
+def _run_difference(node: kp.DifferenceK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    left, right = inputs
+    if left.attrs != right.attrs:
+        right = right.shift(left.key_attrs)
+        if left.attrs != right.attrs:
+            raise ExecutionError(
+                f"difference operands misaligned: {left.attrs} vs {right.attrs}"
+            )
+    data: Dict[Row, List[Entry]] = {}
+    for key, entries in left.data.items():
+        minus: Dict[Row, int] = defaultdict(int)
+        for row, count in right.data.get(key, ()):
+            minus[row] += count
+        kept: Dict[Row, int] = {}
+        for row, count in entries:
+            kept[row] = kept.get(row, 0) + count
+        out_entries: List[Entry] = []
+        for row, count in kept.items():
+            remaining = count - minus.get(row, 0)
+            if remaining > 0:
+                out_entries.append((row, remaining))
+        if out_entries:
+            data[key] = out_entries
+    return BlockSet(left.key_attrs, left.value_attrs, data)
+
+
+def _run_group(node: kp.GroupK, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    child = inputs[0]
+    return group_blockset(child, node.keys, node.aggs)
+
+
+def group_blockset(
+    child: BlockSet, keys: Tuple[str, ...], aggs: Tuple[AggSpec, ...]
+) -> BlockSet:
+    attrs = child.attrs
+    key_pos = [child.position(k) for k in keys]
+    groups: Dict[Row, List] = {}
+    for full, count in child.iter_full():
+        group_key = tuple(full[p] for p in key_pos)
+        accs = groups.get(group_key)
+        if accs is None:
+            accs = [make_accumulator(a.func, a.distinct) for a in aggs]
+            groups[group_key] = accs
+        env = None
+        for spec, acc in zip(aggs, accs):
+            if spec.arg is None:
+                acc.add(True, count)
+            else:
+                if env is None:
+                    env = dict(zip(attrs, full))
+                acc.add(spec.arg.eval(env), count)
+    if not keys and not groups:
+        groups[()] = [make_accumulator(a.func, a.distinct) for a in aggs]
+    data = {
+        key: [(tuple(acc.result() for acc in accs), 1)]
+        for key, accs in groups.items()
+    }
+    return BlockSet(keys, tuple(a.name for a in aggs), data)
+
+
+def _run_stats_group(node: kp.StatsGroup, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:
+    instance = ctx.instance(node.kv_name)
+    if not instance.keep_stats:
+        raise ExecutionError(
+            f"instance {node.kv_name} has no block statistics"
+        )
+    alias = node.alias
+    key_attrs = tuple(f"{alias}.{a}" for a in instance.schema.key)
+    data: Dict[Row, List[Entry]] = {}
+    from repro.baav.store import _decode_stats
+    from repro.kv import codec
+
+    nodes = list(instance.cluster.nodes.values())
+    node_index = 0
+    for key_bytes, payload in instance.cluster.scan(
+        instance.stats_namespace, count_as_gets=True
+    ):
+        key = codec.decode_key(key_bytes)
+        stats = _decode_stats(payload)
+        # 4 statistic values per attribute read from the sidecar
+        nodes[node_index % len(nodes)].counters.values_read += 4 * len(stats)
+        node_index += 1
+        out: List[object] = []
+        for spec in node.aggs:
+            attr = _agg_attr(spec, alias)
+            stat = stats.get(attr)
+            if stat is None:
+                out.append(None)
+            elif spec.func == "SUM":
+                out.append(stat.total)
+            elif spec.func == "COUNT":
+                out.append(stat.count)
+            elif spec.func == "MIN":
+                out.append(stat.minimum)
+            elif spec.func == "MAX":
+                out.append(stat.maximum)
+            elif spec.func == "AVG":
+                out.append(stat.average)
+            else:
+                raise ExecutionError(f"stats path cannot compute {spec.func}")
+        data[key] = [(tuple(out), 1)]
+    return BlockSet(key_attrs, tuple(a.name for a in node.aggs), data)
+
+
+def _agg_attr(spec: AggSpec, alias: str) -> str:
+    from repro.sql import ast
+
+    if not isinstance(spec.arg, ast.Column):
+        raise ExecutionError("stats path needs plain column aggregates")
+    name = spec.arg.name
+    prefix = alias + "."
+    if not name.startswith(prefix):
+        raise ExecutionError(f"aggregate {name} is not over alias {alias}")
+    return name[len(prefix):]
+
+
+_HANDLERS = {
+    kp.Constant: _run_constant,
+    kp.ScanKV: _run_scan_kv,
+    kp.TaaVScan: _run_taav_scan,
+    kp.Extend: _run_extend,
+    kp.Shift: _run_shift,
+    kp.SelectK: _run_select,
+    kp.CopyK: _run_copy,
+    kp.ProjectK: _run_project,
+    kp.JoinK: _run_join,
+    kp.UnionK: _run_union,
+    kp.DifferenceK: _run_difference,
+    kp.GroupK: _run_group,
+    kp.StatsGroup: _run_stats_group,
+}

@@ -1,0 +1,27 @@
+"""KV storage substrate: codec, memstore, DHT cluster, TaaV layout."""
+
+from repro.kv.backends import BackendProfile, CASSANDRA, HBASE, KUDU, PROFILES, profile
+from repro.kv.cluster import KVCluster
+from repro.kv.hashring import HashRing
+from repro.kv.lsm import BloomFilter, LSMStore
+from repro.kv.memstore import MemStore
+from repro.kv.node import NodeCounters, StorageNode
+from repro.kv.taav import TaaVRelation, TaaVStore
+
+__all__ = [
+    "BackendProfile",
+    "CASSANDRA",
+    "HBASE",
+    "HashRing",
+    "KUDU",
+    "BloomFilter",
+    "KVCluster",
+    "LSMStore",
+    "MemStore",
+    "NodeCounters",
+    "PROFILES",
+    "StorageNode",
+    "TaaVRelation",
+    "TaaVStore",
+    "profile",
+]

@@ -1,0 +1,170 @@
+"""The KV cluster: a DHT of storage nodes with namespaced key spaces.
+
+This is the storage layer of Fig. 1: keys are placed on nodes by
+consistent hashing; clients issue ``get``/``put``/``delete`` and drive
+scans with ``next()``-style iteration. Every operation is counted on the
+owning node so the evaluation can report #get, #data and bytes moved.
+
+Namespaces isolate key spaces of different relations / KV instances: the
+stored key is ``encode_value(namespace) + key_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.kv.codec import encode_value
+from repro.kv.hashring import HashRing
+from repro.kv.node import NodeCounters, StorageNode
+
+
+class KVCluster:
+    """A cluster of :class:`StorageNode` behind a consistent-hash ring."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        ring_replicas: int = 64,
+        engine: str = "mem",
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.engine = engine
+        self.nodes: Dict[int, StorageNode] = {}
+        self.ring = HashRing(replicas=ring_replicas)
+        for node_id in range(num_nodes):
+            self._add_node(node_id)
+
+    # -- topology --------------------------------------------------------
+
+    def _add_node(self, node_id: int) -> StorageNode:
+        node = StorageNode(node_id, engine=self.engine)
+        self.nodes[node_id] = node
+        self.ring.add_node(node_id)
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def add_node(self) -> StorageNode:
+        """Add a storage node and rebalance keys it now owns.
+
+        Models horizontal scale-out (Exp-4). Only keys whose ring owner
+        changed are moved, the consistent-hashing guarantee.
+        """
+        new_id = max(self.nodes) + 1
+        node = self._add_node(new_id)
+        for old_node in list(self.nodes.values()):
+            if old_node.node_id == new_id:
+                continue
+            moved: List[bytes] = []
+            for key, value in old_node.store.scan():
+                if self.ring.node_for(key) == new_id:
+                    node.store.put(key, value)
+                    moved.append(key)
+            for key in moved:
+                old_node.store.delete(key)
+        return node
+
+    def _owner(self, full_key: bytes) -> StorageNode:
+        return self.nodes[self.ring.node_for(full_key)]
+
+    @staticmethod
+    def full_key(namespace: str, key_bytes: bytes) -> bytes:
+        return encode_value(namespace) + key_bytes
+
+    # -- KV API ------------------------------------------------------------
+
+    def get(self, namespace: str, key_bytes: bytes,
+            n_values: int = 1) -> Optional[bytes]:
+        """Point get; counts one get on the owning node."""
+        full = self.full_key(namespace, key_bytes)
+        return self._owner(full).get(full, n_values=n_values)
+
+    def put(self, namespace: str, key_bytes: bytes, value: bytes,
+            n_values: int = 1) -> None:
+        full = self.full_key(namespace, key_bytes)
+        self._owner(full).put(full, value, n_values=n_values)
+
+    def delete(self, namespace: str, key_bytes: bytes) -> bool:
+        full = self.full_key(namespace, key_bytes)
+        return self._owner(full).delete(full)
+
+    def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
+        """Uncounted read (maintenance bookkeeping)."""
+        full = self.full_key(namespace, key_bytes)
+        return self._owner(full).peek(full)
+
+    def scan(
+        self, namespace: str, count_as_gets: bool = True
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Scan all pairs of a namespace across all nodes.
+
+        This is the §3 scan: iterate keys via ``next()`` and fetch each
+        value with ``get``; with ``count_as_gets`` every pair visited is
+        tallied as one get on its node, which is exactly the "blind scan"
+        cost TaaV suffers. Yields (stripped key bytes, value bytes).
+        """
+        prefix = encode_value(namespace)
+        plen = len(prefix)
+        for node in self.nodes.values():
+            for key, value in node.store.scan(prefix):
+                if count_as_gets:
+                    node.counters.gets += 1
+                    node.counters.hits += 1
+                    node.counters.bytes_out += len(value)
+                yield key[plen:], value
+
+    def namespace_keys(self, namespace: str) -> List[bytes]:
+        """All (stripped) key bytes of a namespace, uncounted."""
+        prefix = encode_value(namespace)
+        plen = len(prefix)
+        keys: List[bytes] = []
+        for node in self.nodes.values():
+            for key, _ in node.store.scan(prefix):
+                keys.append(key[plen:])
+        return keys
+
+    def drop_namespace(self, namespace: str) -> int:
+        """Delete every pair in ``namespace``; return how many."""
+        prefix = encode_value(namespace)
+        dropped = 0
+        for node in self.nodes.values():
+            doomed = [key for key, _ in node.store.scan(prefix)]
+            for key in doomed:
+                node.store.delete(key)
+            dropped += len(doomed)
+        return dropped
+
+    # -- counters ----------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        for node in self.nodes.values():
+            node.counters.reset()
+
+    def total_counters(self) -> NodeCounters:
+        total = NodeCounters()
+        for node in self.nodes.values():
+            total.add(node.counters)
+        return total
+
+    def counters_per_node(self) -> Dict[int, NodeCounters]:
+        return {node_id: node.counters for node_id, node in self.nodes.items()}
+
+    def max_node_counters(self) -> NodeCounters:
+        """Counters of the busiest node (for max-per-stage cost models)."""
+        busiest = NodeCounters()
+        best = -1.0
+        for node in self.nodes.values():
+            weight = node.counters.gets + node.counters.values_read
+            if weight > best:
+                best = weight
+                busiest = node.counters
+        return busiest
+
+    def size_bytes(self) -> int:
+        return sum(node.store.size_bytes() for node in self.nodes.values())
+
+    def __repr__(self) -> str:
+        return f"KVCluster(nodes={self.num_nodes})"

@@ -1,0 +1,162 @@
+"""Binary codec for keys, rows and blocks stored in the KV substrate.
+
+The storage nodes hold *bytes*, like a real KV store. The codec is a small
+self-describing format:
+
+* value: 1 type tag byte followed by the payload
+  (``N`` null, ``I`` int64, ``F`` float64, ``S`` length-prefixed UTF-8,
+  ``B`` bool).
+* row: varint field count, then each value.
+* block payload: varint entry count, then per entry a varint multiplicity
+  count followed by the row.
+
+Keys additionally have an order-preserving encoding (:func:`encode_key`)
+so that ``next()`` iteration over the memstore visits keys in tuple order,
+which real wide-column stores (HBase, Cassandra partitioners) rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import CodecError
+from repro.relational.types import Row
+
+_TAG_NULL = b"N"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_BOOL = b"B"
+
+_F64 = struct.Struct(">d")
+_I64 = struct.Struct(">q")
+
+
+def _write_varint(out: List[bytes], n: int) -> None:
+    if n < 0:
+        raise CodecError(f"varint must be non-negative, got {n}")
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[pos]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one relational value to bytes."""
+    if value is None:
+        return _TAG_NULL
+    if isinstance(value, bool):
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return _TAG_INT + _I64.pack(value)
+    if isinstance(value, float):
+        return _TAG_FLOAT + _F64.pack(value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        out: List[bytes] = [_TAG_STR]
+        _write_varint(out, len(payload))
+        out.append(payload)
+        return b"".join(out)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes, pos: int) -> Tuple[object, int]:
+    """Decode one value starting at ``pos``; return (value, new position)."""
+    try:
+        tag = data[pos:pos + 1]
+    except IndexError:
+        raise CodecError("truncated value") from None
+    pos += 1
+    if tag == _TAG_NULL:
+        return None, pos
+    if tag == _TAG_BOOL:
+        return data[pos] != 0, pos + 1
+    if tag == _TAG_INT:
+        return _I64.unpack_from(data, pos)[0], pos + 8
+    if tag == _TAG_FLOAT:
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _read_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated string payload")
+        return data[pos:end].decode("utf-8"), end
+    raise CodecError(f"unknown type tag: {tag!r}")
+
+
+def encode_row(row: Row) -> bytes:
+    """Encode a tuple of values."""
+    out: List[bytes] = []
+    _write_varint(out, len(row))
+    head = b"".join(out)
+    return head + b"".join(encode_value(v) for v in row)
+
+
+def decode_row(data: bytes, pos: int = 0) -> Tuple[Row, int]:
+    count, pos = _read_varint(data, pos)
+    values = []
+    for _ in range(count):
+        value, pos = decode_value(data, pos)
+        values.append(value)
+    return tuple(values), pos
+
+
+def encode_entries(entries: Sequence[Tuple[Row, int]]) -> bytes:
+    """Encode block entries ``[(row, multiplicity), ...]``."""
+    out: List[bytes] = []
+    _write_varint(out, len(entries))
+    parts = [b"".join(out)]
+    for row, count in entries:
+        head: List[bytes] = []
+        _write_varint(head, count)
+        parts.append(b"".join(head))
+        parts.append(encode_row(row))
+    return b"".join(parts)
+
+
+def decode_entries(data: bytes, pos: int = 0) -> Tuple[List[Tuple[Row, int]], int]:
+    n_entries, pos = _read_varint(data, pos)
+    entries: List[Tuple[Row, int]] = []
+    for _ in range(n_entries):
+        count, pos = _read_varint(data, pos)
+        row, pos = decode_row(data, pos)
+        entries.append((row, count))
+    return entries, pos
+
+
+# --- key encoding -------------------------------------------------------
+#
+# Keys reuse the self-describing row encoding. Iteration over a memstore
+# sorts raw key bytes, which gives a deterministic (if not semantic) scan
+# order — all that get/next() contracts of §3 require.
+
+
+def encode_key(key: Row) -> bytes:
+    """Encode a key tuple to bytes (unambiguous, deterministic)."""
+    return encode_row(key)
+
+
+def decode_key(data: bytes) -> Row:
+    """Decode a key produced by :func:`encode_key`."""
+    row, _ = decode_row(data, 0)
+    return row

@@ -1,0 +1,65 @@
+"""Consistent hashing ring used by the DHT to place keys on storage nodes.
+
+KV systems shard data over nodes with a distributed hash table (§3). We use
+classic consistent hashing with virtual nodes so that adding a storage node
+(the horizontal-scalability experiment, Exp-4) only moves ~1/n of the keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+
+def _hash64(data: bytes) -> int:
+    return int.from_bytes(hashlib.md5(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping byte keys to node ids."""
+
+    def __init__(self, node_ids: Sequence[int] = (), replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self._replicas = replicas
+        self._ring: List[Tuple[int, int]] = []  # (hash point, node id)
+        self._points: List[int] = []
+        self._nodes: Dict[int, bool] = {}
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already on the ring")
+        self._nodes[node_id] = True
+        for replica in range(self._replicas):
+            point = _hash64(f"node:{node_id}:{replica}".encode())
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._ring.insert(index, (point, node_id))
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id} not on the ring")
+        del self._nodes[node_id]
+        kept = [(p, n) for (p, n) in self._ring if n != node_id]
+        self._ring = kept
+        self._points = [p for p, _ in kept]
+
+    def node_for(self, key: bytes) -> int:
+        """Return the node id owning ``key``."""
+        if not self._ring:
+            raise ValueError("hash ring is empty")
+        point = _hash64(key)
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._ring[index][1]

@@ -1,0 +1,233 @@
+"""An LSM-tree storage engine — the write path of HBase/Cassandra.
+
+The paper's substrates (HBase, Cassandra) are log-structured merge
+stores; §2 discusses LSM-based NoSQL explicitly. This engine implements
+the classic shape behind them:
+
+* a mutable **memtable** absorbing writes;
+* immutable sorted **runs** (SSTable stand-ins) produced by flushing the
+  memtable when it exceeds a threshold;
+* per-run **Bloom filters** so point reads skip runs that cannot contain
+  the key;
+* **tombstones** for deletes, dropped at the bottom level;
+* size-tiered **compaction** merging runs when too many accumulate.
+
+It is interface-compatible with :class:`repro.kv.memstore.MemStore`, so a
+:class:`repro.kv.cluster.KVCluster` can be built on either engine
+(``KVCluster(engine="lsm")``); every correctness test and benchmark runs
+unchanged on top. Read/write amplification counters expose the LSM
+trade-off that motivates the backends' cost profiles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_TOMBSTONE = object()
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte keys."""
+
+    __slots__ = ("_bits", "_size", "_hashes")
+
+    def __init__(self, expected: int, bits_per_key: int = 10,
+                 hashes: int = 4) -> None:
+        self._size = max(64, expected * bits_per_key)
+        self._bits = bytearray((self._size + 7) // 8)
+        self._hashes = hashes
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        digest = hashlib.md5(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for i in range(self._hashes):
+            yield (h1 + i * h2) % self._size
+
+    def add(self, key: bytes) -> None:
+        for position in self._positions(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+
+    def might_contain(self, key: bytes) -> bool:
+        return all(
+            self._bits[p >> 3] & (1 << (p & 7)) for p in self._positions(key)
+        )
+
+
+class _Run:
+    """An immutable sorted run of (key, value-or-tombstone) pairs."""
+
+    __slots__ = ("keys", "values", "bloom")
+
+    def __init__(self, items: List[Tuple[bytes, object]]) -> None:
+        self.keys = [k for k, _ in items]
+        self.values = [v for _, v in items]
+        self.bloom = BloomFilter(len(items) or 1)
+        for key in self.keys:
+            self.bloom.add(key)
+
+    def get(self, key: bytes):
+        """Return the stored value, _TOMBSTONE, or None when absent."""
+        index = bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            return self.values[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass
+class LSMStats:
+    """Amplification counters of the engine."""
+
+    flushes: int = 0
+    compactions: int = 0
+    runs_probed: int = 0
+    bloom_skips: int = 0
+    entries_rewritten: int = 0
+
+
+class LSMStore:
+    """A single-node LSM KV store, interface-compatible with MemStore."""
+
+    def __init__(
+        self,
+        memtable_limit: int = 256,
+        max_runs: int = 4,
+    ) -> None:
+        if memtable_limit <= 0:
+            raise ValueError("memtable_limit must be positive")
+        self._memtable: Dict[bytes, object] = {}
+        self._runs: List[_Run] = []  # newest first
+        self._memtable_limit = memtable_limit
+        self._max_runs = max_runs
+        self._live_count = 0
+        self.stats = LSMStats()
+
+    # -- write path ---------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        existed = self._contains_live(key)
+        self._memtable[key] = value
+        if not existed:
+            self._live_count += 1
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> bool:
+        existed = self._contains_live(key)
+        if existed:
+            self._memtable[key] = _TOMBSTONE
+            self._live_count -= 1
+            self._maybe_flush()
+        return existed
+
+    def _maybe_flush(self) -> None:
+        if len(self._memtable) < self._memtable_limit:
+            return
+        items = sorted(self._memtable.items())
+        self._runs.insert(0, _Run(items))
+        self._memtable.clear()
+        self.stats.flushes += 1
+        if len(self._runs) > self._max_runs:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Size-tiered compaction: merge all runs into one, newest wins;
+        tombstones are dropped (this is the bottom level)."""
+        merged: Dict[bytes, object] = {}
+        for run in reversed(self._runs):  # oldest first, newest overwrites
+            for key, value in zip(run.keys, run.values):
+                merged[key] = value
+                self.stats.entries_rewritten += 1
+        survivors = sorted(
+            (k, v) for k, v in merged.items() if v is not _TOMBSTONE
+        )
+        self._runs = [_Run(survivors)] if survivors else []
+        self.stats.compactions += 1
+
+    # -- read path ------------------------------------------------------------
+
+    def _lookup(self, key: bytes):
+        if key in self._memtable:
+            return self._memtable[key]
+        for run in self._runs:
+            if not run.bloom.might_contain(key):
+                self.stats.bloom_skips += 1
+                continue
+            self.stats.runs_probed += 1
+            value = run.get(key)
+            if value is not None:
+                return value
+        return None
+
+    def _contains_live(self, key: bytes) -> bool:
+        value = self._lookup(key)
+        return value is not None and value is not _TOMBSTONE
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._lookup(key)
+        if value is None or value is _TOMBSTONE:
+            return None
+        return value  # type: ignore[return-value]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._contains_live(key)
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    # -- iteration --------------------------------------------------------------
+
+    def keys(self) -> List[bytes]:
+        """All live keys in sorted order (merging memtable and runs)."""
+        seen: Dict[bytes, object] = {}
+        for run in reversed(self._runs):
+            for key, value in zip(run.keys, run.values):
+                seen[key] = value
+        seen.update(self._memtable)
+        return sorted(k for k, v in seen.items() if v is not _TOMBSTONE)
+
+    def next_key(self, after: Optional[bytes] = None) -> Optional[bytes]:
+        keys = self.keys()
+        if not keys:
+            return None
+        if after is None:
+            return keys[0]
+        index = bisect_left(keys, after)
+        if index < len(keys) and keys[index] == after:
+            index += 1
+        return keys[index] if index < len(keys) else None
+
+    def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        for key in self.keys():
+            if key.startswith(prefix):
+                value = self.get(key)
+                if value is not None:
+                    yield key, value
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        total = 0
+        for key in self.keys():
+            value = self.get(key)
+            if value is not None:
+                total += len(key) + len(value)
+        return total
+
+    def clear(self) -> None:
+        self._memtable.clear()
+        self._runs = []
+        self._live_count = 0
+
+    @property
+    def num_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)

@@ -1,0 +1,99 @@
+"""A single-node byte-oriented KV store with get / put / delete / next.
+
+This models the per-node storage engine of a KV system (§3): a dictionary
+of byte keys to byte values, plus an iterator ``next()`` that walks keys in
+deterministic (sorted raw-byte) order, which is how table scans are driven
+in SQL-over-NoSQL systems ("invoking get operations with keys extracted
+via next()").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class MemStore:
+    """An in-memory KV store for one storage node.
+
+    Keys and values are ``bytes``. Key iteration is in sorted byte order and
+    is computed lazily: the sorted key list is invalidated on writes and
+    rebuilt on demand, which keeps bulk loading O(n) and scans O(n log n)
+    once per write epoch.
+    """
+
+    __slots__ = ("_data", "_sorted_keys", "_dirty")
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, bytes] = {}
+        self._sorted_keys: List[bytes] = []
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` if absent."""
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if key not in self._data:
+            self._dirty = True
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> bool:
+        """Delete ``key``; return True if it was present."""
+        if key in self._data:
+            del self._data[key]
+            self._dirty = True
+            return True
+        return False
+
+    def _refresh(self) -> None:
+        if self._dirty or len(self._sorted_keys) != len(self._data):
+            self._sorted_keys = sorted(self._data)
+            self._dirty = False
+
+    def keys(self) -> List[bytes]:
+        """All keys in sorted byte order."""
+        self._refresh()
+        return list(self._sorted_keys)
+
+    def next_key(self, after: Optional[bytes] = None) -> Optional[bytes]:
+        """The ``next()`` primitive of §3: iterate keys in order.
+
+        ``after=None`` returns the first key; otherwise the smallest key
+        strictly greater than ``after``; ``None`` when exhausted.
+        """
+        self._refresh()
+        keys = self._sorted_keys
+        if not keys:
+            return None
+        if after is None:
+            return keys[0]
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] <= after:
+                lo = mid + 1
+            else:
+                hi = mid
+        return keys[lo] if lo < len(keys) else None
+
+    def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        """Yield (key, value) pairs with the given key prefix, in order."""
+        self._refresh()
+        for key in self._sorted_keys:
+            if key.startswith(prefix):
+                yield key, self._data[key]
+
+    def size_bytes(self) -> int:
+        """Total stored payload size (keys + values)."""
+        return sum(len(k) + len(v) for k, v in self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sorted_keys = []
+        self._dirty = False

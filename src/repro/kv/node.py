@@ -1,0 +1,107 @@
+"""A storage node: a memstore plus I/O counters.
+
+Counters are the raw material of the evaluation metrics (#get, #data,
+comm): every get/put/scan on a node is tallied here and later folded into
+:class:`repro.parallel.metrics.ExecutionMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.kv.lsm import LSMStore
+from repro.kv.memstore import MemStore
+
+
+@dataclass
+class NodeCounters:
+    """Cumulative I/O counters of one storage node."""
+
+    gets: int = 0
+    hits: int = 0
+    puts: int = 0
+    deletes: int = 0
+    values_read: int = 0
+    values_written: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+    def reset(self) -> None:
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.deletes = 0
+        self.values_read = 0
+        self.values_written = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+
+    def add(self, other: "NodeCounters") -> None:
+        self.gets += other.gets
+        self.hits += other.hits
+        self.puts += other.puts
+        self.deletes += other.deletes
+        self.values_read += other.values_read
+        self.values_written += other.values_written
+        self.bytes_out += other.bytes_out
+        self.bytes_in += other.bytes_in
+
+
+class StorageNode:
+    """One node of the KV cluster.
+
+    ``engine`` selects the per-node storage engine: ``"mem"`` (sorted
+    in-memory map, the default) or ``"lsm"`` (log-structured merge tree,
+    the HBase/Cassandra write path — see :mod:`repro.kv.lsm`).
+    """
+
+    __slots__ = ("node_id", "store", "counters")
+
+    def __init__(self, node_id: int, engine: str = "mem") -> None:
+        self.node_id = node_id
+        if engine == "mem":
+            self.store = MemStore()
+        elif engine == "lsm":
+            self.store = LSMStore()
+        else:
+            raise ValueError(f"unknown storage engine {engine!r}")
+        self.counters = NodeCounters()
+
+    def get(self, key: bytes, n_values: int = 1) -> Optional[bytes]:
+        """Serve a get; ``n_values`` is the logical value count returned.
+
+        Callers that know the decoded payload size (e.g. a block of 40
+        tuples x 3 attributes) pass it so ``values_read`` counts logical
+        values, the paper's ``#data`` unit.
+        """
+        value = self.store.get(key)
+        self.counters.gets += 1
+        if value is not None:
+            self.counters.hits += 1
+            self.counters.values_read += n_values
+            self.counters.bytes_out += len(value)
+        return value
+
+    def put(self, key: bytes, value: bytes, n_values: int = 1) -> None:
+        self.store.put(key, value)
+        self.counters.puts += 1
+        self.counters.values_written += n_values
+        self.counters.bytes_in += len(value)
+
+    def delete(self, key: bytes) -> bool:
+        removed = self.store.delete(key)
+        if removed:
+            self.counters.deletes += 1
+        return removed
+
+    def peek(self, key: bytes) -> Optional[bytes]:
+        """Read without counting (used for read-modify-write bookkeeping)."""
+        return self.store.get(key)
+
+    def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        """Uncounted raw iteration; cluster-level scans do the counting."""
+        return self.store.scan(prefix)
+
+    def __repr__(self) -> str:
+        return f"StorageNode(id={self.node_id}, keys={len(self.store)})"

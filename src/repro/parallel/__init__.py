@@ -1,0 +1,26 @@
+"""Parallel evaluation (M3): cost model, metrics and the two engines."""
+
+from repro.parallel.costmodel import CostModel
+from repro.parallel.engine import BaselineEngine, ZidianEngine
+from repro.parallel.metrics import ExecutionMetrics, StageCost, mean_metrics
+from repro.parallel.partitioner import (
+    blockset_skew,
+    partition_blockset,
+    partition_keys,
+    partition_rows,
+    skew_factor,
+)
+
+__all__ = [
+    "BaselineEngine",
+    "CostModel",
+    "ExecutionMetrics",
+    "StageCost",
+    "ZidianEngine",
+    "blockset_skew",
+    "partition_blockset",
+    "partition_keys",
+    "partition_rows",
+    "skew_factor",
+    "mean_metrics",
+]

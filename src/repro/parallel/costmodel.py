@@ -1,0 +1,93 @@
+"""The parallel cost model (§7).
+
+Plans run operator by operator ("stages"); within a stage, storage work is
+spread over the storage nodes, computation and network transfer over the
+``p`` workers of the SQL layer. Simulated stage time is
+
+    storage service + network transfer + per-worker compute + overhead
+
+and simulated query time is the sum over stages plus the job start-up
+overhead of the backend stack. This realizes the paper's
+``T_par = T_comm + T_comp`` with the non-skew assumption of §7.2 (work
+divides evenly by ``p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kv.backends import BackendProfile
+from repro.parallel.metrics import StageCost
+
+
+@dataclass
+class CostModel:
+    """Converts counted work into simulated milliseconds."""
+
+    profile: BackendProfile
+    workers: int
+    storage_nodes: int
+
+    def job_overhead(self) -> StageCost:
+        return StageCost("job-overhead", time_ms=self.profile.job_overhead_ms)
+
+    def fetch_stage(
+        self,
+        name: str,
+        gets: int,
+        values: int,
+        bytes_out: int,
+        repartition_bytes: int = 0,
+    ) -> StageCost:
+        """A stage that reads from the storage layer.
+
+        ``repartition_bytes`` is intermediate data shuffled to align with
+        the storage partitioning first (the interleaved ∝ of §7.2).
+        """
+        profile = self.profile
+        storage = profile.get_cost_ms(gets, values) / max(1, self.storage_nodes)
+        links = max(1, min(self.workers, self.storage_nodes))
+        transfer = profile.transfer_ms(bytes_out, links=links)
+        shuffle = profile.transfer_ms(repartition_bytes, links=self.workers)
+        compute = profile.compute_ms(values) / max(1, self.workers)
+        return StageCost(
+            name,
+            time_ms=storage + transfer + shuffle + compute
+            + profile.stage_overhead_ms,
+            comm_bytes=bytes_out + repartition_bytes,
+            gets=gets,
+            values=values,
+        )
+
+    def shuffle_stage(
+        self, name: str, shuffle_bytes: int, values: int
+    ) -> StageCost:
+        """A stage that repartitions data among workers, then computes."""
+        profile = self.profile
+        transfer = profile.transfer_ms(shuffle_bytes, links=self.workers)
+        compute = profile.compute_ms(values) / max(1, self.workers)
+        return StageCost(
+            name,
+            time_ms=transfer + compute + profile.stage_overhead_ms,
+            comm_bytes=shuffle_bytes,
+            values=0,
+        )
+
+    def compute_stage(self, name: str, values: int) -> StageCost:
+        """A purely local stage (selection, projection on partitions)."""
+        profile = self.profile
+        compute = profile.compute_ms(values) / max(1, self.workers)
+        return StageCost(name, time_ms=compute, values=0)
+
+    def write_stage(
+        self, name: str, puts: int, values: int, bytes_in: int
+    ) -> StageCost:
+        profile = self.profile
+        storage = profile.put_cost_ms(puts, values) / max(1, self.storage_nodes)
+        links = max(1, min(self.workers, self.storage_nodes))
+        transfer = profile.transfer_ms(bytes_in, links=links)
+        return StageCost(
+            name,
+            time_ms=storage + transfer,
+            comm_bytes=bytes_in,
+        )

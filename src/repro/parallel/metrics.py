@@ -1,0 +1,102 @@
+"""Execution metrics: the quantities the paper's evaluation reports.
+
+``time`` (simulated ms), ``#data`` (values accessed), ``#get`` (get
+invocations) and ``comm`` (bytes shipped) — exactly the columns of
+Table 2 — plus a per-stage breakdown for debugging and the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StageCost:
+    """Cost of one plan stage (operator) in the parallel model.
+
+    ``skew`` is the observed max/mean partition ratio of the stage's
+    shuffle (1.0 = the even split §7.2 assumes; the cost model divides
+    evenly per the paper, so skew is recorded, not priced).
+    """
+
+    name: str
+    time_ms: float = 0.0
+    comm_bytes: int = 0
+    gets: int = 0
+    values: int = 0
+    skew: float = 1.0
+
+    def __str__(self) -> str:
+        out = (
+            f"{self.name}: {self.time_ms:.2f}ms, comm={self.comm_bytes}B, "
+            f"gets={self.gets}, values={self.values}"
+        )
+        if self.skew > 1.001:
+            out += f", skew={self.skew:.2f}"
+        return out
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated metrics of one query execution."""
+
+    sim_time_ms: float = 0.0
+    wall_time_ms: float = 0.0
+    n_get: int = 0
+    n_put: int = 0
+    data_values: int = 0
+    comm_bytes: int = 0
+    stages: List[StageCost] = field(default_factory=list)
+    workers: int = 1
+    storage_nodes: int = 1
+    backend: str = ""
+
+    def add_stage(self, stage: StageCost) -> None:
+        self.stages.append(stage)
+        self.sim_time_ms += stage.time_ms
+        self.comm_bytes += stage.comm_bytes
+        self.n_get += stage.gets
+        self.data_values += stage.values
+
+    @property
+    def sim_time_s(self) -> float:
+        return self.sim_time_ms / 1000.0
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        self.sim_time_ms += other.sim_time_ms
+        self.wall_time_ms += other.wall_time_ms
+        self.n_get += other.n_get
+        self.n_put += other.n_put
+        self.data_values += other.data_values
+        self.comm_bytes += other.comm_bytes
+        self.stages.extend(other.stages)
+
+    def summary(self) -> str:
+        return (
+            f"time={self.sim_time_s:.3f}s #get={self.n_get} "
+            f"#data={self.data_values} comm={self.comm_bytes / 1e6:.3f}MB "
+            f"(wall={self.wall_time_ms:.1f}ms, p={self.workers})"
+        )
+
+    def breakdown(self) -> str:
+        return "\n".join(str(s) for s in self.stages)
+
+
+def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
+    """Element-wise mean, for averaging over a query set."""
+    if not metrics:
+        return ExecutionMetrics()
+    out = ExecutionMetrics(
+        workers=metrics[0].workers,
+        storage_nodes=metrics[0].storage_nodes,
+        backend=metrics[0].backend,
+    )
+    n = len(metrics)
+    out.sim_time_ms = sum(m.sim_time_ms for m in metrics) / n
+    out.wall_time_ms = sum(m.wall_time_ms for m in metrics) / n
+    out.n_get = sum(m.n_get for m in metrics) // n
+    out.n_put = sum(m.n_put for m in metrics) // n
+    out.data_values = sum(m.data_values for m in metrics) // n
+    out.comm_bytes = sum(m.comm_bytes for m in metrics) // n
+    return out

@@ -1,0 +1,23 @@
+"""Relational substrate: types, schemas, relations and databases."""
+
+from repro.relational.compare import bag_diff, bag_equal, rows_bag_equal
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.types import AttrType, Row, Value, row_size, value_size
+
+__all__ = [
+    "AttrType",
+    "bag_diff",
+    "bag_equal",
+    "rows_bag_equal",
+    "Attribute",
+    "Database",
+    "DatabaseSchema",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "Value",
+    "row_size",
+    "value_size",
+]

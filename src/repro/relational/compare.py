@@ -1,0 +1,53 @@
+"""Bag comparison of query results with float tolerance.
+
+Different execution strategies sum floats in different orders (storage
+scan order vs block order), so exact equality of aggregates fails by an
+epsilon. Results are normalized to 10 significant digits before the bag
+comparison — tight enough to catch real bugs, loose enough to absorb
+re-association error.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.relational.relation import Relation
+from repro.relational.types import Row
+
+
+def normalize_value(value: object) -> object:
+    if isinstance(value, float):
+        return float(f"{value:.10g}")
+    return value
+
+
+def normalize_row(row: Row) -> Row:
+    return tuple(normalize_value(v) for v in row)
+
+
+def normalized_bag(rows: Iterable[Row]) -> Counter:
+    return Counter(normalize_row(r) for r in rows)
+
+
+def rows_bag_equal(a: Iterable[Row], b: Iterable[Row]) -> bool:
+    return normalized_bag(a) == normalized_bag(b)
+
+
+def bag_equal(a: Relation, b: Relation, check_names: bool = True) -> bool:
+    """Bag equality of two relations up to float re-association error."""
+    if check_names and a.schema.attribute_names != b.schema.attribute_names:
+        return False
+    return rows_bag_equal(a.rows, b.rows)
+
+
+def bag_diff(a: Relation, b: Relation, limit: int = 5) -> str:
+    """Human-readable diff of two result bags (for test failures)."""
+    bag_a = normalized_bag(a.rows)
+    bag_b = normalized_bag(b.rows)
+    only_a = list((bag_a - bag_b).elements())[:limit]
+    only_b = list((bag_b - bag_a).elements())[:limit]
+    return (
+        f"rows only in left ({len(bag_a - bag_b)}): {only_a}\n"
+        f"rows only in right ({len(bag_b - bag_a)}): {only_b}"
+    )

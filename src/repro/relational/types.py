@@ -1,0 +1,111 @@
+"""Attribute types and a size model for relational values.
+
+The library needs a size model because the paper's evaluation reports the
+*amount of data accessed* (``#data``) and the *bytes shipped* (``comm``).
+We count values during execution and convert them to bytes with
+:func:`value_size`, which approximates an on-the-wire encoding: fixed eight
+bytes for numerics, length plus a small header for strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple
+
+from repro.errors import TypeMismatchError
+
+Value = Any
+Row = Tuple[Value, ...]
+
+
+class AttrType(enum.Enum):
+    """Supported attribute types.
+
+    Dates are represented as ISO ``YYYY-MM-DD`` strings so lexicographic
+    comparison coincides with chronological order; this mirrors how the
+    simplified TPC-H queries compare date literals.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"
+    BOOL = "bool"
+
+    @property
+    def python_type(self) -> type:
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Value) -> None:
+        """Raise :class:`TypeMismatchError` if ``value`` has the wrong type.
+
+        ``None`` is accepted for every type (SQL NULL).
+        """
+        if value is None:
+            return
+        expected = _PYTHON_TYPES[self]
+        if expected is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TypeMismatchError(
+                    f"expected numeric for {self.name}, got {value!r}"
+                )
+            return
+        if expected is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeMismatchError(
+                    f"expected int for {self.name}, got {value!r}"
+                )
+            return
+        if not isinstance(value, expected):
+            raise TypeMismatchError(
+                f"expected {expected.__name__} for {self.name}, got {value!r}"
+            )
+
+
+_PYTHON_TYPES = {
+    AttrType.INT: int,
+    AttrType.FLOAT: float,
+    AttrType.STR: str,
+    AttrType.DATE: str,
+    AttrType.BOOL: bool,
+}
+
+_STRING_HEADER_BYTES = 4
+_NUMERIC_BYTES = 8
+_BOOL_BYTES = 1
+_NULL_BYTES = 1
+
+
+def value_size(value: Value) -> int:
+    """Return the modeled size in bytes of a single relational value."""
+    if value is None:
+        return _NULL_BYTES
+    if isinstance(value, bool):
+        return _BOOL_BYTES
+    if isinstance(value, (int, float)):
+        return _NUMERIC_BYTES
+    if isinstance(value, str):
+        return _STRING_HEADER_BYTES + len(value)
+    if isinstance(value, bytes):
+        return _STRING_HEADER_BYTES + len(value)
+    raise TypeMismatchError(f"unsupported value type: {type(value).__name__}")
+
+
+def row_size(row: Row) -> int:
+    """Return the modeled size in bytes of a tuple of values."""
+    return sum(value_size(v) for v in row)
+
+
+def infer_type(value: Value) -> Optional[AttrType]:
+    """Infer the :class:`AttrType` of a Python value, or ``None`` for NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return AttrType.BOOL
+    if isinstance(value, int):
+        return AttrType.INT
+    if isinstance(value, float):
+        return AttrType.FLOAT
+    if isinstance(value, str):
+        return AttrType.STR
+    raise TypeMismatchError(f"cannot infer type of {value!r}")

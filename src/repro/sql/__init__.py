@@ -1,0 +1,33 @@
+"""SQL front-end: lexer, parser, AST, planner, algebra and executor."""
+
+from repro.sql.ast import SelectStmt
+from repro.sql.executor import execute, run
+from repro.sql.minimize import minimize
+from repro.sql.parser import parse
+from repro.sql.planner import (
+    BoundCompound,
+    BoundQuery,
+    bind,
+    bind_any,
+    build_plan,
+    build_plan_any,
+    plan_sql,
+)
+from repro.sql.spc import SPCAnalysis, analyze
+
+__all__ = [
+    "BoundCompound",
+    "BoundQuery",
+    "SPCAnalysis",
+    "SelectStmt",
+    "analyze",
+    "bind",
+    "bind_any",
+    "build_plan",
+    "build_plan_any",
+    "execute",
+    "minimize",
+    "parse",
+    "plan_sql",
+    "run",
+]

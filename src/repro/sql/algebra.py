@@ -1,0 +1,272 @@
+"""Logical relational-algebra plan nodes (RAaggr, §5.2).
+
+A plan is a tree of :class:`PlanNode`. Every node knows its output
+attribute names: qualified ``alias.attr`` strings below the first
+projection/aggregation, plain output names above it. Plans are executed by
+:mod:`repro.sql.executor` (reference, in-memory) and translated by Zidian
+into KBA plans (:mod:`repro.core.plangen`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.sql import ast
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    output: Tuple[str, ...] = ()
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self._label()}"]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Leaf: scan relation ``relation`` under alias ``alias``."""
+
+    relation: str
+    alias: str
+    output: Tuple[str, ...] = ()
+
+    def _label(self) -> str:
+        return f"Scan({self.relation} AS {self.alias})"
+
+
+@dataclass
+class SelectNode(PlanNode):
+    """σ: filter rows by a predicate."""
+
+    child: PlanNode
+    predicate: ast.Expr
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.output:
+            self.output = self.child.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Select({self.predicate})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """π with computation: items are (output name, expression)."""
+
+    child: PlanNode
+    items: List[Tuple[str, ast.Expr]]
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = tuple(name for name, _ in self.items)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        inner = ", ".join(f"{e} AS {n}" for n, e in self.items)
+        return f"Project({inner})"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Equi-join with an optional residual predicate."""
+
+    left: PlanNode
+    right: PlanNode
+    equi: List[Tuple[str, str]]  # (left attr, right attr) pairs
+    residual: Optional[ast.Expr] = None
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = tuple(self.left.output) + tuple(self.right.output)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def _label(self) -> str:
+        conds = " AND ".join(f"{l} = {r}" for l, r in self.equi) or "TRUE"
+        if self.residual is not None:
+            conds += f" AND {self.residual}"
+        return f"Join({conds})"
+
+
+@dataclass
+class CrossNode(PlanNode):
+    """Cartesian product (joins with no equi condition)."""
+
+    left: PlanNode
+    right: PlanNode
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = tuple(self.left.output) + tuple(self.right.output)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class AggSpec:
+    """One aggregate of a group-by: output name, function, argument."""
+
+    name: str
+    func: str
+    arg: Optional[ast.Expr]  # None for COUNT(*)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner}) AS {self.name}"
+
+
+@dataclass
+class GroupByNode(PlanNode):
+    """group_by(Q, X, agg1(V1), ..., aggm(Vm)) of RAaggr (§5.2).
+
+    ``keys`` are input attribute names; ``key_names`` their output names.
+    """
+
+    child: PlanNode
+    keys: List[str]
+    key_names: List[str]
+    aggs: List[AggSpec]
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.key_names):
+            raise PlanError("keys and key_names must align")
+        self.output = tuple(self.key_names) + tuple(a.name for a in self.aggs)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggs)
+        return f"GroupBy([{', '.join(self.keys)}]; {aggs})"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    child: PlanNode
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class OrderByNode(PlanNode):
+    child: PlanNode
+    keys: List[Tuple[ast.Expr, bool]]  # (expression over output, ascending)
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        keys = ", ".join(
+            f"{e} {'ASC' if asc else 'DESC'}" for e, asc in self.keys
+        )
+        return f"OrderBy({keys})"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: int
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Limit({self.limit})"
+
+
+@dataclass
+class UnionNode(PlanNode):
+    """Bag union (UNION ALL)."""
+
+    left: PlanNode
+    right: PlanNode
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.left.output) != len(self.right.output):
+            raise PlanError("UNION operands must have equal arity")
+        self.output = self.left.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class DifferenceNode(PlanNode):
+    """Bag difference (EXCEPT ALL)."""
+
+    left: PlanNode
+    right: PlanNode
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.left.output) != len(self.right.output):
+            raise PlanError("EXCEPT operands must have equal arity")
+        self.output = self.left.output
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class TableNode(PlanNode):
+    """Leaf wrapping a pre-computed table (Zidian's KBA core substitution).
+
+    ``table`` is a :class:`repro.sql.executor.Table`; typed loosely here to
+    avoid a circular import.
+    """
+
+    table: object
+    output: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.output = tuple(self.table.attrs)
+
+    def _label(self) -> str:
+        return f"Table({len(self.output)} cols)"
+
+
+def leaves(plan: PlanNode) -> List[ScanNode]:
+    """All scan leaves of a plan, left to right."""
+    if isinstance(plan, ScanNode):
+        return [plan]
+    out: List[ScanNode] = []
+    for child in plan.children():
+        out.extend(leaves(child))
+    return out

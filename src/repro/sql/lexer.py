@@ -1,0 +1,129 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "LIMIT", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE",
+    "UNION", "EXCEPT", "ALL",
+    "ASC", "DESC", "JOIN", "INNER", "ON", "IS", "NULL", "TRUE", "FALSE",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+PUNCT = {
+    "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
+    "/", ".",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value in symbols
+
+    def __str__(self) -> str:
+        return f"{self.value}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        two = text[i:i + 2]
+        if two in PUNCT:
+            symbol = "<>" if two == "!=" else two
+            tokens.append(Token(TokenType.PUNCT, symbol, i))
+            i += 2
+            continue
+        if ch in PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens
+
+
+def _read_string(text: str, i: int) -> tuple:
+    # i points at the opening quote
+    out: List[str] = []
+    i += 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", i)
+
+
+def _read_number(text: str, i: int) -> tuple:
+    start = i
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # a trailing dot followed by non-digit belongs to punctuation
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    value = float(raw) if "." in raw else int(raw)
+    return value, i

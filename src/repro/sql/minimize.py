@@ -1,0 +1,151 @@
+"""SPC query minimization (``min(Q)`` of §5.2).
+
+Conditions (II) and (III) of the paper are stated over the minimal
+equivalent query. We implement the classic fold-based minimization of
+conjunctive queries: repeatedly remove an atom ``a`` when mapping ``a`` to
+another atom of the same relation (identity elsewhere) is a homomorphism
+that fixes distinguished terms and constants. Single-atom folds applied to
+a fixpoint compute the retract for the query shapes in our workloads
+(self-join redundancy à la Example 5); the procedure is always *sound* —
+it only removes genuinely redundant atoms — which is what the downstream
+decision procedures need to stay correct.
+
+Atoms carrying non-CQ predicates (ranges, LIKE, IN, disjunctions) are
+frozen: their attributes are registered as residuals by the SPC analysis,
+which anchors their terms and blocks both their removal and folds onto
+atoms with different residual structure (a conservative, sound choice).
+
+Queries whose WHERE clause is not purely conjunctive are returned as-is
+(``minimize`` is the identity), again conservative and sound.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set
+
+from repro.sql.spc import SPCAnalysis, Term, _NO_CONST
+
+
+def minimize(analysis: SPCAnalysis) -> SPCAnalysis:
+    """Return the minimized SPC structure (a new object; input unchanged)."""
+    if not analysis.conjunctive or analysis.unsatisfiable:
+        return analysis
+    minimized = _clone(analysis)
+    changed = True
+    while changed:
+        changed = False
+        for alias in sorted(minimized.atoms):
+            target = _fold_target(minimized, alias)
+            if target is not None:
+                _remove_atom(minimized, alias)
+                changed = True
+                break
+    return minimized
+
+
+def _clone(analysis: SPCAnalysis) -> SPCAnalysis:
+    clone = object.__new__(SPCAnalysis)
+    clone.bound = analysis.bound
+    clone.atoms = dict(analysis.atoms)
+    clone.terms = [
+        Term(t.term_id, set(t.attrs), t.constant, t.in_values)
+        for t in analysis.terms
+    ]
+    clone._term_of = dict(analysis._term_of)
+    clone.residuals = list(analysis.residuals)
+    clone.residual_attrs = set(analysis.residual_attrs)
+    clone.output_attrs = set(analysis.output_attrs)
+    clone.conjunctive = analysis.conjunctive
+    clone.unsatisfiable = analysis.unsatisfiable
+    return clone
+
+
+def _fold_target(cq: SPCAnalysis, alias: str) -> Optional[str]:
+    """Find an atom onto which ``alias`` folds, or None."""
+    if len(cq.atoms) <= 1:
+        return None
+    relation = cq.atoms[alias]
+    # frozen: atoms with residual predicates cannot be removed; atoms owning
+    # output attributes are kept too so that downstream X-attribute
+    # bookkeeping (Conditions II/III) stays sound — folding them would be
+    # semantically valid but would orphan the projection's references
+    prefix = alias + "."
+    if any(attr.startswith(prefix) for attr in cq.residual_attrs):
+        return None
+    if any(attr.startswith(prefix) for attr in cq.output_attrs):
+        return None
+    for candidate in sorted(cq.atoms):
+        if candidate == alias or cq.atoms[candidate] != relation:
+            continue
+        if _fold_ok(cq, alias, candidate):
+            return candidate
+    return None
+
+
+def _fold_ok(cq: SPCAnalysis, source: str, target: str) -> bool:
+    """Check that mapping atom ``source`` onto ``target`` (identity on all
+    other atoms) is a homomorphism."""
+    prefix = source + "."
+    theta: Dict[int, Optional[int]] = {}
+    mentioned = sorted(cq.attrs_of_alias(source))
+    for attr in mentioned:
+        name = attr[len(prefix):]
+        term = cq.term_of(attr)
+        assert term is not None
+        target_attr = f"{target}.{name}"
+        target_term = cq.term_of(target_attr)
+
+        if _anchored(cq, term, source):
+            # term is pinned (shared with kept atoms, output or residual):
+            # the image must be the very same term
+            if target_term is None or target_term.term_id != term.term_id:
+                return False
+            continue
+
+        if term.constant is not _NO_CONST:
+            if target_term is None or target_term.constant != term.constant:
+                return False
+            # also record for local-consistency below
+        # local existential term: all of its attributes (all on `source`)
+        # must land in one target term
+        known = theta.get(term.term_id, _UNSEEN)
+        target_id = None if target_term is None else target_term.term_id
+        if known is _UNSEEN:
+            theta[term.term_id] = target_id
+        elif known != target_id:
+            return False
+        if target_id is None and len(term.attrs) > 1:
+            # an equality among source attributes cannot map onto fresh,
+            # unconstrained target variables
+            return False
+    return True
+
+
+_UNSEEN = object()
+
+
+def _anchored(cq: SPCAnalysis, term: Term, source: str) -> bool:
+    prefix = source + "."
+    for attr in term.attrs:
+        if not attr.startswith(prefix):
+            return True
+        if attr in cq.output_attrs or attr in cq.residual_attrs:
+            return True
+    return False
+
+
+def _remove_atom(cq: SPCAnalysis, alias: str) -> None:
+    prefix = alias + "."
+    for attr in list(cq._term_of):
+        if attr.startswith(prefix):
+            term = cq.term_of(attr)
+            if term is not None:
+                term.attrs.discard(attr)
+            del cq._term_of[attr]
+    del cq.atoms[alias]
+
+
+def minimal_aliases(analysis: SPCAnalysis) -> Set[str]:
+    """Aliases surviving minimization."""
+    return set(minimize(analysis).atoms)

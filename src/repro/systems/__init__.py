@@ -1,0 +1,5 @@
+"""End-to-end systems: baselines (SoH/SoK/SoC) and Zidian deployments."""
+
+from repro.systems.sql_over_nosql import QueryResult, SQLOverNoSQL, ZidianSystem
+
+__all__ = ["QueryResult", "SQLOverNoSQL", "ZidianSystem"]

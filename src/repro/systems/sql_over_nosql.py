@@ -1,0 +1,247 @@
+"""End-to-end SQL-over-NoSQL systems (Fig. 1).
+
+:class:`SQLOverNoSQL` models the baseline stacks of the evaluation — SoH
+(SparkSQL-over-HBase), SoK (over Kudu) and SoC (over Cassandra) — via the
+backend cost profiles. :class:`ZidianSystem` deploys Zidian on top: same
+cluster, same backend, but with a BaaV store and the interleaved engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.baav.maintenance import Maintainer
+from repro.baav.schema import BaaVSchema
+from repro.baav.store import DEFAULT_SPLIT_THRESHOLD, BaaVStore
+from repro.core.middleware import QueryDecision, Zidian
+from repro.core.qcs import extract_workload_qcs
+from repro.core.t2b import design_schema
+from repro.errors import ExecutionError
+from repro.kv.backends import BackendProfile, profile as get_profile
+from repro.kv.cluster import KVCluster
+from repro.kv.taav import TaaVStore
+from repro.parallel.engine import BaselineEngine, ZidianEngine
+from repro.parallel.metrics import ExecutionMetrics
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttrType, Row
+from repro.sql.executor import Table
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.planner import bind, bind_any, build_plan, build_plan_any
+
+
+@dataclass
+class QueryResult:
+    """A query's answer plus its execution metrics."""
+
+    relation: Relation
+    metrics: ExecutionMetrics
+    decision: Optional[QueryDecision] = None
+    #: per-side decisions of a compound (UNION/EXCEPT ALL) query
+    sub_decisions: Optional[List[QueryDecision]] = None
+
+    @property
+    def rows(self) -> List[Row]:
+        return self.relation.rows
+
+
+def _to_relation(table: Table) -> Relation:
+    from repro.sql.executor import unique_names
+
+    schema = RelationSchema(
+        "result",
+        [Attribute(a, AttrType.STR) for a in unique_names(table.attrs)],
+    )
+    return Relation(schema, table.rows)
+
+
+class SQLOverNoSQL:
+    """A baseline SQL-over-NoSQL system (TaaV storage, fetch-all plans)."""
+
+    def __init__(
+        self,
+        backend: str = "hbase",
+        workers: int = 8,
+        storage_nodes: int = 4,
+    ) -> None:
+        self.profile: BackendProfile = get_profile(backend)
+        self.workers = workers
+        self.cluster = KVCluster(storage_nodes)
+        self.database: Optional[Database] = None
+        self.taav: Optional[TaaVStore] = None
+
+    @property
+    def name(self) -> str:
+        return f"So{self.profile.name[0].upper()}"
+
+    def load(self, database: Database) -> None:
+        """Load a database into the TaaV store."""
+        self.database = database
+        self.taav = TaaVStore.from_database(database, self.cluster)
+        self.cluster.reset_counters()
+
+    def execute(self, sql: str) -> QueryResult:
+        if self.database is None or self.taav is None:
+            raise ExecutionError("load() a database first")
+        bound = bind_any(parse(sql), self.database.schema)
+        ra_plan = build_plan_any(bound)
+        self.cluster.reset_counters()
+        engine = BaselineEngine(
+            self.taav, self.cluster, self.profile, self.workers
+        )
+        table, metrics = engine.execute(ra_plan)
+        return QueryResult(_to_relation(table), metrics)
+
+
+class ZidianSystem:
+    """A baseline system with Zidian plugged in (§8.2 deployment)."""
+
+    def __init__(
+        self,
+        backend: str = "hbase",
+        workers: int = 8,
+        storage_nodes: int = 4,
+        degree_bound: int = 64,
+        compress: bool = True,
+        split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+        keep_stats: bool = True,
+        use_stats: bool = True,
+        keep_taav: bool = True,
+    ) -> None:
+        self.profile: BackendProfile = get_profile(backend)
+        self.workers = workers
+        self.cluster = KVCluster(storage_nodes)
+        self.degree_bound = degree_bound
+        self.compress = compress
+        self.split_threshold = split_threshold
+        self.keep_stats = keep_stats
+        self.use_stats = use_stats
+        self.keep_taav = keep_taav
+        self.database: Optional[Database] = None
+        self.taav: Optional[TaaVStore] = None
+        self.store: Optional[BaaVStore] = None
+        self.middleware: Optional[Zidian] = None
+        self.maintainer: Optional[Maintainer] = None
+
+    @property
+    def name(self) -> str:
+        return f"So{self.profile.name[0].upper()}Zidian"
+
+    def load(
+        self,
+        database: Database,
+        baav_schema: Optional[BaaVSchema] = None,
+        workload: Optional[Sequence[str]] = None,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        """Load a database; design the BaaV schema with T2B if not given."""
+        self.database = database
+        if baav_schema is None:
+            if not workload:
+                raise ExecutionError(
+                    "provide a BaaV schema or a workload for T2B"
+                )
+            bound_queries = [
+                bind(parse(sql), database.schema) for sql in workload
+            ]
+            qcs = extract_workload_qcs(bound_queries)
+            baav_schema, _ = design_schema(
+                database.schema, qcs, database, budget_bytes
+            )
+        if self.keep_taav:
+            self.taav = TaaVStore.from_database(database, self.cluster)
+        self.store = BaaVStore.map_database(
+            database,
+            baav_schema,
+            self.cluster,
+            compress=self.compress,
+            split_threshold=self.split_threshold,
+            keep_stats=self.keep_stats,
+        )
+        self.middleware = Zidian(
+            database.schema,
+            baav_schema,
+            self.store,
+            degree_bound=self.degree_bound,
+            allow_taav_fallback=self.keep_taav,
+            use_stats=self.use_stats,
+        )
+        self.maintainer = Maintainer(self.store)
+        self.cluster.reset_counters()
+
+    def execute(self, sql: str) -> QueryResult:
+        if self.middleware is None or self.store is None:
+            raise ExecutionError("load() a database first")
+        stmt = parse(sql)
+        if isinstance(stmt, ast.CompoundSelect):
+            return self._execute_compound(stmt)
+        return self._execute_stmt(stmt)
+
+    def _execute_stmt(self, stmt) -> QueryResult:
+        bound = bind(stmt, self.database.schema)
+        plan, decision = self.middleware.plan(bound)
+        self.cluster.reset_counters()
+        engine = ZidianEngine(
+            self.store, self.taav, self.cluster, self.profile, self.workers
+        )
+        table, metrics = engine.execute(plan)
+        return QueryResult(_to_relation(table), metrics, decision)
+
+    def _execute_compound(self, stmt: "ast.CompoundSelect") -> QueryResult:
+        """UNION ALL / EXCEPT ALL: evaluate each side over the BaaV store
+        and combine with KBA's bag ∪ / − semantics (§4.2)."""
+        from collections import Counter
+
+        left = (
+            self._execute_compound(stmt.left)
+            if isinstance(stmt.left, ast.CompoundSelect)
+            else self._execute_stmt(stmt.left)
+        )
+        right = self._execute_stmt(stmt.right)
+        if len(left.relation.schema.attributes) != len(
+            right.relation.schema.attributes
+        ):
+            raise ExecutionError(
+                "compound select operands must have equal arity"
+            )
+        if stmt.op == "union":
+            rows = left.relation.rows + right.relation.rows
+        else:
+            remaining = Counter(right.relation.rows)
+            rows = []
+            for row in left.relation.rows:
+                if remaining.get(row, 0) > 0:
+                    remaining[row] -= 1
+                else:
+                    rows.append(row)
+        relation = Relation(left.relation.schema, rows)
+        metrics = left.metrics
+        metrics.merge(right.metrics)
+        sub = list(left.sub_decisions or [left.decision])
+        sub.append(right.decision)
+        return QueryResult(relation, metrics, None, sub_decisions=sub)
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> None:
+        """Apply Δ to the database and incrementally to the BaaV store."""
+        if self.database is None or self.maintainer is None:
+            raise ExecutionError("load() a database first")
+        inserts = list(inserts)
+        deletes = list(deletes)
+        base = self.database.relation(relation)
+        for row in deletes:
+            base.rows.remove(tuple(row))
+        base.extend(inserts)
+        if self.taav is not None:
+            for row in inserts:
+                self.taav.relation(relation).insert(tuple(row))
+        self.maintainer.insert(relation, inserts)
+        self.maintainer.delete(relation, deletes)

@@ -1,0 +1,15 @@
+"""Workloads: TPC-H, synthetic MOT / AIRCA, query and KV-load generators."""
+
+from repro.workloads.generator import (
+    GeneratedQuery,
+    QueryGenerator,
+    airca_generator,
+    mot_generator,
+)
+
+__all__ = [
+    "GeneratedQuery",
+    "QueryGenerator",
+    "airca_generator",
+    "mot_generator",
+]

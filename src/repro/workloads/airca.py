@@ -1,0 +1,444 @@
+"""Synthetic US-air-carrier-like workload (the paper's AIRCA dataset, §9).
+
+The real AIRCA data joins the BTS Flight On-Time Performance table (a
+famously wide table) with Carrier Statistics. We generate a synthetic
+equivalent with the paper-relevant properties: **7 tables, 358 attributes
+total**, skewed foreign keys (a handful of mega-carriers and hub airports
+dominate), and small active domains.
+
+Wide tables are built programmatically: a core of meaningful attributes
+plus numbered ``metric_NN`` columns, mimicking the shape of the BTS data
+without typing out 358 names.
+
+Query templates: q1–q6 scan-free and bounded (keyed lookups on flight ids,
+carrier+date, routes), q7–q12 not (ranged / whole-table aggregates).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baav.schema import BaaVSchema, KVSchema
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.types import AttrType as T
+from repro.relational.types import Row
+
+
+def _wide(name: str, core: Dict[str, T], n_metrics: int, pk: List[str]):
+    attrs = [Attribute(a, t) for a, t in core.items()]
+    attrs += [
+        Attribute(f"metric_{i:02d}", T.FLOAT) for i in range(1, n_metrics + 1)
+    ]
+    return RelationSchema(name, attrs, pk)
+
+
+# 7 tables; attribute counts sum to 358:
+#   CARRIER 21 + AIRPORT 26 + AIRCRAFT 31 + FLIGHT 100 + DELAY 40
+#   + ROUTE 50 + CSTAT 90 = 358
+CARRIER = _wide(
+    "CARRIER",
+    {
+        "carrier_id": T.INT,
+        "code": T.STR,
+        "name": T.STR,
+        "country": T.STR,
+        "alliance": T.STR,
+        "fleet_size": T.INT,
+    },
+    15,
+    ["carrier_id"],
+)
+
+AIRPORT = _wide(
+    "AIRPORT",
+    {
+        "airport_id": T.INT,
+        "iata": T.STR,
+        "city": T.STR,
+        "state": T.STR,
+        "hub_level": T.INT,
+        "runways": T.INT,
+    },
+    20,
+    ["airport_id"],
+)
+
+AIRCRAFT = _wide(
+    "AIRCRAFT",
+    {
+        "tail_id": T.INT,
+        "carrier_id": T.INT,
+        "model": T.STR,
+        "manufacturer": T.STR,
+        "seats": T.INT,
+        "year_built": T.INT,
+    },
+    25,
+    ["tail_id"],
+)
+
+FLIGHT = _wide(
+    "FLIGHT",
+    {
+        "flight_id": T.INT,
+        "carrier_id": T.INT,
+        "origin": T.INT,
+        "dest": T.INT,
+        "tail_id": T.INT,
+        "flight_date": T.DATE,
+        "dep_delay": T.FLOAT,
+        "arr_delay": T.FLOAT,
+        "distance": T.INT,
+        "cancelled": T.BOOL,
+        "air_time": T.FLOAT,
+        "taxi_out": T.FLOAT,
+    },
+    88,
+    ["flight_id"],
+)
+
+DELAY = _wide(
+    "DELAY",
+    {
+        "delay_id": T.INT,
+        "flight_id": T.INT,
+        "cause": T.STR,
+        "minutes": T.FLOAT,
+        "severity": T.INT,
+    },
+    35,
+    ["delay_id"],
+)
+
+ROUTE = _wide(
+    "ROUTE",
+    {
+        "route_id": T.INT,
+        "origin": T.INT,
+        "dest": T.INT,
+        "carrier_id": T.INT,
+        "frequency": T.INT,
+        "distance": T.INT,
+    },
+    44,
+    ["route_id"],
+)
+
+CSTAT = _wide(
+    "CSTAT",
+    {
+        "stat_id": T.INT,
+        "carrier_id": T.INT,
+        "month": T.STR,
+        "flights": T.INT,
+        "passengers": T.INT,
+        "revenue": T.FLOAT,
+    },
+    84,
+    ["stat_id"],
+)
+
+ALL_RELATIONS = (CARRIER, AIRPORT, AIRCRAFT, FLIGHT, DELAY, ROUTE, CSTAT)
+
+CAUSES = ("CARRIER", "WEATHER", "NAS", "SECURITY", "LATE_AIRCRAFT")
+ALLIANCES = ("STAR", "ONEWORLD", "SKYTEAM", "NONE")
+MANUFACTURERS = ("BOEING", "AIRBUS", "EMBRAER", "BOMBARDIER", "MCDONNELL")
+N_CARRIERS = 14
+N_AIRPORTS = 50
+N_MONTHS = 24
+
+
+def _zipf_index(rng: random.Random, n: int, alpha: float = 1.2) -> int:
+    weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+    return rng.choices(range(n), weights=weights, k=1)[0]
+
+
+def _month(index: int) -> str:
+    year, month = divmod(index, 12)
+    return f"{1999 + year:04d}-{month + 1:02d}"
+
+
+def _fdate(rng: random.Random) -> str:
+    month = rng.randrange(N_MONTHS)
+    return f"{_month(month)}-{rng.randrange(1, 29):02d}"
+
+
+def airca_schema() -> DatabaseSchema:
+    """The AIRCA schema (7 tables, 358 attributes)."""
+    return DatabaseSchema(ALL_RELATIONS)
+
+
+class AIRCAGenerator:
+    """Synthetic AIRCA generator; ``scale`` ≈ hundreds of flights."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 1987) -> None:
+        self.n_flights = max(50, round(400 * scale))
+        self.n_aircraft = max(10, self.n_flights // 12)
+        self.seed = seed
+
+    def _metrics(self, rng: random.Random, n: int) -> Tuple[float, ...]:
+        return tuple(round(rng.uniform(0.0, 100.0), 2) for _ in range(n))
+
+    def generate(self) -> Database:
+        rng = random.Random(self.seed)
+        db = Database(airca_schema())
+
+        carriers: List[Row] = []
+        for cid in range(1, N_CARRIERS + 1):
+            carriers.append(
+                (
+                    cid, f"C{cid:02d}", f"Carrier {cid}", "US",
+                    rng.choice(ALLIANCES), rng.randrange(20, 900),
+                )
+                + self._metrics(rng, 15)
+            )
+        db.load("CARRIER", carriers)
+
+        airports: List[Row] = []
+        for aid in range(1, N_AIRPORTS + 1):
+            airports.append(
+                (
+                    aid, f"A{aid:02d}", f"City{aid}", f"S{aid % 50:02d}",
+                    3 if aid <= 5 else (2 if aid <= 15 else 1),
+                    rng.randrange(1, 7),
+                )
+                + self._metrics(rng, 20)
+            )
+        db.load("AIRPORT", airports)
+
+        aircraft: List[Row] = []
+        for tid in range(1, self.n_aircraft + 1):
+            aircraft.append(
+                (
+                    tid, _zipf_index(rng, N_CARRIERS) + 1,
+                    f"M{rng.randrange(1, 12)}", rng.choice(MANUFACTURERS),
+                    rng.choice((50, 76, 120, 150, 180, 220, 300)),
+                    rng.randrange(1985, 2002),
+                )
+                + self._metrics(rng, 25)
+            )
+        db.load("AIRCRAFT", aircraft)
+
+        routes: List[Row] = []
+        route_id = 0
+        seen = set()
+        for _ in range(self.n_flights // 4 + 10):
+            origin = _zipf_index(rng, N_AIRPORTS) + 1
+            dest = _zipf_index(rng, N_AIRPORTS) + 1
+            if origin == dest:
+                continue
+            carrier = _zipf_index(rng, N_CARRIERS) + 1
+            key = (origin, dest, carrier)
+            if key in seen:
+                continue
+            seen.add(key)
+            route_id += 1
+            routes.append(
+                (
+                    route_id, origin, dest, carrier,
+                    rng.randrange(1, 30), rng.randrange(100, 4000),
+                )
+                + self._metrics(rng, 44)
+            )
+        db.load("ROUTE", routes)
+
+        flights: List[Row] = []
+        delays: List[Row] = []
+        delay_id = 0
+        for fid in range(1, self.n_flights + 1):
+            carrier = _zipf_index(rng, N_CARRIERS) + 1
+            origin = _zipf_index(rng, N_AIRPORTS) + 1
+            dest = ((origin + rng.randrange(1, N_AIRPORTS)) % N_AIRPORTS) + 1
+            dep_delay = round(max(-10.0, rng.gauss(8.0, 22.0)), 1)
+            arr_delay = round(dep_delay + rng.gauss(0.0, 12.0), 1)
+            flights.append(
+                (
+                    fid, carrier, origin, dest,
+                    rng.randrange(1, self.n_aircraft + 1), _fdate(rng),
+                    dep_delay, arr_delay, rng.randrange(100, 4000),
+                    rng.random() < 0.02, round(rng.uniform(35.0, 420.0), 1),
+                    round(rng.uniform(5.0, 45.0), 1),
+                )
+                + self._metrics(rng, 88)
+            )
+            if arr_delay > 15.0:
+                for _ in range(rng.randrange(1, 3)):
+                    delay_id += 1
+                    delays.append(
+                        (
+                            delay_id, fid, _zipf_choice_str(rng, CAUSES),
+                            round(rng.uniform(5.0, 180.0), 1),
+                            rng.randrange(1, 5),
+                        )
+                        + self._metrics(rng, 35)
+                    )
+        db.load("FLIGHT", flights)
+        db.load("DELAY", delays)
+
+        cstats: List[Row] = []
+        stat_id = 0
+        for cid in range(1, N_CARRIERS + 1):
+            for month in range(N_MONTHS):
+                stat_id += 1
+                cstats.append(
+                    (
+                        stat_id, cid, _month(month),
+                        rng.randrange(100, 20_000),
+                        rng.randrange(10_000, 2_000_000),
+                        round(rng.uniform(1e6, 5e8), 2),
+                    )
+                    + self._metrics(rng, 84)
+                )
+        db.load("CSTAT", cstats)
+        return db
+
+
+def _zipf_choice_str(rng: random.Random, items: Sequence[str]) -> str:
+    weights = [1.0 / (i + 1) ** 1.3 for i in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def generate_airca(scale: float = 1.0, seed: int = 1987) -> Database:
+    return AIRCAGenerator(scale, seed).generate()
+
+
+def airca_baav_schema() -> BaaVSchema:
+    """KV schemas for AIRCA (the paper used 8; we add flight_by_tail)."""
+    def rest(rel, *key):
+        return [a for a in rel.attribute_names if a not in set(key)]
+
+    return BaaVSchema(
+        [
+            KVSchema("carrier_by_id", CARRIER, ["carrier_id"],
+                     rest(CARRIER, "carrier_id")),
+            KVSchema("airport_by_id", AIRPORT, ["airport_id"],
+                     rest(AIRPORT, "airport_id")),
+            KVSchema("aircraft_by_id", AIRCRAFT, ["tail_id"],
+                     rest(AIRCRAFT, "tail_id")),
+            KVSchema("flight_by_id", FLIGHT, ["flight_id"],
+                     rest(FLIGHT, "flight_id")),
+            KVSchema("flight_by_carrier_date", FLIGHT,
+                     ["carrier_id", "flight_date"],
+                     ["flight_id", "origin", "dest", "dep_delay",
+                      "arr_delay", "tail_id", "cancelled"]),
+            KVSchema("flight_by_tail", FLIGHT, ["tail_id"],
+                     ["flight_id", "flight_date", "arr_delay", "distance"]),
+            KVSchema("delay_by_id", DELAY, ["delay_id"],
+                     rest(DELAY, "delay_id")),
+            KVSchema("delay_by_flight", DELAY, ["flight_id"],
+                     rest(DELAY, "flight_id")),
+            KVSchema("route_by_od", ROUTE, ["origin", "dest"],
+                     ["route_id", "carrier_id", "frequency", "distance"]),
+            KVSchema("route_by_id", ROUTE, ["route_id"],
+                     rest(ROUTE, "route_id")),
+            KVSchema("cstat_by_carrier_month", CSTAT,
+                     ["carrier_id", "month"],
+                     ["stat_id", "flights", "passengers", "revenue"]),
+            KVSchema("cstat_by_id", CSTAT, ["stat_id"],
+                     rest(CSTAT, "stat_id")),
+        ]
+    )
+
+
+TEMPLATES: Dict[str, str] = {
+    "q1": """
+select F.flight_date, F.dep_delay, F.arr_delay, D.cause, D.minutes
+from FLIGHT F, DELAY D
+where F.flight_id = D.flight_id and F.flight_id = {fid}
+""",
+    "q2": """
+select F.flight_id, F.origin, F.dest, F.arr_delay, C.name
+from FLIGHT F, CARRIER C
+where F.carrier_id = {carrier} and F.flight_date = '{date}'
+  and C.carrier_id = F.carrier_id
+""",
+    "q3": """
+select R.route_id, R.frequency, C.name, C.alliance
+from ROUTE R, CARRIER C
+where R.origin = {origin} and R.dest = {dest}
+  and R.carrier_id = C.carrier_id
+""",
+    "q4": """
+select CS.flights, CS.passengers, CS.revenue, C.name
+from CSTAT CS, CARRIER C
+where CS.carrier_id = {carrier} and CS.month = '{month}'
+  and C.carrier_id = CS.carrier_id
+""",
+    "q5": """
+select D.cause, count(*) as n, sum(D.minutes) as total_minutes
+from FLIGHT F, DELAY D
+where F.flight_id = D.flight_id and F.flight_id = {fid}
+group by D.cause
+""",
+    "q6": """
+select F.flight_id, F.arr_delay, A.model, A.seats, D.cause
+from FLIGHT F, AIRCRAFT A, DELAY D
+where F.flight_id = {fid} and A.tail_id = F.tail_id
+  and D.flight_id = F.flight_id
+""",
+    "q7": """
+select F.carrier_id, avg(F.arr_delay) as avg_delay
+from FLIGHT F
+group by F.carrier_id
+order by avg_delay desc
+""",
+    "q8": """
+select F.origin, count(*) as n, avg(F.dep_delay) as avg_dep
+from FLIGHT F
+where F.flight_date >= '{date1}' and F.flight_date < '{date2}'
+group by F.origin
+order by n desc, F.origin
+limit 15
+""",
+    "q9": """
+select D.cause, avg(D.minutes) as avg_minutes
+from DELAY D, FLIGHT F
+where D.flight_id = F.flight_id and F.distance > {distance}
+group by D.cause
+""",
+    "q10": """
+select A.manufacturer, avg(F.arr_delay) as avg_delay, count(*) as n
+from FLIGHT F, AIRCRAFT A
+where F.tail_id = A.tail_id and F.flight_date >= '{date1}'
+group by A.manufacturer
+""",
+    "q11": """
+select C.alliance, count(*) as n
+from CARRIER C, FLIGHT F, DELAY D
+where C.carrier_id = F.carrier_id and D.flight_id = F.flight_id
+  and D.minutes > {minutes}
+group by C.alliance
+order by n desc
+""",
+    "q12": """
+select count(*) as n, avg(F.arr_delay) as avg_delay
+from FLIGHT F
+where F.distance > {distance}
+""",
+}
+
+SCAN_FREE_TEMPLATES = ("q1", "q2", "q3", "q4", "q5", "q6")
+NON_SCAN_FREE_TEMPLATES = ("q7", "q8", "q9", "q10", "q11", "q12")
+
+
+def sample_params(db: Database, rng: random.Random) -> Dict[str, object]:
+    flights = db.relation("FLIGHT")
+    n_flights = len(flights)
+    dates = sorted(flights.distinct_values("flight_date"))
+    months = sorted(db.relation("CSTAT").distinct_values("month"))
+    routes = db.relation("ROUTE")
+    route_row = routes.rows[rng.randrange(len(routes))]
+    return {
+        "fid": rng.randrange(1, n_flights + 1),
+        "carrier": rng.randrange(1, N_CARRIERS + 1),
+        "date": rng.choice(dates),
+        "date1": dates[len(dates) // 4],
+        "date2": dates[3 * len(dates) // 4],
+        "month": rng.choice(months),
+        "origin": route_row[1],
+        "dest": route_row[2],
+        "distance": rng.randrange(500, 2500),
+        "minutes": rng.randrange(30, 120),
+    }

@@ -1,0 +1,80 @@
+"""Query generator: instantiate workload templates with sampled parameters.
+
+Mirrors §9 "Queries": 12 templates per real-life dataset, populated by
+randomly instantiating parameters with values from the datasets, yielding
+a configurable number of concrete queries per dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One instantiated query."""
+
+    template: str
+    sql: str
+    expected_scan_free: bool
+
+
+class QueryGenerator:
+    """Instantiates a template dictionary against a database."""
+
+    def __init__(
+        self,
+        templates: Dict[str, str],
+        scan_free_templates: Sequence[str],
+        param_sampler: Callable[[Database, random.Random], Dict[str, object]],
+        seed: int = 42,
+    ) -> None:
+        self.templates = templates
+        self.scan_free = frozenset(scan_free_templates)
+        self.param_sampler = param_sampler
+        self.seed = seed
+
+    def generate(
+        self,
+        database: Database,
+        per_template: int = 3,
+        templates: Optional[Sequence[str]] = None,
+    ) -> List[GeneratedQuery]:
+        """``per_template`` instantiations of each template (36 for 12×3)."""
+        rng = random.Random(self.seed)
+        names = list(templates) if templates else sorted(
+            self.templates, key=lambda q: int(q[1:])
+        )
+        out: List[GeneratedQuery] = []
+        for name in names:
+            template = self.templates[name]
+            for _ in range(per_template):
+                params = self.param_sampler(database, rng)
+                out.append(
+                    GeneratedQuery(
+                        template=name,
+                        sql=template.format(**params).strip(),
+                        expected_scan_free=name in self.scan_free,
+                    )
+                )
+        return out
+
+
+def mot_generator(seed: int = 42) -> QueryGenerator:
+    from repro.workloads import mot
+
+    return QueryGenerator(
+        mot.TEMPLATES, mot.SCAN_FREE_TEMPLATES, mot.sample_params, seed
+    )
+
+
+def airca_generator(seed: int = 42) -> QueryGenerator:
+    from repro.workloads import airca
+
+    return QueryGenerator(
+        airca.TEMPLATES, airca.SCAN_FREE_TEMPLATES, airca.sample_params, seed
+    )

@@ -1,0 +1,142 @@
+"""KV read/write workloads — Exp-4 of §9.
+
+Throughput is measured as **Tpms**: values processed per millisecond of
+simulated time across all workers, exactly as the paper defines it ("we
+did not use # of gets/puts processed because a get under BaaV retrieves
+values involving multiple gets under TaaV").
+
+* Read workload: bulk point gets. Under TaaV, one get returns one tuple;
+  under BaaV, one get returns a whole block — higher Tpms.
+* Write workload: bulk puts. Under BaaV a put on an existing key is a
+  read-modify-write of the block — lower (but comparable) Tpms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baav.maintenance import Maintainer
+from repro.baav.store import BaaVStore, KVInstance
+from repro.kv.backends import BackendProfile
+from repro.kv.cluster import KVCluster
+from repro.kv.taav import TaaVRelation, TaaVStore
+from repro.relational.types import Row
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one bulk KV workload run."""
+
+    kind: str               # "read" or "write"
+    layout: str             # "taav" or "baav"
+    operations: int         # gets or puts issued
+    values: int             # logical values processed
+    sim_time_ms: float
+    storage_nodes: int
+
+    @property
+    def tpms(self) -> float:
+        """Values processed per millisecond (the paper's throughput)."""
+        if self.sim_time_ms <= 0:
+            return 0.0
+        return self.values / self.sim_time_ms
+
+
+def _read_time(profile: BackendProfile, nodes: int, gets: int,
+               values: int) -> float:
+    return profile.get_cost_ms(gets, values) / max(1, nodes)
+
+
+def _write_time(profile: BackendProfile, nodes: int, puts: int,
+                values: int) -> float:
+    return profile.put_cost_ms(puts, values) / max(1, nodes)
+
+
+def taav_read_workload(
+    taav: TaaVRelation,
+    keys: Sequence[Row],
+    profile: BackendProfile,
+) -> WorkloadResult:
+    """Bulk point reads against the TaaV layout."""
+    cluster = taav.cluster
+    before = cluster.total_counters()
+    for key in keys:
+        taav.get(tuple(key))
+    after = cluster.total_counters()
+    gets = after.gets - before.gets
+    values = after.values_read - before.values_read
+    return WorkloadResult(
+        "read", "taav", gets, values,
+        _read_time(profile, cluster.num_nodes, gets, values),
+        cluster.num_nodes,
+    )
+
+
+def baav_read_workload(
+    instance: KVInstance,
+    keys: Sequence[Row],
+    profile: BackendProfile,
+) -> WorkloadResult:
+    """Bulk point reads against the BaaV layout (block per get)."""
+    cluster = instance.cluster
+    before = cluster.total_counters()
+    for key in keys:
+        instance.get(tuple(key))
+    after = cluster.total_counters()
+    gets = after.gets - before.gets
+    values = after.values_read - before.values_read
+    return WorkloadResult(
+        "read", "baav", gets, values,
+        _read_time(profile, cluster.num_nodes, gets, values),
+        cluster.num_nodes,
+    )
+
+
+def taav_write_workload(
+    taav: TaaVRelation,
+    rows: Sequence[Row],
+    profile: BackendProfile,
+) -> WorkloadResult:
+    """Bulk inserts into the TaaV layout: one blind put per tuple."""
+    cluster = taav.cluster
+    before = cluster.total_counters()
+    for row in rows:
+        taav.insert(tuple(row))
+    after = cluster.total_counters()
+    puts = after.puts - before.puts
+    values = after.values_written - before.values_written
+    return WorkloadResult(
+        "write", "taav", puts, values,
+        _write_time(profile, cluster.num_nodes, puts, values),
+        cluster.num_nodes,
+    )
+
+
+def baav_write_workload(
+    store: BaaVStore,
+    relation: str,
+    rows: Sequence[Row],
+    profile: BackendProfile,
+) -> WorkloadResult:
+    """Bulk inserts through the maintainer: read-modify-write per key."""
+    cluster = store.cluster
+    maintainer = Maintainer(store)
+    before = cluster.total_counters()
+    maintainer.insert(relation, [tuple(r) for r in rows])
+    after = cluster.total_counters()
+    puts = after.puts - before.puts
+    # values *processed* includes re-encoded block contents
+    values = after.values_written - before.values_written
+    reads = after.gets - before.gets
+    time_ms = _write_time(
+        profile, cluster.num_nodes, puts, values
+    ) + _read_time(profile, cluster.num_nodes, reads,
+                   after.values_read - before.values_read)
+    # logical workload size is the inserted tuples' values
+    arity = store.schema.over_relation(relation)[0].relation.arity
+    logical_values = len(rows) * arity
+    return WorkloadResult(
+        "write", "baav", puts, logical_values, time_ms, cluster.num_nodes
+    )

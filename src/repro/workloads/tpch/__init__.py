@@ -1,0 +1,22 @@
+"""TPC-H workload: schema, dbgen and the 22 simplified queries."""
+
+from repro.workloads.tpch.dbgen import TPCHGenerator, generate_tpch
+from repro.workloads.tpch.queries import (
+    EXPECTED_NON_SCAN_FREE,
+    EXPECTED_SCAN_FREE,
+    QUERIES,
+    query_names,
+    tpch_baav_schema,
+)
+from repro.workloads.tpch.schema import tpch_schema
+
+__all__ = [
+    "EXPECTED_NON_SCAN_FREE",
+    "EXPECTED_SCAN_FREE",
+    "QUERIES",
+    "TPCHGenerator",
+    "generate_tpch",
+    "query_names",
+    "tpch_baav_schema",
+    "tpch_schema",
+]

@@ -1,0 +1,281 @@
+"""A seeded TPC-H data generator (dbgen substitute).
+
+Cardinalities follow the spec's ratios at a configurable scale factor:
+``SUPPLIER = 10_000·sf``, ``CUSTOMER = 150_000·sf``, ``PART = 200_000·sf``,
+``PARTSUPP = 4·PART``, ``ORDERS = 10·CUSTOMER``, ``LINEITEM ≈ 4·ORDERS``.
+Distributions are uniform over the active domains — TPC-H is famously
+skew-free, which is exactly the property the paper's "Observation" in
+Exp-1 leans on (BaaV degrees are either ~1 or ~|R| on TPC-H).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.relational.database import Database
+from repro.relational.types import Row
+from repro.workloads.tpch.schema import tpch_schema
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+SHIP_INSTRUCTS = (
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+)
+CONTAINERS = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+)
+TYPE_SYLL1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLL2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLL3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+BRANDS = tuple(f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6))
+PART_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+    "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+    "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+    "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+    "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato",
+    "turquoise", "violet", "wheat", "white", "yellow",
+)
+COMMENT_WORDS = (
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "requests", "packages", "accounts", "foxes", "ideas", "theodolites",
+    "pinto", "beans", "instructions", "dependencies", "excuses", "platelets",
+)
+
+_DATE_START = (1992, 1, 1)
+_DAYS_PER_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _date(day_offset: int) -> str:
+    """ISO date ``day_offset`` days after 1992-01-01 (no leap years)."""
+    year, month, day = _DATE_START
+    days = day_offset
+    while True:
+        month_days = _DAYS_PER_MONTH[month - 1]
+        if days < month_days - (day - 1):
+            return f"{year:04d}-{month:02d}-{day + days:02d}"
+        days -= month_days - (day - 1)
+        day = 1
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+
+
+MAX_DAY = 2520  # ~ 1992-01-01 .. 1998-12-xx
+
+
+class TPCHGenerator:
+    """Deterministic TPC-H-like data generator."""
+
+    def __init__(self, scale_factor: float = 0.002, seed: int = 20190826):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.sf = scale_factor
+        self.seed = seed
+        self.n_supplier = max(3, round(10_000 * scale_factor))
+        self.n_customer = max(5, round(150_000 * scale_factor))
+        self.n_part = max(5, round(200_000 * scale_factor))
+        self.n_orders = 10 * self.n_customer
+
+    def generate(self) -> Database:
+        rng = random.Random(self.seed)
+        db = Database(tpch_schema())
+        db.load("REGION", self._regions(rng))
+        db.load("NATION", self._nations(rng))
+        db.load("SUPPLIER", self._suppliers(rng))
+        db.load("CUSTOMER", self._customers(rng))
+        db.load("PART", self._parts(rng))
+        db.load("PARTSUPP", self._partsupps(rng))
+        orders, lineitems = self._orders_and_lineitems(rng)
+        db.load("ORDERS", orders)
+        db.load("LINEITEM", lineitems)
+        return db
+
+    # -- per-table generators ------------------------------------------------
+
+    def _comment(self, rng: random.Random, words: int = 3) -> str:
+        return " ".join(rng.choice(COMMENT_WORDS) for _ in range(words))
+
+    def _regions(self, rng: random.Random) -> List[Row]:
+        return [
+            (i, name, self._comment(rng)) for i, name in enumerate(REGIONS)
+        ]
+
+    def _nations(self, rng: random.Random) -> List[Row]:
+        return [
+            (i, name, region, self._comment(rng))
+            for i, (name, region) in enumerate(NATIONS)
+        ]
+
+    def _suppliers(self, rng: random.Random) -> List[Row]:
+        rows = []
+        for key in range(1, self.n_supplier + 1):
+            rows.append(
+                (
+                    key,
+                    f"Supplier#{key:09d}",
+                    f"addr_{rng.randrange(10_000)}",
+                    rng.randrange(len(NATIONS)),
+                    f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-"
+                    f"{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    self._comment(rng),
+                )
+            )
+        return rows
+
+    def _customers(self, rng: random.Random) -> List[Row]:
+        rows = []
+        for key in range(1, self.n_customer + 1):
+            rows.append(
+                (
+                    key,
+                    f"Customer#{key:09d}",
+                    f"addr_{rng.randrange(10_000)}",
+                    rng.randrange(len(NATIONS)),
+                    f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}-"
+                    f"{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    rng.choice(SEGMENTS),
+                    self._comment(rng),
+                )
+            )
+        return rows
+
+    def _parts(self, rng: random.Random) -> List[Row]:
+        rows = []
+        for key in range(1, self.n_part + 1):
+            name = " ".join(rng.sample(PART_NAME_WORDS, 5))
+            mfgr_id = rng.randrange(1, 6)
+            rows.append(
+                (
+                    key,
+                    name,
+                    f"Manufacturer#{mfgr_id}",
+                    rng.choice(BRANDS),
+                    f"{rng.choice(TYPE_SYLL1)} {rng.choice(TYPE_SYLL2)} "
+                    f"{rng.choice(TYPE_SYLL3)}",
+                    rng.randrange(1, 51),
+                    rng.choice(CONTAINERS),
+                    round(900 + key / 10 % 200 + 0.01 * (key % 1000), 2),
+                    self._comment(rng),
+                )
+            )
+        return rows
+
+    def _partsupps(self, rng: random.Random) -> List[Row]:
+        rows = []
+        for partkey in range(1, self.n_part + 1):
+            for replica in range(4):
+                suppkey = (
+                    (partkey + replica * (self.n_supplier // 4 + 1))
+                    % self.n_supplier
+                ) + 1
+                rows.append(
+                    (
+                        partkey,
+                        suppkey,
+                        rng.randrange(1, 10_000),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                        self._comment(rng),
+                    )
+                )
+        return rows
+
+    def _orders_and_lineitems(self, rng: random.Random):
+        orders: List[Row] = []
+        lineitems: List[Row] = []
+        for orderkey in range(1, self.n_orders + 1):
+            custkey = rng.randrange(1, self.n_customer + 1)
+            order_day = rng.randrange(0, MAX_DAY - 200)
+            orderdate = _date(order_day)
+            n_lines = rng.randrange(1, 8)
+            totalprice = 0.0
+            all_f = True
+            any_f = False
+            for linenumber in range(1, n_lines + 1):
+                partkey = rng.randrange(1, self.n_part + 1)
+                replica = rng.randrange(4)
+                suppkey = (
+                    (partkey + replica * (self.n_supplier // 4 + 1))
+                    % self.n_supplier
+                ) + 1
+                quantity = float(rng.randrange(1, 51))
+                extendedprice = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                discount = round(rng.uniform(0.0, 0.10), 2)
+                tax = round(rng.uniform(0.0, 0.08), 2)
+                ship_day = order_day + rng.randrange(1, 122)
+                commit_day = order_day + rng.randrange(30, 91)
+                receipt_day = ship_day + rng.randrange(1, 31)
+                shipped = ship_day <= MAX_DAY - 60
+                returnflag = (
+                    rng.choice(("R", "A")) if rng.random() < 0.25 else "N"
+                )
+                linestatus = "F" if shipped else "O"
+                all_f = all_f and linestatus == "F"
+                any_f = any_f or linestatus == "F"
+                totalprice += extendedprice * (1 + tax) * (1 - discount)
+                lineitems.append(
+                    (
+                        orderkey,
+                        partkey,
+                        suppkey,
+                        linenumber,
+                        quantity,
+                        extendedprice,
+                        discount,
+                        tax,
+                        returnflag,
+                        linestatus,
+                        _date(ship_day),
+                        _date(commit_day),
+                        _date(receipt_day),
+                        rng.choice(SHIP_INSTRUCTS),
+                        rng.choice(SHIP_MODES),
+                        self._comment(rng),
+                    )
+                )
+            status = "F" if all_f else ("P" if any_f else "O")
+            orders.append(
+                (
+                    orderkey,
+                    custkey,
+                    status,
+                    round(totalprice, 2),
+                    orderdate,
+                    rng.choice(PRIORITIES),
+                    f"Clerk#{rng.randrange(1, 1001):09d}",
+                    0,
+                    self._comment(rng),
+                )
+            )
+        return orders, lineitems
+
+
+def generate_tpch(
+    scale_factor: float = 0.002, seed: int = 20190826
+) -> Database:
+    """Generate a TPC-H database at the given scale factor."""
+    return TPCHGenerator(scale_factor, seed).generate()

@@ -1,0 +1,139 @@
+"""TPC-H relational schema: the 8 standard relations, 61 attributes.
+
+Attribute names follow the spec without the ``l_``/``o_`` prefixes (the
+prefix role is played by query aliases). Dates are ISO strings.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import AttrType as T
+
+REGION = RelationSchema.of(
+    "REGION",
+    {"regionkey": T.INT, "name": T.STR, "comment": T.STR},
+    ["regionkey"],
+)
+
+NATION = RelationSchema.of(
+    "NATION",
+    {
+        "nationkey": T.INT,
+        "name": T.STR,
+        "regionkey": T.INT,
+        "comment": T.STR,
+    },
+    ["nationkey"],
+)
+
+SUPPLIER = RelationSchema.of(
+    "SUPPLIER",
+    {
+        "suppkey": T.INT,
+        "name": T.STR,
+        "address": T.STR,
+        "nationkey": T.INT,
+        "phone": T.STR,
+        "acctbal": T.FLOAT,
+        "comment": T.STR,
+    },
+    ["suppkey"],
+)
+
+CUSTOMER = RelationSchema.of(
+    "CUSTOMER",
+    {
+        "custkey": T.INT,
+        "name": T.STR,
+        "address": T.STR,
+        "nationkey": T.INT,
+        "phone": T.STR,
+        "acctbal": T.FLOAT,
+        "mktsegment": T.STR,
+        "comment": T.STR,
+    },
+    ["custkey"],
+)
+
+PART = RelationSchema.of(
+    "PART",
+    {
+        "partkey": T.INT,
+        "name": T.STR,
+        "mfgr": T.STR,
+        "brand": T.STR,
+        "type": T.STR,
+        "size": T.INT,
+        "container": T.STR,
+        "retailprice": T.FLOAT,
+        "comment": T.STR,
+    },
+    ["partkey"],
+)
+
+PARTSUPP = RelationSchema.of(
+    "PARTSUPP",
+    {
+        "partkey": T.INT,
+        "suppkey": T.INT,
+        "availqty": T.INT,
+        "supplycost": T.FLOAT,
+        "comment": T.STR,
+    },
+    ["partkey", "suppkey"],
+)
+
+ORDERS = RelationSchema.of(
+    "ORDERS",
+    {
+        "orderkey": T.INT,
+        "custkey": T.INT,
+        "orderstatus": T.STR,
+        "totalprice": T.FLOAT,
+        "orderdate": T.DATE,
+        "orderpriority": T.STR,
+        "clerk": T.STR,
+        "shippriority": T.INT,
+        "comment": T.STR,
+    },
+    ["orderkey"],
+)
+
+LINEITEM = RelationSchema.of(
+    "LINEITEM",
+    {
+        "orderkey": T.INT,
+        "partkey": T.INT,
+        "suppkey": T.INT,
+        "linenumber": T.INT,
+        "quantity": T.FLOAT,
+        "extendedprice": T.FLOAT,
+        "discount": T.FLOAT,
+        "tax": T.FLOAT,
+        "returnflag": T.STR,
+        "linestatus": T.STR,
+        "shipdate": T.DATE,
+        "commitdate": T.DATE,
+        "receiptdate": T.DATE,
+        "shipinstruct": T.STR,
+        "shipmode": T.STR,
+        "comment": T.STR,
+    },
+    ["orderkey", "linenumber"],
+)
+
+ALL_RELATIONS = (
+    REGION,
+    NATION,
+    SUPPLIER,
+    CUSTOMER,
+    PART,
+    PARTSUPP,
+    ORDERS,
+    LINEITEM,
+)
+
+
+def tpch_schema() -> DatabaseSchema:
+    """The TPC-H database schema (8 relations, 61 attributes)."""
+    return DatabaseSchema(ALL_RELATIONS)

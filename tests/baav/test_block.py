@@ -1,0 +1,111 @@
+import pytest
+
+from repro.baav.block import Block, split_block
+
+
+class TestBlockConstruction:
+    def test_from_rows_compressed(self):
+        block = Block.from_rows([(1, "a"), (1, "a"), (2, "b")])
+        assert block.num_entries == 2
+        assert block.num_tuples == 3
+
+    def test_from_rows_uncompressed(self):
+        block = Block.from_rows([(1, "a"), (1, "a")], compress=False)
+        assert block.num_entries == 2
+        assert block.num_tuples == 2
+
+    def test_expand_restores_bag(self):
+        rows = [(1,), (1,), (2,), (1,)]
+        block = Block.from_rows(rows)
+        assert sorted(block.expand()) == sorted(rows)
+
+    def test_num_values(self):
+        block = Block.from_rows([(1, "a"), (2, "b")])
+        assert block.num_values() == 4
+
+    def test_empty(self):
+        block = Block()
+        assert block.num_values() == 0
+        assert block.num_tuples == 0
+
+
+class TestBlockMutation:
+    def test_add_compressed_increments_count(self):
+        block = Block.from_rows([(1,)])
+        block.add((1,))
+        assert block.num_entries == 1
+        assert block.num_tuples == 2
+
+    def test_add_uncompressed_appends(self):
+        block = Block.from_rows([(1,)], compress=False)
+        block.add((1,), compress=False)
+        assert block.num_entries == 2
+
+    def test_remove(self):
+        block = Block.from_rows([(1,), (1,), (2,)])
+        assert block.remove((1,)) == 1
+        assert block.num_tuples == 2
+        assert block.remove((1,)) == 1
+        assert block.remove((1,)) == 0
+        assert sorted(block.expand()) == [(2,)]
+
+
+class TestBlockStats:
+    def test_numeric_stats(self):
+        block = Block.from_rows([(1, 10.0), (2, 20.0), (2, 20.0)])
+        stats = block.stats(["a", "b"])
+        assert stats["a"].minimum == 1 and stats["a"].maximum == 2
+        assert stats["b"].total == 50.0
+        assert stats["b"].count == 3
+        assert stats["b"].average == pytest.approx(50.0 / 3)
+
+    def test_multiplicity_counts(self):
+        block = Block([((5,), 3)])
+        stats = block.stats(["a"])
+        assert stats["a"].total == 15
+        assert stats["a"].count == 3
+
+    def test_non_numeric_skipped(self):
+        block = Block.from_rows([("x", 1)])
+        stats = block.stats(["s", "n"])
+        assert "s" not in stats and "n" in stats
+
+    def test_nulls_skipped(self):
+        block = Block.from_rows([(None,), (3,)])
+        stats = block.stats(["a"])
+        assert stats["a"].count == 1 and stats["a"].total == 3
+
+
+class TestBlockCodec:
+    def test_roundtrip(self):
+        block = Block.from_rows([(1, "a"), (1, "a"), (None, "b")])
+        assert Block.decode(block.encode()) == block
+
+
+class TestSplitBlock:
+    def test_no_split_needed(self):
+        block = Block.from_rows([(1,), (2,)])
+        assert split_block(block, 10) == [block]
+
+    def test_split_bounds_segments(self):
+        block = Block.from_rows([(i,) for i in range(25)])
+        segments = split_block(block, 10)
+        assert len(segments) == 3
+        assert all(s.num_tuples <= 10 for s in segments)
+
+    def test_split_preserves_bag(self):
+        rows = [(i % 4,) for i in range(23)]
+        block = Block.from_rows(rows)
+        segments = split_block(block, 5)
+        merged = [r for s in segments for r in s.expand()]
+        assert sorted(merged) == sorted(rows)
+
+    def test_split_breaks_large_multiplicity(self):
+        block = Block([((7,), 12)])
+        segments = split_block(block, 5)
+        assert len(segments) == 3
+        assert sum(s.num_tuples for s in segments) == 12
+
+    def test_zero_threshold_means_no_split(self):
+        block = Block.from_rows([(i,) for i in range(100)])
+        assert split_block(block, 0) == [block]

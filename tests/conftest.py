@@ -1,0 +1,118 @@
+"""Shared fixtures: the paper's running example plus small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baav import BaaVSchema, BaaVStore, kv_schema
+from repro.kv import KVCluster, TaaVStore
+from repro.relational import AttrType, Database, RelationSchema
+
+
+@pytest.fixture()
+def paper_schemas():
+    """Relations of Example 1 (simplified TPC-H): SUPPLIER/PARTSUPP/NATION."""
+    supplier = RelationSchema.of(
+        "SUPPLIER",
+        {"suppkey": AttrType.INT, "nationkey": AttrType.INT},
+        ["suppkey"],
+    )
+    partsupp = RelationSchema.of(
+        "PARTSUPP",
+        {
+            "partkey": AttrType.INT,
+            "suppkey": AttrType.INT,
+            "supplycost": AttrType.FLOAT,
+            "availqty": AttrType.INT,
+        },
+        ["partkey", "suppkey"],
+    )
+    nation = RelationSchema.of(
+        "NATION",
+        {"nationkey": AttrType.INT, "name": AttrType.STR},
+        ["nationkey"],
+    )
+    return supplier, partsupp, nation
+
+
+@pytest.fixture()
+def paper_db(paper_schemas):
+    supplier, partsupp, nation = paper_schemas
+    return Database.from_dict(
+        [supplier, partsupp, nation],
+        {
+            "SUPPLIER": [(1, 10), (2, 10), (3, 20), (4, 30)],
+            "PARTSUPP": [
+                (100, 1, 5.0, 7),
+                (100, 2, 3.0, 9),
+                (200, 1, 2.0, 4),
+                (300, 3, 8.0, 1),
+                (300, 4, 1.5, 2),
+            ],
+            "NATION": [(10, "GERMANY"), (20, "FRANCE"), (30, "GERMANY")],
+        },
+    )
+
+
+@pytest.fixture()
+def paper_baav_schema(paper_schemas):
+    """The BaaV schema of Example 1."""
+    supplier, partsupp, nation = paper_schemas
+    return BaaVSchema(
+        [
+            kv_schema("nation_by_name", nation, ["name"]),
+            kv_schema("sup_by_nation", supplier, ["nationkey"]),
+            kv_schema("ps_by_sup", partsupp, ["suppkey"]),
+        ]
+    )
+
+
+@pytest.fixture()
+def cluster():
+    return KVCluster(4)
+
+
+@pytest.fixture()
+def paper_store(paper_db, paper_baav_schema, cluster):
+    return BaaVStore.map_database(paper_db, paper_baav_schema, cluster)
+
+
+@pytest.fixture()
+def paper_taav(paper_db, cluster):
+    return TaaVStore.from_database(paper_db, cluster)
+
+
+Q1_SQL = """
+select PS.suppkey, SUM(PS.supplycost) as total
+from PARTSUPP as PS, SUPPLIER as S, NATION as N
+where PS.suppkey = S.suppkey and S.nationkey = N.nationkey
+  and N.name = 'GERMANY'
+group by PS.suppkey
+"""
+
+
+@pytest.fixture()
+def q1_sql():
+    """Q1 of Example 3 (simplified TPC-H q11)."""
+    return Q1_SQL
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    from repro.workloads.tpch import generate_tpch
+
+    return generate_tpch(scale_factor=0.001, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mot_small():
+    from repro.workloads.mot import generate_mot
+
+    return generate_mot(scale=1.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def airca_small():
+    from repro.workloads.airca import generate_airca
+
+    return generate_airca(scale=1.0, seed=13)

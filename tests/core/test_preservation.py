@@ -1,0 +1,105 @@
+"""Tests for Condition (II) result preservability — Theorem 2, Example 5."""
+
+import pytest
+
+from repro.baav import BaaVSchema, KVSchema, kv_schema
+from repro.core import is_result_preserving
+from repro.sql import analyze, bind, parse
+
+
+def decide(schema, baav, sql):
+    return is_result_preserving(analyze(bind(parse(sql), schema)), baav)
+
+
+@pytest.fixture()
+def partial_baav(paper_schemas):
+    """R̃'1 of Example 5: PARTSUPP' without availqty."""
+    supplier, partsupp, nation = paper_schemas
+    return BaaVSchema(
+        [
+            kv_schema("nation_by_name", nation, ["name"]),
+            kv_schema("sup_by_nation", supplier, ["nationkey"]),
+            KVSchema(
+                "ps_partial", partsupp, ["suppkey"],
+                ["partkey", "supplycost"],
+            ),
+        ]
+    )
+
+
+Q1_PRIME = """
+select PS.suppkey, PS.supplycost
+from NATION N, SUPPLIER S, PARTSUPP PS
+where N.name = 'GERMANY' and N.nationkey = S.nationkey
+  and S.suppkey = PS.suppkey
+"""
+
+
+class TestConditionII:
+    def test_q1_preserved_by_full_schema(self, paper_db, paper_baav_schema):
+        report = decide(paper_db.schema, paper_baav_schema, Q1_PRIME)
+        assert report.preserved
+
+    def test_example5_partial_schema_preserves_q1prime(
+        self, paper_db, partial_baav
+    ):
+        """R̃'1 is not data preserving but is result preserving for Q'1."""
+        report = decide(paper_db.schema, partial_baav, Q1_PRIME)
+        assert report.preserved
+        assert report.witnesses["PS"] == "ps_partial"
+
+    def test_query_needing_missing_attr_not_preserved(
+        self, paper_db, partial_baav
+    ):
+        sql = """
+        select PS.suppkey, PS.availqty
+        from PARTSUPP PS where PS.suppkey = 1
+        """
+        report = decide(paper_db.schema, partial_baav, sql)
+        assert not report.preserved
+        assert report.missing == ["PS"]
+
+    def test_example5_q2_preserved_after_minimization(
+        self, paper_db, partial_baav
+    ):
+        """Q2 = Q'1 + a redundant PARTSUPP copy equated on availqty.
+
+        X_PS of Q2 includes availqty, which R̃'1 lacks; but min(Q2) = Q'1,
+        so Condition (II) still holds — this justifies minimizing first.
+        """
+        q2 = """
+        select PS.suppkey, PS.supplycost
+        from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+        where N.name = 'GERMANY' and N.nationkey = S.nationkey
+          and S.suppkey = PS.suppkey
+          and PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+          and PS.partkey = PS2.partkey
+        """
+        report = decide(paper_db.schema, partial_baav, q2)
+        assert report.preserved
+        assert "PS2" not in report.minimal_aliases
+
+    def test_without_minimization_q2_would_fail(
+        self, paper_db, partial_baav
+    ):
+        """Sanity: checking Condition (II) on Q2 itself (no min) fails."""
+        q2 = """
+        select PS.suppkey, PS.supplycost
+        from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+        where N.name = 'GERMANY' and N.nationkey = S.nationkey
+          and S.suppkey = PS.suppkey
+          and PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+          and PS.partkey = PS2.partkey
+        """
+        analysis = analyze(bind(parse(q2), paper_db.schema))
+        report = is_result_preserving(
+            analysis, partial_baav, minimized=analysis
+        )
+        assert not report.preserved
+
+    def test_aggregate_query_uses_spc_core(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        """Theorem 3: RAaggr preservation via the max SPC sub-query."""
+        report = decide(paper_db.schema, paper_baav_schema, q1_sql)
+        assert report.preserved

@@ -1,0 +1,182 @@
+"""Tests for QCS extraction and the T2B schema designer (§8.1, M4)."""
+
+import pytest
+
+from repro.core import QCS, design_schema, extract_qcs, extract_workload_qcs
+from repro.core.preservation import is_data_preserving
+from repro.core.scanfree import is_scan_free
+from repro.sql import analyze, bind, parse
+
+
+def bound(schema, sql):
+    return bind(parse(sql), schema)
+
+
+class TestQCSExtraction:
+    def test_paper_example(self, paper_db):
+        """Q = πF(σA=1 R ⋈B=E S) yields AB[A] and EF[E] (§8.1 example)."""
+        from repro.relational import AttrType, DatabaseSchema, RelationSchema
+
+        r = RelationSchema.of(
+            "R", {"A": AttrType.INT, "B": AttrType.INT, "C": AttrType.INT}
+        )
+        s = RelationSchema.of(
+            "S", {"E": AttrType.INT, "F": AttrType.INT, "G": AttrType.INT}
+        )
+        schema = DatabaseSchema([r, s])
+        qcs = extract_qcs(
+            bound(
+                schema,
+                "select S.F from R, S where R.A = 1 and R.B = S.E",
+            )
+        )
+        by_rel = {q.relation: q for q in qcs}
+        assert by_rel["R"].z == frozenset({"A", "B"})
+        assert by_rel["R"].x == frozenset({"A"})
+        assert by_rel["S"].z == frozenset({"E", "F"})
+        assert by_rel["S"].x == frozenset({"E"})
+
+    def test_q1_access_patterns(self, paper_db, q1_sql):
+        qcs = extract_qcs(bound(paper_db.schema, q1_sql))
+        by_rel = {q.relation: q for q in qcs}
+        assert by_rel["NATION"].x == frozenset({"name"})
+        assert by_rel["SUPPLIER"].x == frozenset({"nationkey"})
+        assert by_rel["PARTSUPP"].x == frozenset({"suppkey"})
+
+    def test_scan_pattern_empty_x(self, paper_db):
+        qcs = extract_qcs(
+            bound(paper_db.schema, "select S.suppkey from SUPPLIER S")
+        )
+        assert qcs[0].x == frozenset()
+
+    def test_workload_dedupe(self, paper_db, q1_sql):
+        queries = [bound(paper_db.schema, q1_sql) for _ in range(3)]
+        assert len(extract_workload_qcs(queries)) == len(
+            extract_workload_qcs(queries[:1])
+        )
+
+    def test_qcs_x_subset_z_enforced(self):
+        q = QCS("R", frozenset({"a"}), frozenset({"a", "b"}))
+        assert q.x <= q.z
+
+
+class TestT2B:
+    def workload(self, paper_db, q1_sql):
+        sqls = [
+            q1_sql,
+            "select S.suppkey from SUPPLIER S, NATION N "
+            "where S.nationkey = N.nationkey and N.name = 'FRANCE'",
+        ]
+        return [bound(paper_db.schema, sql) for sql in sqls]
+
+    def test_design_supports_workload(self, paper_db, q1_sql):
+        qcs = extract_workload_qcs(self.workload(paper_db, q1_sql))
+        baav, report = design_schema(paper_db.schema, qcs, paper_db)
+        assert all(report.supported.values())
+
+    def test_designed_schema_makes_queries_scan_free(
+        self, paper_db, q1_sql
+    ):
+        qcs = extract_workload_qcs(self.workload(paper_db, q1_sql))
+        baav, _ = design_schema(paper_db.schema, qcs, paper_db)
+        report = is_scan_free(
+            analyze(bound(paper_db.schema, q1_sql)), baav
+        )
+        assert report.scan_free
+
+    def test_redundant_schema_removed(self, paper_db, q1_sql):
+        # feed the same pattern twice with an extra superfluous one
+        queries = self.workload(paper_db, q1_sql)
+        qcs = extract_workload_qcs(queries)
+        # duplicate QCS with wider Z on NATION (same X)
+        qcs.append(QCS("NATION", frozenset({"name", "nationkey"}),
+                       frozenset({"name"})))
+        baav, report = design_schema(paper_db.schema, qcs, paper_db)
+        names = [s.name for s in baav]
+        assert len(names) == len(set(names))
+        assert all(report.supported.values())
+
+    def test_budget_triggers_merging(self, paper_db, q1_sql):
+        queries = self.workload(paper_db, q1_sql) + [
+            bound(
+                paper_db.schema,
+                "select PS.availqty from PARTSUPP PS, SUPPLIER S "
+                "where PS.suppkey = S.suppkey and S.nationkey = 10",
+            )
+        ]
+        qcs = extract_workload_qcs(queries)
+        unlimited, _ = design_schema(paper_db.schema, qcs, paper_db)
+        tight, report = design_schema(
+            paper_db.schema, qcs, paper_db, budget_bytes=400
+        )
+        assert len(tight) <= len(unlimited)
+        # merging preserves support
+        assert all(report.supported.values())
+
+    def test_scan_qcs_uses_primary_key(self, paper_db):
+        qcs = [QCS("SUPPLIER", frozenset({"suppkey", "nationkey"}),
+                   frozenset())]
+        baav, report = design_schema(paper_db.schema, qcs, paper_db)
+        schemas = baav.over_relation("SUPPLIER")
+        assert schemas and schemas[0].key == ("suppkey",)
+        assert all(report.supported.values())
+
+    def test_schema_only_estimate_without_database(self, paper_db, q1_sql):
+        qcs = extract_workload_qcs(self.workload(paper_db, q1_sql))
+        baav, report = design_schema(paper_db.schema, qcs, None)
+        assert len(baav) >= 1
+        assert report.estimated_bytes > 0
+
+
+class TestSuggestSchemas:
+    """Human-in-the-loop schema design (§8.1 interface)."""
+
+    def test_no_suggestions_when_supported(self, paper_db, q1_sql):
+        from repro.core import suggest_schemas
+        from repro.sql import bind, parse
+
+        queries = [bind(parse(q1_sql), paper_db.schema)]
+        qcs = extract_workload_qcs(queries)
+        baav, _ = design_schema(paper_db.schema, qcs, paper_db)
+        assert suggest_schemas(paper_db.schema, qcs, baav, paper_db) == []
+
+    def test_suggests_missing_pattern(self, paper_db, paper_baav_schema):
+        from repro.core import suggest_schemas
+
+        # access PARTSUPP by partkey: not supported by the paper schema
+        missing = QCS(
+            "PARTSUPP",
+            frozenset({"partkey", "supplycost"}),
+            frozenset({"partkey"}),
+        )
+        suggestions = suggest_schemas(
+            paper_db.schema, [missing], paper_baav_schema, paper_db
+        )
+        assert len(suggestions) == 1
+        suggestion = suggestions[0]
+        assert suggestion.kv_schema.key == ("partkey",)
+        assert suggestion.estimated_bytes > 0
+        assert suggestion.supports == [str(missing)]
+
+    def test_adding_suggestion_fixes_support(
+        self, paper_db, paper_baav_schema
+    ):
+        from repro.core import Zidian, suggest_schemas
+
+        missing = QCS(
+            "PARTSUPP",
+            frozenset({"partkey", "supplycost"}),
+            frozenset({"partkey"}),
+        )
+        sql = (
+            "select PS.supplycost from PARTSUPP PS where PS.partkey = 100"
+        )
+        before = Zidian(paper_db.schema, paper_baav_schema)
+        assert not before.decide(sql).is_scan_free
+        suggestions = suggest_schemas(
+            paper_db.schema, [missing], paper_baav_schema, paper_db
+        )
+        for suggestion in suggestions:
+            paper_baav_schema.add(suggestion.kv_schema)
+        after = Zidian(paper_db.schema, paper_baav_schema)
+        assert after.decide(sql).is_scan_free

@@ -1,0 +1,209 @@
+"""Tests for GET / VC / Condition (III) — Theorems 4–5, Example 6."""
+
+import pytest
+
+from repro.baav import BaaVSchema, BaaVStore, KVSchema, kv_schema
+from repro.core import compute_get, compute_vc, is_bounded, is_scan_free
+from repro.kv import KVCluster
+from repro.sql import analyze, bind, minimize, parse
+
+
+def get_analysis(schema, sql):
+    return analyze(bind(parse(sql), schema))
+
+
+Q1_PRIME = """
+select PS.suppkey, PS.supplycost
+from NATION N, SUPPLIER S, PARTSUPP PS
+where N.name = 'GERMANY' and N.nationkey = S.nationkey
+  and S.suppkey = PS.suppkey
+"""
+
+
+class TestGET:
+    def test_rule_a_constants(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        result = compute_get(analysis, paper_baav_schema)
+        assert "N.name" in result.attrs
+
+    def test_rule_b_transitivity(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        result = compute_get(analysis, paper_baav_schema)
+        # S.nationkey enters via N.nationkey's term
+        assert "S.nationkey" in result.attrs
+
+    def test_rule_c_key_to_value(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        result = compute_get(analysis, paper_baav_schema)
+        # suppkey fetched through sup_by_nation; then PARTSUPP values
+        assert "S.suppkey" in result.attrs
+        assert "PS.supplycost" in result.attrs
+        assert "PS.availqty" in result.attrs  # full Y joins GET
+
+    def test_example6_get_content(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        result = compute_get(analysis, paper_baav_schema)
+        expected_core = {
+            "N.name", "N.nationkey", "S.nationkey", "S.suppkey",
+            "PS.suppkey", "PS.supplycost",
+        }
+        assert expected_core <= result.attrs
+
+    def test_chasing_sequence_records_steps(
+        self, paper_db, paper_baav_schema
+    ):
+        """The derivation mirrors Example 7's T1/T2/T3."""
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        result = compute_get(analysis, paper_baav_schema)
+        schemas = [step.schema.name for step in result.steps]
+        assert schemas.index("nation_by_name") < schemas.index(
+            "sup_by_nation"
+        )
+        assert schemas.index("sup_by_nation") < schemas.index("ps_by_sup")
+
+    def test_no_constants_empty_get(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(
+            paper_db.schema, "select S.suppkey from SUPPLIER S"
+        )
+        result = compute_get(analysis, paper_baav_schema)
+        assert result.attrs == frozenset()
+
+    def test_in_list_binds(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(
+            paper_db.schema,
+            "select N.nationkey from NATION N where N.name in ('A','B')",
+        )
+        result = compute_get(analysis, paper_baav_schema)
+        assert "N.nationkey" in result.attrs
+
+    def test_range_does_not_bind(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(
+            paper_db.schema,
+            "select N.nationkey from NATION N where N.name > 'A'",
+        )
+        result = compute_get(analysis, paper_baav_schema)
+        assert result.attrs == frozenset()
+
+
+class TestVC:
+    def test_example6_vc(self, paper_db, paper_baav_schema):
+        analysis = get_analysis(paper_db.schema, Q1_PRIME)
+        entries = compute_vc(analysis, paper_baav_schema)
+        by_alias = {}
+        for entry in entries:
+            by_alias.setdefault(entry.alias, set()).update(entry.attrs)
+        assert {"N.name", "N.nationkey"} <= by_alias["N"]
+        assert {"S.nationkey", "S.suppkey"} <= by_alias["S"]
+        assert {"PS.suppkey", "PS.supplycost"} <= by_alias["PS"]
+
+    def test_vc_requires_full_retrievability(
+        self, paper_db, paper_baav_schema
+    ):
+        analysis = get_analysis(
+            paper_db.schema,
+            "select S.suppkey from SUPPLIER S where S.suppkey > 0",
+        )
+        entries = compute_vc(analysis, paper_baav_schema)
+        assert entries == []
+
+
+class TestConditionIII:
+    def test_example6_q1prime_scan_free(self, paper_db, paper_baav_schema):
+        report = is_scan_free(
+            get_analysis(paper_db.schema, Q1_PRIME), paper_baav_schema
+        )
+        assert report.scan_free
+        assert set(report.witnesses) == {"N", "S", "PS"}
+
+    def test_q1_aggregate_scan_free(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        """Theorem 5: the RAaggr Q1 is scan-free via its SPC core."""
+        report = is_scan_free(
+            get_analysis(paper_db.schema, q1_sql), paper_baav_schema
+        )
+        assert report.scan_free
+
+    def test_no_constant_not_scan_free(self, paper_db, paper_baav_schema):
+        report = is_scan_free(
+            get_analysis(
+                paper_db.schema,
+                "select S.suppkey, S.nationkey from SUPPLIER S",
+            ),
+            paper_baav_schema,
+        )
+        assert not report.scan_free
+        assert "S" in report.missing
+
+    def test_partially_covered_join_not_scan_free(
+        self, paper_db, paper_baav_schema
+    ):
+        # constant on PARTSUPP side cannot reach NATION (no schema keyed
+        # on S.suppkey or N.nationkey)
+        sql = """
+        select N.name from SUPPLIER S, NATION N
+        where S.nationkey = N.nationkey and S.suppkey = 1
+        """
+        report = is_scan_free(
+            get_analysis(paper_db.schema, sql), paper_baav_schema
+        )
+        assert not report.scan_free
+
+    def test_minimization_applies(self, paper_schemas, paper_db):
+        """Example 5 continued: Q2 is scan-free over R̃'1 via min(Q2)."""
+        supplier, partsupp, nation = paper_schemas
+        partial = BaaVSchema(
+            [
+                kv_schema("nation_by_name", nation, ["name"]),
+                kv_schema("sup_by_nation", supplier, ["nationkey"]),
+                KVSchema("ps_partial", partsupp, ["suppkey"],
+                         ["partkey", "supplycost"]),
+            ]
+        )
+        q2 = """
+        select PS.suppkey, PS.supplycost
+        from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+        where N.name = 'GERMANY' and N.nationkey = S.nationkey
+          and S.suppkey = PS.suppkey
+          and PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+          and PS.partkey = PS2.partkey
+        """
+        report = is_scan_free(
+            get_analysis(paper_db.schema, q2), partial
+        )
+        assert report.scan_free
+
+
+class TestBounded:
+    def test_bounded_when_degrees_small(
+        self, paper_db, paper_baav_schema, cluster, q1_sql
+    ):
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster
+        )
+        analysis = get_analysis(paper_db.schema, q1_sql)
+        report = is_bounded(analysis, store, degree_bound=10)
+        assert report.bounded
+        assert all(d <= 10 for d in report.degrees.values())
+
+    def test_unbounded_when_degree_exceeds(
+        self, paper_db, paper_baav_schema, cluster, q1_sql
+    ):
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster
+        )
+        analysis = get_analysis(paper_db.schema, q1_sql)
+        report = is_bounded(analysis, store, degree_bound=1)
+        assert report.scan_free and not report.bounded
+
+    def test_non_scan_free_never_bounded(
+        self, paper_db, paper_baav_schema, cluster
+    ):
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster
+        )
+        analysis = get_analysis(
+            paper_db.schema, "select S.suppkey from SUPPLIER S"
+        )
+        report = is_bounded(analysis, store, degree_bound=1000)
+        assert not report.bounded

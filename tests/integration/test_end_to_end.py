@@ -1,0 +1,81 @@
+"""Cross-workload integration: every query, every path, bag-equal."""
+
+import pytest
+
+from repro.relational import bag_diff, bag_equal
+from repro.sql import execute as ra_execute, plan_sql
+from repro.systems import SQLOverNoSQL, ZidianSystem
+from repro.workloads import airca_generator, mot_generator
+from repro.workloads.airca import airca_baav_schema
+from repro.workloads.mot import mot_baav_schema
+from repro.workloads.tpch import QUERIES, query_names, tpch_baav_schema
+
+
+def check_all(db, baav, queries, backend="kudu"):
+    base = SQLOverNoSQL(backend, workers=4, storage_nodes=3)
+    base.load(db)
+    zidian = ZidianSystem(backend, workers=4, storage_nodes=3)
+    zidian.load(db, baav)
+    failures = []
+    for name, sql in queries:
+        plan, _ = plan_sql(sql, db.schema)
+        reference = ra_execute(plan, db)
+        base_result = base.execute(sql)
+        z_result = zidian.execute(sql)
+        if not bag_equal(reference, base_result.relation):
+            failures.append((name, "baseline",
+                             bag_diff(reference, base_result.relation)))
+        if not bag_equal(reference, z_result.relation):
+            failures.append((name, "zidian",
+                             bag_diff(reference, z_result.relation)))
+    assert not failures, failures
+
+
+@pytest.mark.slow
+class TestTPCH:
+    def test_all_22_queries(self, tpch_tiny):
+        queries = [(n, QUERIES[n]) for n in query_names()]
+        check_all(tpch_tiny, tpch_baav_schema(), queries)
+
+
+class TestMOT:
+    def test_all_12_templates(self, mot_small):
+        queries = [
+            (q.template, q.sql)
+            for q in mot_generator(17).generate(mot_small, per_template=1)
+        ]
+        check_all(mot_small, mot_baav_schema(), queries)
+
+
+class TestAIRCA:
+    def test_all_12_templates(self, airca_small):
+        queries = [
+            (q.template, q.sql)
+            for q in airca_generator(17).generate(airca_small, per_template=1)
+        ]
+        check_all(airca_small, airca_baav_schema(), queries)
+
+
+class TestMetricsShape:
+    def test_scan_free_queries_much_fewer_gets(self, mot_small):
+        base = SQLOverNoSQL("hbase", workers=4, storage_nodes=3)
+        base.load(mot_small)
+        zidian = ZidianSystem("hbase", workers=4, storage_nodes=3)
+        zidian.load(mot_small, mot_baav_schema())
+        for q in mot_generator(23).generate(
+            mot_small, per_template=1,
+            templates=("q1", "q2", "q3", "q4", "q5", "q6"),
+        ):
+            m_base = base.execute(q.sql).metrics
+            m_z = zidian.execute(q.sql).metrics
+            assert m_z.n_get * 10 <= m_base.n_get, q.template
+
+    def test_zidian_never_slower(self, mot_small):
+        base = SQLOverNoSQL("kudu", workers=4, storage_nodes=3)
+        base.load(mot_small)
+        zidian = ZidianSystem("kudu", workers=4, storage_nodes=3)
+        zidian.load(mot_small, mot_baav_schema())
+        for q in mot_generator(29).generate(mot_small, per_template=1):
+            m_base = base.execute(q.sql).metrics
+            m_z = zidian.execute(q.sql).metrics
+            assert m_z.sim_time_ms <= m_base.sim_time_ms * 1.05, q.template

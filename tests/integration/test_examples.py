@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, args=(), stdin=""):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "scan_free=True" in proc.stdout
+        assert "Extend" in proc.stdout
+
+    @pytest.mark.slow
+    def test_tpch_case_study(self):
+        proc = run_example("tpch_case_study.py", ["0.001"])
+        assert proc.returncode == 0, proc.stderr
+        assert "SoHZidian" in proc.stdout
+        assert "M1 decision" in proc.stdout
+
+    @pytest.mark.slow
+    def test_mot_fleet_analytics(self):
+        proc = run_example("mot_fleet_analytics.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Incremental maintenance" in proc.stdout
+
+    @pytest.mark.slow
+    def test_schema_design_t2b(self):
+        proc = run_example("schema_design_t2b.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "T2B designed" in proc.stdout
+        assert "Scan-free over the designed schema" in proc.stdout
+
+    @pytest.mark.slow
+    def test_zidian_shell(self):
+        proc = run_example(
+            "zidian_shell.py", ["mot", "1"],
+            stdin=".tables\nq1\n.explain q7\n.quit\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "decision" in proc.stdout
+        assert "verdict" in proc.stdout
+
+    @pytest.mark.slow
+    def test_paper_walkthrough(self):
+        proc = run_example("paper_walkthrough.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Example 7" in proc.stdout
+        assert "scan_free=True" in proc.stdout

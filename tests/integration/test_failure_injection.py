@@ -1,0 +1,209 @@
+"""Failure injection: corrupted storage, missing segments, bad plans."""
+
+import pytest
+
+from repro.baav import BaaVSchema, BaaVStore, kv_schema
+from repro.errors import (
+    BaaVError,
+    CodecError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+)
+from repro.kba import Constant, ExecContext, Extend, ScanKV, TaaVScan, execute
+from repro.kv import KVCluster, codec
+from repro.relational import AttrType, Database, RelationSchema
+
+
+@pytest.fixture()
+def store(paper_db, paper_baav_schema):
+    cluster = KVCluster(3)
+    return BaaVStore.map_database(paper_db, paper_baav_schema, cluster)
+
+
+class TestCorruptedStorage:
+    def test_corrupt_block_payload_raises_codec_error(self, store):
+        instance = store.instance("sup_by_nation")
+        key_bytes = codec.encode_key((10, 0))
+        instance.cluster.put(instance.namespace, key_bytes, b"\xff\xff\xff")
+        with pytest.raises(CodecError):
+            instance.get((10,))
+
+    def test_missing_segment_detected(self, store):
+        instance = store.instance("sup_by_nation")
+        # claim 3 segments but store only segment 0
+        from repro.baav.store import _encode_segment
+        from repro.baav.block import Block
+
+        instance.cluster.put(
+            instance.namespace,
+            codec.encode_key((77, 0)),
+            _encode_segment(3, Block([((1,), 1)])),
+        )
+        with pytest.raises(BaaVError):
+            instance.get((77,))
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(CodecError, ReproError)
+        assert issubclass(BaaVError, ReproError)
+        assert issubclass(PlanError, ReproError)
+
+
+class TestBadPlans:
+    def test_extend_probe_not_covering_key(self, store):
+        plan = Extend(
+            Constant(("x",), ((1,),)),
+            "ps_by_sup",
+            "PS",
+            on=(),  # key not covered
+        )
+        with pytest.raises(PlanError):
+            execute(plan, ExecContext(store))
+
+    def test_extend_unknown_instance(self, store):
+        plan = Extend(
+            Constant(("x",), ((1,),)), "nope", "PS", (("x", "suppkey"),)
+        )
+        with pytest.raises(ReproError):
+            execute(plan, ExecContext(store))
+
+    def test_taav_scan_without_taav_store(self, store):
+        with pytest.raises(ExecutionError):
+            execute(TaaVScan("SUPPLIER", "S"), ExecContext(store, None))
+
+    def test_scan_unknown_instance(self, store):
+        with pytest.raises(ReproError):
+            execute(ScanKV("nope", "S"), ExecContext(store))
+
+    def test_stats_group_without_stats(self, paper_db, paper_baav_schema):
+        from repro.kba import StatsGroup
+        from repro.sql import ast
+        from repro.sql.algebra import AggSpec
+
+        cluster = KVCluster(2)
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster, keep_stats=False
+        )
+        plan = StatsGroup(
+            "ps_by_sup",
+            "PS",
+            (AggSpec("s", "SUM", ast.Column("PS.supplycost")),),
+        )
+        with pytest.raises(ExecutionError):
+            execute(plan, ExecContext(store))
+
+
+class TestEmptyData:
+    def test_empty_database_scan_free_query(self, paper_schemas, paper_baav_schema):
+        supplier, partsupp, nation = paper_schemas
+        empty = Database.from_dict(
+            [supplier, partsupp, nation],
+            {"SUPPLIER": [], "PARTSUPP": [], "NATION": []},
+        )
+        from repro.systems import ZidianSystem
+
+        system = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        system.load(empty, paper_baav_schema)
+        result = system.execute(
+            "select S.suppkey from SUPPLIER S, NATION N "
+            "where S.nationkey = N.nationkey and N.name = 'GERMANY'"
+        )
+        assert result.rows == []
+
+    def test_empty_relation_aggregate(self, paper_schemas, paper_baav_schema):
+        supplier, partsupp, nation = paper_schemas
+        empty = Database.from_dict(
+            [supplier, partsupp, nation],
+            {"SUPPLIER": [], "PARTSUPP": [], "NATION": []},
+        )
+        from repro.systems import SQLOverNoSQL, ZidianSystem
+
+        base = SQLOverNoSQL("kudu", workers=2, storage_nodes=2)
+        base.load(empty)
+        zidian = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        zidian.load(empty, paper_baav_schema)
+        sql = "select count(*) as n, sum(S.suppkey) as s from SUPPLIER S"
+        assert base.execute(sql).rows == [(0, None)]
+        assert zidian.execute(sql).rows == [(0, None)]
+
+    def test_null_join_keys_never_match(self, paper_schemas, paper_baav_schema):
+        supplier, partsupp, nation = paper_schemas
+        db = Database.from_dict(
+            [supplier, partsupp, nation],
+            {
+                "SUPPLIER": [(1, None), (2, 10)],
+                "PARTSUPP": [],
+                "NATION": [(10, "GERMANY"), (None, "NOWHERE")],
+            },
+        )
+        from repro.relational import bag_equal
+        from repro.sql import execute as ra_execute, plan_sql
+        from repro.systems import ZidianSystem
+
+        sql = (
+            "select S.suppkey from SUPPLIER S, NATION N "
+            "where S.nationkey = N.nationkey"
+        )
+        plan, _ = plan_sql(sql, db.schema)
+        reference = ra_execute(plan, db)
+        assert sorted(reference.rows) == [(2,)]
+        system = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        system.load(db, paper_baav_schema)
+        assert bag_equal(system.execute(sql).relation, reference)
+
+
+class TestDisjunctiveQueries:
+    """OR predicates: conservative decisions, still-correct plans."""
+
+    def test_or_within_alias(self, paper_db, paper_baav_schema):
+        from repro.relational import bag_equal
+        from repro.sql import execute as ra_execute, plan_sql
+        from repro.systems import ZidianSystem
+
+        sql = (
+            "select S.suppkey from SUPPLIER S "
+            "where S.nationkey = 10 or S.nationkey = 30"
+        )
+        plan, _ = plan_sql(sql, paper_db.schema)
+        reference = ra_execute(plan, paper_db)
+        system = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        system.load(paper_db, paper_baav_schema)
+        result = system.execute(sql)
+        assert not result.decision.is_scan_free  # conservative
+        assert bag_equal(result.relation, reference)
+
+    def test_or_across_aliases(self, paper_db, paper_baav_schema):
+        from repro.relational import bag_equal
+        from repro.sql import execute as ra_execute, plan_sql
+        from repro.systems import ZidianSystem
+
+        sql = (
+            "select S.suppkey, PS.partkey from SUPPLIER S, PARTSUPP PS "
+            "where S.suppkey = PS.suppkey "
+            "and (S.nationkey = 10 or PS.availqty > 5)"
+        )
+        plan, _ = plan_sql(sql, paper_db.schema)
+        reference = ra_execute(plan, paper_db)
+        system = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        system.load(paper_db, paper_baav_schema)
+        assert bag_equal(system.execute(sql).relation, reference)
+
+    def test_constant_and_or_mix(self, paper_db, paper_baav_schema):
+        """A top-level constant conjunct still drives a scan-free chain
+        even when another conjunct is disjunctive."""
+        from repro.relational import bag_equal
+        from repro.sql import execute as ra_execute, plan_sql
+        from repro.systems import ZidianSystem
+
+        sql = (
+            "select S.suppkey from SUPPLIER S, NATION N "
+            "where S.nationkey = N.nationkey and N.name = 'GERMANY' "
+            "and (S.suppkey = 1 or S.suppkey = 2)"
+        )
+        plan, _ = plan_sql(sql, paper_db.schema)
+        reference = ra_execute(plan, paper_db)
+        system = ZidianSystem("kudu", workers=2, storage_nodes=2)
+        system.load(paper_db, paper_baav_schema)
+        result = system.execute(sql)
+        assert result.decision.is_scan_free
+        assert bag_equal(result.relation, reference)

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kba.blockset import BlockSet
+
+
+def make_blockset():
+    return BlockSet.from_rows(
+        ("k",),
+        ("a", "b"),
+        [
+            ((1, "x", 10), 1),
+            ((1, "y", 20), 2),
+            ((2, "x", 30), 1),
+        ],
+    )
+
+
+class TestBlockSet:
+    def test_from_rows_groups(self):
+        bs = make_blockset()
+        assert bs.num_blocks == 2
+        assert bs.num_entries() == 3
+        assert bs.num_tuples() == 4
+
+    def test_attrs(self):
+        assert make_blockset().attrs == ("k", "a", "b")
+
+    def test_iter_full(self):
+        rows = dict(make_blockset().iter_full())
+        assert rows[(1, "y", 20)] == 2
+
+    def test_expand_bag(self):
+        expanded = sorted(make_blockset().expand(), key=str)
+        assert len(expanded) == 4
+
+    def test_constant(self):
+        bs = BlockSet.constant(("N.name",), [("GERMANY",)])
+        assert bs.num_blocks == 1
+        assert list(bs.iter_full()) == [(("GERMANY",), 1)]
+
+    def test_position(self):
+        bs = make_blockset()
+        assert bs.position("b") == 2
+        with pytest.raises(ExecutionError):
+            bs.position("zz")
+
+    def test_degree(self):
+        assert make_blockset().degree() == 3
+
+    def test_num_values(self):
+        assert make_blockset().num_values() == 9
+
+    def test_size_bytes_positive(self):
+        assert make_blockset().size_bytes() > 0
+
+
+class TestShift:
+    def test_shift_rekeys(self):
+        """↑ preserves the relational version (§4.2)."""
+        bs = make_blockset()
+        shifted = bs.shift(("a",))
+        assert shifted.key_attrs == ("a",)
+        assert set(shifted.value_attrs) == {"k", "b"}
+        # same bag of full rows, possibly reordered columns
+        def normalize(blockset):
+            order = sorted(blockset.attrs)
+            positions = [blockset.attrs.index(a) for a in order]
+            bag = {}
+            for row, count in blockset.iter_full():
+                key = tuple(row[p] for p in positions)
+                bag[key] = bag.get(key, 0) + count
+            return bag
+
+        assert normalize(bs) == normalize(shifted)
+
+    def test_shift_merges_counts(self):
+        bs = BlockSet.from_rows(
+            ("k",), ("a",), [((1, "x"), 1), ((2, "x"), 1)]
+        )
+        shifted = bs.shift(("a",))
+        assert shifted.num_blocks == 1
+        assert shifted.num_tuples() == 2
+
+    def test_shift_to_value_attr_of_paper_example(self):
+        """Example 2: R4<AB, C> shifted on A gives R5<A, BC>."""
+        r4 = BlockSet.from_rows(
+            ("A", "B"),
+            ("C",),
+            [((1, 2, 1), 1), ((1, 2, 3), 1), ((2, 1, 3), 1)],
+        )
+        r5 = r4.shift(("A",))
+        assert r5.key_attrs == ("A",)
+        assert sorted(r5.data[(1,)]) == [((2, 1), 1), ((2, 3), 1)]
+
+    def test_shift_missing_attr(self):
+        with pytest.raises(ExecutionError):
+            make_blockset().shift(("zz",))

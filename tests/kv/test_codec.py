@@ -1,0 +1,97 @@
+import pytest
+
+from repro.errors import CodecError
+from repro.kv import codec
+
+
+VALUES = [None, True, False, 0, -1, 2**40, -(2**40), 0.0, -3.5, 1e300,
+           "", "hello", "ünïcode", "with'quote", "a" * 500]
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", VALUES)
+    def test_roundtrip(self, value):
+        data = codec.encode_value(value)
+        out, pos = codec.decode_value(data, 0)
+        assert out == value
+        assert pos == len(data)
+        # bool/int distinction preserved
+        assert type(out) is type(value)
+
+    def test_unknown_type(self):
+        with pytest.raises(CodecError):
+            codec.encode_value([1])
+
+    def test_truncated(self):
+        data = codec.encode_value("hello")
+        with pytest.raises(Exception):
+            codec.decode_value(data[:2], 0)
+
+
+class TestRowCodec:
+    @pytest.mark.parametrize(
+        "row",
+        [(), (1,), (1, "a", None, 2.5), tuple(range(100))],
+    )
+    def test_roundtrip(self, row):
+        data = codec.encode_row(row)
+        out, pos = codec.decode_row(data)
+        assert out == row
+        assert pos == len(data)
+
+    def test_concatenated_rows(self):
+        data = codec.encode_row((1, 2)) + codec.encode_row(("x",))
+        first, pos = codec.decode_row(data, 0)
+        second, end = codec.decode_row(data, pos)
+        assert first == (1, 2)
+        assert second == ("x",)
+        assert end == len(data)
+
+
+class TestEntriesCodec:
+    def test_roundtrip(self):
+        entries = [((1, "a"), 3), ((2, None), 1)]
+        data = codec.encode_entries(entries)
+        out, _ = codec.decode_entries(data)
+        assert out == entries
+
+    def test_empty(self):
+        out, _ = codec.decode_entries(codec.encode_entries([]))
+        assert out == []
+
+
+class TestKeyCodec:
+    @pytest.mark.parametrize(
+        "key", [(), (1,), ("GERMANY",), (1, "x", 2.5), (None,)]
+    )
+    def test_roundtrip(self, key):
+        assert codec.decode_key(codec.encode_key(key)) == key
+
+    def test_distinct_keys_distinct_bytes(self):
+        seen = set()
+        for key in [(1,), (2,), ("1",), (1, 2), ((1))]:
+            if not isinstance(key, tuple):
+                key = (key,)
+            seen.add(codec.encode_key(key))
+        assert len(seen) == 4  # (1,) appears twice
+
+    def test_int_vs_string_unambiguous(self):
+        assert codec.encode_key((1,)) != codec.encode_key(("1",))
+
+
+class TestVarint:
+    @pytest.mark.parametrize("n", [0, 1, 127, 128, 300, 2**21, 2**40])
+    def test_roundtrip(self, n):
+        out = []
+        codec._write_varint(out, n)
+        data = b"".join(out)
+        value, pos = codec._read_varint(data, 0)
+        assert value == n and pos == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            codec._write_varint([], -1)
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            codec._read_varint(b"\x80", 0)

@@ -1,0 +1,79 @@
+from repro.kv.memstore import MemStore
+
+
+class TestMemStore:
+    def test_put_get(self):
+        store = MemStore()
+        store.put(b"k1", b"v1")
+        assert store.get(b"k1") == b"v1"
+        assert store.get(b"nope") is None
+
+    def test_overwrite(self):
+        store = MemStore()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = MemStore()
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_contains(self):
+        store = MemStore()
+        store.put(b"k", b"v")
+        assert b"k" in store and b"x" not in store
+
+    def test_keys_sorted(self):
+        store = MemStore()
+        for key in (b"c", b"a", b"b"):
+            store.put(key, b"v")
+        assert store.keys() == [b"a", b"b", b"c"]
+
+    def test_next_key_iteration(self):
+        store = MemStore()
+        for key in (b"b", b"a", b"c"):
+            store.put(key, b"v")
+        seen = []
+        cursor = store.next_key(None)
+        while cursor is not None:
+            seen.append(cursor)
+            cursor = store.next_key(cursor)
+        assert seen == [b"a", b"b", b"c"]
+
+    def test_next_key_empty(self):
+        assert MemStore().next_key() is None
+
+    def test_next_key_after_last(self):
+        store = MemStore()
+        store.put(b"a", b"v")
+        assert store.next_key(b"a") is None
+
+    def test_next_key_sees_new_writes(self):
+        store = MemStore()
+        store.put(b"a", b"v")
+        assert store.next_key(None) == b"a"
+        store.put(b"b", b"v")
+        assert store.next_key(b"a") == b"b"
+
+    def test_scan_prefix(self):
+        store = MemStore()
+        store.put(b"ns1:a", b"1")
+        store.put(b"ns1:b", b"2")
+        store.put(b"ns2:a", b"3")
+        assert [k for k, _ in store.scan(b"ns1:")] == [b"ns1:a", b"ns1:b"]
+
+    def test_size_bytes(self):
+        store = MemStore()
+        store.put(b"ab", b"xyz")
+        assert store.size_bytes() == 5
+
+    def test_clear(self):
+        store = MemStore()
+        store.put(b"a", b"v")
+        store.clear()
+        assert len(store) == 0
+        assert store.keys() == []

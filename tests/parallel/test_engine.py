@@ -1,0 +1,124 @@
+"""Tests for the baseline and interleaved parallel engines (§7)."""
+
+import pytest
+
+from repro.baav import BaaVStore
+from repro.core import Zidian
+from repro.kv import KVCluster, TaaVStore, profile
+from repro.parallel import BaselineEngine, ZidianEngine
+from repro.relational.compare import rows_bag_equal
+from repro.sql import execute as ra_execute, plan_sql
+from repro.sql.planner import bind, build_plan
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def setup(paper_db, paper_baav_schema):
+    cluster = KVCluster(4)
+    taav = TaaVStore.from_database(paper_db, cluster)
+    store = BaaVStore.map_database(paper_db, paper_baav_schema, cluster)
+    zidian = Zidian(paper_db.schema, paper_baav_schema, store)
+    return paper_db, cluster, taav, store, zidian
+
+
+def reference_rows(db, sql):
+    plan, _ = plan_sql(sql, db.schema)
+    return ra_execute(plan, db).rows
+
+
+class TestBaselineEngine:
+    def test_correctness(self, setup, q1_sql):
+        db, cluster, taav, _, _ = setup
+        plan = build_plan(bind(parse(q1_sql), db.schema))
+        engine = BaselineEngine(taav, cluster, profile("hbase"), 4)
+        table, metrics = engine.execute(plan)
+        assert rows_bag_equal(table.rows, reference_rows(db, q1_sql))
+
+    def test_fetches_entire_relations(self, setup, q1_sql):
+        """§7.1: the baseline retrieves all relations involved in Q."""
+        db, cluster, taav, _, _ = setup
+        plan = build_plan(bind(parse(q1_sql), db.schema))
+        cluster.reset_counters()
+        engine = BaselineEngine(taav, cluster, profile("hbase"), 4)
+        _, metrics = engine.execute(plan)
+        assert metrics.n_get == db.num_tuples()
+        assert metrics.data_values == db.num_values()
+
+    def test_job_overhead_included(self, setup, q1_sql):
+        db, cluster, taav, _, _ = setup
+        plan = build_plan(bind(parse(q1_sql), db.schema))
+        engine = BaselineEngine(taav, cluster, profile("hbase"), 4)
+        _, metrics = engine.execute(plan)
+        assert metrics.stages[0].name == "job-overhead"
+        assert metrics.sim_time_ms >= profile("hbase").job_overhead_ms
+
+    def test_more_workers_faster(self, setup, q1_sql):
+        db, cluster, taav, _, _ = setup
+        plan = build_plan(bind(parse(q1_sql), db.schema))
+        slow = BaselineEngine(taav, cluster, profile("hbase"), 1)
+        _, m1 = slow.execute(plan)
+        fast = BaselineEngine(taav, cluster, profile("hbase"), 16)
+        _, m2 = fast.execute(plan)
+        assert m2.sim_time_ms <= m1.sim_time_ms
+
+
+class TestZidianEngine:
+    def test_correctness(self, setup, q1_sql):
+        db, cluster, taav, store, zidian = setup
+        plan, _ = zidian.plan(q1_sql)
+        engine = ZidianEngine(store, taav, cluster, profile("hbase"), 4)
+        table, _ = engine.execute(plan)
+        assert rows_bag_equal(table.rows, reference_rows(db, q1_sql))
+
+    def test_scan_free_no_scans(self, setup, q1_sql):
+        """Proposition 7(a): scan-free plans never scan a KV instance."""
+        db, cluster, taav, store, zidian = setup
+        plan, decision = zidian.plan(q1_sql)
+        assert decision.is_scan_free
+        cluster.reset_counters()
+        engine = ZidianEngine(store, taav, cluster, profile("hbase"), 4)
+        _, metrics = engine.execute(plan)
+        # probes only: fewer gets than tuples, and no scan stages at all
+        assert metrics.n_get < db.num_tuples()
+        assert not any(s.name.startswith("scan") for s in metrics.stages)
+        assert not any(s.name.startswith("taav") for s in metrics.stages)
+
+    def test_communication_below_baseline(self, setup, q1_sql):
+        db, cluster, taav, store, zidian = setup
+        ra_plan = build_plan(bind(parse(q1_sql), db.schema))
+        base = BaselineEngine(taav, cluster, profile("hbase"), 4)
+        _, m_base = base.execute(ra_plan)
+        plan, _ = zidian.plan(q1_sql)
+        zeng = ZidianEngine(store, taav, cluster, profile("hbase"), 4)
+        _, m_z = zeng.execute(plan)
+        assert m_z.comm_bytes < m_base.comm_bytes
+
+    def test_extend_stage_records_repartition(self, setup, q1_sql):
+        db, cluster, taav, store, zidian = setup
+        plan, _ = zidian.plan(q1_sql)
+        engine = ZidianEngine(store, taav, cluster, profile("hbase"), 4)
+        _, metrics = engine.execute(plan)
+        extend_stages = [
+            s for s in metrics.stages if s.name.startswith("extend")
+        ]
+        assert len(extend_stages) == 3  # N, S, PS
+
+    def test_non_scan_free_still_correct(self, setup):
+        db, cluster, taav, store, zidian = setup
+        sql = "select S.nationkey, count(*) as n from SUPPLIER S group by S.nationkey"
+        plan, decision = zidian.plan(sql)
+        assert not decision.is_scan_free
+        engine = ZidianEngine(store, taav, cluster, profile("kudu"), 4)
+        table, _ = engine.execute(plan)
+        assert rows_bag_equal(table.rows, reference_rows(db, sql))
+
+    def test_parallel_scalability(self, setup, q1_sql):
+        """Theorem 8: adding workers does not slow Zidian down."""
+        db, cluster, taav, store, zidian = setup
+        plan, _ = zidian.plan(q1_sql)
+        times = []
+        for p in (1, 4, 16):
+            engine = ZidianEngine(store, taav, cluster, profile("kudu"), p)
+            _, metrics = engine.execute(plan)
+            times.append(metrics.sim_time_ms)
+        assert times[2] <= times[1] <= times[0]

@@ -1,0 +1,89 @@
+"""Tests for hash partitioning and the skew observability (§7.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kba.blockset import BlockSet
+from repro.parallel import (
+    blockset_skew,
+    partition_blockset,
+    partition_keys,
+    partition_rows,
+    skew_factor,
+)
+
+
+class TestPartitioning:
+    def test_counts_cover_all_keys(self):
+        keys = [(i,) for i in range(100)]
+        counts = partition_keys(keys, 8)
+        assert sum(counts) == 100
+        assert len(counts) == 8
+
+    def test_deterministic(self):
+        keys = [(i, "x") for i in range(50)]
+        assert partition_keys(keys, 4) == partition_keys(keys, 4)
+
+    def test_roughly_balanced_on_distinct_keys(self):
+        counts = partition_keys([(i,) for i in range(4000)], 8)
+        assert skew_factor(counts) < 1.2
+
+    def test_single_worker(self):
+        counts = partition_keys([(1,), (2,)], 1)
+        assert counts == [2]
+
+    def test_partition_rows_bytes(self):
+        rows = [(1, "abc"), (2, "de")]
+        sizes = partition_rows(rows, [0], 4)
+        assert sum(sizes) == sum(8 + 4 + len(s) for _, s in rows)
+
+    def test_partition_blockset(self):
+        blockset = BlockSet.from_rows(
+            ("k",), ("v",), [((i, i * 10), 1) for i in range(200)]
+        )
+        sizes = partition_blockset(blockset, 4)
+        assert all(s > 0 for s in sizes)
+        assert skew_factor(sizes) < 1.5
+
+
+class TestSkewFactor:
+    def test_even_is_one(self):
+        assert skew_factor([10, 10, 10, 10]) == 1.0
+
+    def test_all_on_one_worker(self):
+        assert skew_factor([40, 0, 0, 0]) == 4.0
+
+    def test_empty_is_one(self):
+        assert skew_factor([]) == 1.0
+        assert skew_factor([0, 0]) == 1.0
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_bounds(self, sizes):
+        factor = skew_factor(sizes)
+        assert 1.0 <= factor <= len(sizes) + 1e-9
+
+
+class TestSkewInMetrics:
+    def test_skewed_group_key_reported(self, mot_small):
+        """Grouping MOT by a Zipf attribute shows real skew in the stage."""
+        from repro.baav import BaaVStore
+        from repro.core import Zidian
+        from repro.kv import KVCluster, TaaVStore, profile
+        from repro.parallel import ZidianEngine
+        from repro.workloads.mot import mot_baav_schema
+
+        cluster = KVCluster(4)
+        taav = TaaVStore.from_database(mot_small, cluster)
+        store = BaaVStore.map_database(mot_small, mot_baav_schema(), cluster)
+        zidian = Zidian(mot_small.schema, mot_baav_schema(), store)
+        plan, _ = zidian.plan(
+            "select V.make, count(*) as n from VEHICLE V group by V.make"
+        )
+        engine = ZidianEngine(store, taav, cluster, profile("kudu"), 8)
+        _, metrics = engine.execute(plan)
+        group_stages = [s for s in metrics.stages if s.name == "groupk"]
+        assert group_stages
+        # ~40 Zipf-weighted makes over 8 workers: visibly uneven
+        assert group_stages[0].skew > 1.0

@@ -1,0 +1,111 @@
+"""Property tests for the BaaV mapping and block invariants (§4.1)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baav import BaaVSchema, BaaVStore, Block, Maintainer, kv_schema, split_block
+from repro.kv import KVCluster
+from repro.relational import AttrType, Database, RelationSchema
+
+SCHEMA = RelationSchema.of(
+    "R",
+    {"a": AttrType.INT, "b": AttrType.INT, "c": AttrType.STR},
+    [],
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from(["x", "y", "z"]),
+    ),
+    max_size=30,
+)
+
+
+def make_store(rows, key, compress=True, split_threshold=10_000):
+    db = Database.from_dict([SCHEMA], {"R": rows})
+    baav = BaaVSchema([kv_schema("r", SCHEMA, key)])
+    store = BaaVStore.map_database(
+        db, baav, KVCluster(3), compress=compress,
+        split_threshold=split_threshold,
+    )
+    return db, store.instance("r")
+
+
+@given(rows_strategy, st.sampled_from([["a"], ["b"], ["a", "b"], ["c"]]))
+@settings(max_examples=40, deadline=None)
+def test_mapping_roundtrip(rows, key):
+    """relational_version(map(D)) == π_XY(D) as a bag (§4.1)."""
+    db, instance = make_store(rows, key)
+    attrs = list(instance.schema.key) + list(instance.schema.value)
+    expected = Counter(db["R"].project(attrs))
+    got = Counter(instance.relational_version().rows)
+    assert got == expected
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_compression_invisible_to_reads(rows):
+    _, compressed = make_store(rows, ["a"], compress=True)
+    _, raw = make_store(rows, ["a"], compress=False)
+    assert Counter(compressed.relational_version().rows) == Counter(
+        raw.relational_version().rows
+    )
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=7))
+@settings(max_examples=25, deadline=None)
+def test_split_threshold_invisible_to_reads(rows, threshold):
+    _, whole = make_store(rows, ["a"])
+    _, split = make_store(rows, ["a"], split_threshold=threshold)
+    assert Counter(whole.relational_version().rows) == Counter(
+        split.relational_version().rows
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_degree_equals_max_group(rows):
+    _, instance = make_store(rows, ["a"])
+    groups = Counter(r[0] for r in rows)
+    expected = max(groups.values()) if groups else 0
+    assert instance.degree == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 5)), max_size=10
+    ),
+    st.integers(min_value=1, max_value=6),
+)
+def test_split_block_preserves_bag_and_bounds(entries, max_tuples):
+    block = Block([(row, count) for row, count in
+                   [((a,), c) for a, c in entries]])
+    segments = split_block(block, max_tuples)
+    assert all(s.num_tuples <= max_tuples for s in segments)
+    merged = Counter()
+    for segment in segments:
+        for row in segment.expand():
+            merged[row] += 1
+    assert merged == Counter(block.expand())
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_incremental_maintenance_equals_rebuild(initial, inserts):
+    """maintain(map(D), Δ) == map(D + Δ) — §8.2 incremental updates."""
+    db, instance = make_store(initial, ["a"])
+    store = BaaVStore(
+        BaaVSchema([instance.schema]), instance.cluster
+    )
+    store.instances["r"] = instance
+    Maintainer(store).insert("R", inserts)
+
+    updated = Database.from_dict([SCHEMA], {"R": initial + inserts})
+    _, rebuilt = make_store(initial + inserts, ["a"])
+    assert Counter(instance.relational_version().rows) == Counter(
+        rebuilt.relational_version().rows
+    )

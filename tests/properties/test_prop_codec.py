@@ -1,0 +1,60 @@
+"""Property-based tests for the KV codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv import codec
+
+value_strategy = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+)
+row_strategy = st.tuples() | st.lists(value_strategy, max_size=8).map(tuple)
+
+
+@given(value_strategy)
+def test_value_roundtrip(value):
+    data = codec.encode_value(value)
+    out, pos = codec.decode_value(data, 0)
+    assert out == value
+    assert pos == len(data)
+
+
+@given(row_strategy)
+def test_row_roundtrip(row):
+    data = codec.encode_row(row)
+    out, pos = codec.decode_row(data)
+    assert out == row
+    assert pos == len(data)
+
+
+@given(row_strategy)
+def test_key_roundtrip(key):
+    assert codec.decode_key(codec.encode_key(key)) == key
+
+
+@given(st.lists(row_strategy, max_size=4))
+def test_keys_injective(keys):
+    """Distinct key tuples encode to distinct bytes."""
+    encoded = {}
+    for key in keys:
+        data = codec.encode_key(key)
+        if data in encoded:
+            assert encoded[data] == key
+        encoded[data] = key
+
+
+@given(
+    st.lists(
+        st.tuples(row_strategy, st.integers(min_value=1, max_value=100)),
+        max_size=6,
+    )
+)
+def test_entries_roundtrip(entries):
+    data = codec.encode_entries(entries)
+    out, pos = codec.decode_entries(data)
+    assert out == entries
+    assert pos == len(data)

@@ -1,0 +1,143 @@
+"""The flagship property: Zidian answers == reference SQL answers.
+
+Random select-project-join(-aggregate) queries over a random database,
+executed three ways — reference in-memory, baseline SQL-over-NoSQL, and
+Zidian KBA plans — must agree as bags (Theorem 6 correctness).
+"""
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baav import BaaVSchema, KVSchema
+from repro.relational import AttrType, Database, RelationSchema, bag_equal, bag_diff
+from repro.sql import execute as ra_execute, plan_sql
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+VEHICLE = RelationSchema.of(
+    "V",
+    {"vid": AttrType.INT, "make": AttrType.STR, "region": AttrType.INT},
+    ["vid"],
+)
+EVENT = RelationSchema.of(
+    "E",
+    {
+        "eid": AttrType.INT,
+        "vid": AttrType.INT,
+        "kind": AttrType.STR,
+        "score": AttrType.INT,
+    },
+    ["eid"],
+)
+
+BAAV = BaaVSchema(
+    [
+        KVSchema("v_by_id", VEHICLE, ["vid"], ["make", "region"]),
+        KVSchema("v_by_make", VEHICLE, ["make"], ["vid", "region"]),
+        KVSchema("e_by_vid", EVENT, ["vid"], ["eid", "kind", "score"]),
+        KVSchema("e_by_kind", EVENT, ["kind"], ["eid", "vid", "score"]),
+    ]
+)
+
+MAKES = ["ford", "bmw", "audi"]
+KINDS = ["pass", "fail"]
+
+
+@st.composite
+def database_strategy(draw):
+    n_vehicles = draw(st.integers(min_value=0, max_value=8))
+    vehicles = [
+        (
+            vid,
+            draw(st.sampled_from(MAKES)),
+            draw(st.integers(0, 2)),
+        )
+        for vid in range(n_vehicles)
+    ]
+    n_events = draw(st.integers(min_value=0, max_value=15))
+    events = [
+        (
+            eid,
+            draw(st.integers(0, max(0, n_vehicles - 1) or 0)),
+            draw(st.sampled_from(KINDS)),
+            draw(st.integers(0, 50)),
+        )
+        for eid in range(n_events)
+    ]
+    return Database.from_dict(
+        [VEHICLE, EVENT], {"V": vehicles, "E": events}
+    )
+
+
+@st.composite
+def query_strategy(draw):
+    make = draw(st.sampled_from(MAKES))
+    kind = draw(st.sampled_from(KINDS))
+    shape = draw(st.integers(0, 5))
+    if shape == 0:
+        return (
+            f"select V.vid, V.region from V where V.make = '{make}'"
+        )
+    if shape == 1:
+        return (
+            "select V.vid, E.kind, E.score from V, E "
+            f"where V.vid = E.vid and V.make = '{make}'"
+        )
+    if shape == 2:
+        threshold = draw(st.integers(0, 50))
+        return (
+            "select E.eid, V.make from V, E "
+            f"where V.vid = E.vid and E.kind = '{kind}' "
+            f"and E.score > {threshold}"
+        )
+    if shape == 3:
+        return (
+            "select V.make, sum(E.score) as total, count(*) as n "
+            "from V, E where V.vid = E.vid "
+            f"and E.kind = '{kind}' group by V.make"
+        )
+    if shape == 4:
+        return (
+            "select E.kind, max(E.score) as hi from E group by E.kind"
+        )
+    return (
+        "select V.region, count(*) as n from V, E "
+        f"where V.vid = E.vid and V.make in ('{make}', 'bmw') "
+        "group by V.region"
+    )
+
+
+@given(database_strategy(), query_strategy())
+@settings(max_examples=60, deadline=None)
+def test_three_way_equivalence(db, sql):
+    plan, _ = plan_sql(sql, db.schema)
+    reference = ra_execute(plan, db)
+
+    baseline = SQLOverNoSQL("kudu", workers=2, storage_nodes=2)
+    baseline.load(db)
+    base_result = baseline.execute(sql)
+    assert bag_equal(reference, base_result.relation), bag_diff(
+        reference, base_result.relation
+    )
+
+    zidian = ZidianSystem("kudu", workers=2, storage_nodes=2)
+    zidian.load(db, BAAV)
+    z_result = zidian.execute(sql)
+    assert bag_equal(reference, z_result.relation), (
+        sql + "\n" + bag_diff(reference, z_result.relation)
+    )
+
+
+@given(database_strategy())
+@settings(max_examples=20, deadline=None)
+def test_scan_free_decision_stable_across_data(db):
+    """Scan-freeness is a schema-level property: data independent."""
+    from repro.core import Zidian
+
+    zidian = Zidian(db.schema, BAAV)
+    sql = (
+        "select V.vid, E.score from V, E "
+        "where V.vid = E.vid and V.make = 'ford'"
+    )
+    assert zidian.decide(sql).is_scan_free

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import AttrType, Database, Relation, RelationSchema
+from repro.relational.compare import bag_equal, normalize_row, rows_bag_equal
+
+
+def make_relation():
+    schema = RelationSchema.of(
+        "R", {"a": AttrType.INT, "b": AttrType.STR}, ["a"]
+    )
+    return Relation(schema, [(1, "x"), (2, "y"), (2, "y"), (3, None)])
+
+
+class TestRelation:
+    def test_len_and_iter(self):
+        rel = make_relation()
+        assert len(rel) == 4
+        assert list(rel)[0] == (1, "x")
+
+    def test_project_is_bag(self):
+        rel = make_relation()
+        assert rel.project(["b"]) == [("x",), ("y",), ("y",), (None,)]
+
+    def test_select(self):
+        rel = make_relation()
+        out = rel.select(lambda r: r[0] == 2)
+        assert len(out) == 2
+
+    def test_column_and_distinct(self):
+        rel = make_relation()
+        assert rel.column("a") == [1, 2, 2, 3]
+        assert rel.distinct_values("a") == {1, 2, 3}
+
+    def test_num_values(self):
+        assert make_relation().num_values() == 8
+
+    def test_size_bytes_positive(self):
+        assert make_relation().size_bytes() > 0
+
+    def test_bag_equality_ignores_order(self):
+        rel1 = make_relation()
+        schema = rel1.schema
+        rel2 = Relation(schema, [(3, None), (2, "y"), (1, "x"), (2, "y")])
+        assert rel1 == rel2
+
+    def test_bag_equality_respects_multiplicity(self):
+        rel1 = make_relation()
+        rel2 = Relation(rel1.schema, [(1, "x"), (2, "y"), (3, None)])
+        assert rel1 != rel2
+
+    def test_validate_arity(self):
+        rel = Relation(make_relation().schema, [(1,)])
+        with pytest.raises(SchemaError):
+            rel.validate()
+
+    def test_validate_types(self):
+        from repro.errors import TypeMismatchError
+
+        rel = Relation(make_relation().schema, [("bad", "x")])
+        with pytest.raises(TypeMismatchError):
+            rel.validate()
+
+    def test_pretty_contains_header(self):
+        text = make_relation().pretty()
+        assert "a" in text and "b" in text and "NULL" in text
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_relation())
+
+
+class TestCompare:
+    def test_normalize_row_floats(self):
+        assert normalize_row((369.34000000000003,)) == normalize_row((369.34,))
+
+    def test_rows_bag_equal_tolerates_epsilon(self):
+        assert rows_bag_equal([(1, 533.9599999999999)], [(1, 533.96)])
+
+    def test_rows_bag_not_equal_on_real_difference(self):
+        assert not rows_bag_equal([(1, 533.0)], [(1, 534.0)])
+
+    def test_bag_equal_checks_names(self):
+        rel1 = make_relation()
+        other_schema = RelationSchema.of(
+            "R", {"x": AttrType.INT, "b": AttrType.STR}
+        )
+        rel2 = Relation(other_schema, rel1.rows)
+        assert not bag_equal(rel1, rel2)
+        assert bag_equal(rel1, rel2, check_names=False)
+
+
+class TestDatabase:
+    def test_from_dict_and_counts(self, paper_db):
+        assert paper_db.num_tuples() == 4 + 5 + 3
+        assert "SUPPLIER" in paper_db
+
+    def test_getitem(self, paper_db):
+        assert len(paper_db["NATION"]) == 3
+
+    def test_insert(self, paper_db):
+        paper_db.insert("NATION", (40, "ITALY"))
+        assert len(paper_db["NATION"]) == 4
+
+    def test_copy_is_independent(self, paper_db):
+        copy = paper_db.copy()
+        copy.insert("NATION", (40, "ITALY"))
+        assert len(paper_db["NATION"]) == 3
+
+    def test_summary(self, paper_db):
+        assert "SUPPLIER" in paper_db.summary()
+
+    def test_unknown_relation(self, paper_db):
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            paper_db.relation("NOPE")

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational import Attribute, AttrType, DatabaseSchema, RelationSchema
+
+
+class TestAttribute:
+    def test_basic(self):
+        attr = Attribute("name", AttrType.STR)
+        assert attr.name == "name"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_default_type(self):
+        assert Attribute("x").type is AttrType.STR
+
+
+class TestRelationSchema:
+    def make(self):
+        return RelationSchema.of(
+            "R",
+            {"a": AttrType.INT, "b": AttrType.STR, "c": AttrType.FLOAT},
+            ["a"],
+        )
+
+    def test_attribute_names(self):
+        assert self.make().attribute_names == ("a", "b", "c")
+
+    def test_arity(self):
+        assert self.make().arity == 3
+
+    def test_index_of(self):
+        schema = self.make()
+        assert schema.index_of("b") == 1
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("z")
+
+    def test_contains(self):
+        schema = self.make()
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_type_of(self):
+        assert self.make().type_of("c") is AttrType.FLOAT
+
+    def test_primary_key(self):
+        assert self.make().primary_key == ("a",)
+
+    def test_unknown_pk_rejected(self):
+        with pytest.raises(UnknownAttributeError):
+            RelationSchema.of("R", {"a": AttrType.INT}, ["nope"])
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Attribute("a"), Attribute("a")])
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_project_positions(self):
+        assert self.make().project_positions(["c", "a"]) == (2, 0)
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        other = RelationSchema.of("R", {"a": AttrType.INT}, ["a"])
+        assert self.make() != other
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema()
+        r = RelationSchema.of("R", {"a": AttrType.INT})
+        schema.add(r)
+        assert schema.relation("R") is r
+        assert "R" in schema
+        assert len(schema) == 1
+
+    def test_duplicate_rejected(self):
+        r = RelationSchema.of("R", {"a": AttrType.INT})
+        schema = DatabaseSchema([r])
+        with pytest.raises(SchemaError):
+            schema.add(r)
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseSchema().relation("nope")
+
+    def test_total_attributes(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema.of("R", {"a": AttrType.INT, "b": AttrType.INT}),
+                RelationSchema.of("S", {"c": AttrType.INT}),
+            ]
+        )
+        assert schema.total_attributes() == 3

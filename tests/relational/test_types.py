@@ -1,0 +1,82 @@
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    AttrType,
+    infer_type,
+    row_size,
+    value_size,
+)
+
+
+class TestAttrType:
+    def test_validate_int(self):
+        AttrType.INT.validate(5)
+
+    def test_validate_int_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            AttrType.INT.validate("5")
+
+    def test_validate_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttrType.INT.validate(True)
+
+    def test_validate_float_accepts_int(self):
+        AttrType.FLOAT.validate(5)
+        AttrType.FLOAT.validate(5.5)
+
+    def test_validate_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            AttrType.FLOAT.validate(False)
+
+    def test_validate_str(self):
+        AttrType.STR.validate("hello")
+        with pytest.raises(TypeMismatchError):
+            AttrType.STR.validate(5)
+
+    def test_validate_date_is_string(self):
+        AttrType.DATE.validate("1994-01-01")
+
+    def test_null_always_valid(self):
+        for attr_type in AttrType:
+            attr_type.validate(None)
+
+    def test_python_type(self):
+        assert AttrType.INT.python_type is int
+        assert AttrType.STR.python_type is str
+
+
+class TestSizeModel:
+    def test_numeric_sizes(self):
+        assert value_size(42) == 8
+        assert value_size(3.14) == 8
+
+    def test_bool_size(self):
+        assert value_size(True) == 1
+
+    def test_null_size(self):
+        assert value_size(None) == 1
+
+    def test_string_size_scales_with_length(self):
+        assert value_size("ab") == 4 + 2
+        assert value_size("") == 4
+
+    def test_row_size_sums(self):
+        assert row_size((1, "ab", None)) == 8 + 6 + 1
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeMismatchError):
+            value_size([1, 2])
+
+
+class TestInferType:
+    def test_infer(self):
+        assert infer_type(1) is AttrType.INT
+        assert infer_type(1.0) is AttrType.FLOAT
+        assert infer_type("x") is AttrType.STR
+        assert infer_type(True) is AttrType.BOOL
+        assert infer_type(None) is None
+
+    def test_infer_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())

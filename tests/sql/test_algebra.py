@@ -1,0 +1,82 @@
+"""RA plan-node invariants and utilities."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sql import algebra, ast
+
+
+def scan(alias="R"):
+    node = algebra.ScanNode("R", alias)
+    node.output = (f"{alias}.a", f"{alias}.b")
+    return node
+
+
+class TestOutputs:
+    def test_select_passes_output_through(self):
+        node = algebra.SelectNode(scan(), ast.Lit(True))
+        assert node.output == ("R.a", "R.b")
+
+    def test_project_renames(self):
+        node = algebra.ProjectNode(
+            scan(), [("x", ast.Column("R.a")), ("y", ast.Column("R.b"))]
+        )
+        assert node.output == ("x", "y")
+
+    def test_join_concatenates(self):
+        node = algebra.JoinNode(scan("R"), scan("S"), [("R.a", "S.a")])
+        assert node.output == ("R.a", "R.b", "S.a", "S.b")
+
+    def test_groupby_output(self):
+        node = algebra.GroupByNode(
+            scan(),
+            ["R.a"],
+            ["R.a"],
+            [algebra.AggSpec("n", "COUNT", None)],
+        )
+        assert node.output == ("R.a", "n")
+
+    def test_groupby_misaligned_keys_rejected(self):
+        with pytest.raises(PlanError):
+            algebra.GroupByNode(scan(), ["R.a"], [], [])
+
+    def test_union_arity_check(self):
+        bad = algebra.ScanNode("S", "S")
+        bad.output = ("S.a",)
+        with pytest.raises(PlanError):
+            algebra.UnionNode(scan(), bad)
+
+    def test_difference_arity_check(self):
+        bad = algebra.ScanNode("S", "S")
+        bad.output = ("S.a",)
+        with pytest.raises(PlanError):
+            algebra.DifferenceNode(scan(), bad)
+
+
+class TestUtilities:
+    def test_leaves_in_order(self):
+        left = scan("A")
+        right = scan("B")
+        plan = algebra.SelectNode(
+            algebra.JoinNode(left, right, []), ast.Lit(True)
+        )
+        assert [s.alias for s in algebra.leaves(plan)] == ["A", "B"]
+
+    def test_describe_renders_tree(self):
+        plan = algebra.LimitNode(
+            algebra.OrderByNode(scan(), [(ast.Column("R.a"), True)]), 5
+        )
+        text = plan.describe()
+        assert "Limit(5)" in text
+        assert "OrderBy" in text
+        assert "Scan(R AS R)" in text
+
+    def test_table_node_output(self):
+        from repro.sql.executor import Table
+
+        node = algebra.TableNode(Table(("x", "y"), []))
+        assert node.output == ("x", "y")
+
+    def test_agg_spec_str(self):
+        spec = algebra.AggSpec("n", "COUNT", None)
+        assert str(spec) == "COUNT(*) AS n"

@@ -1,0 +1,106 @@
+"""UNION ALL / EXCEPT ALL — KBA's ∪ and − exposed through SQL."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.relational import AttrType, Database, RelationSchema, bag_equal
+from repro.sql import ast, execute, parse, plan_sql
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+
+@pytest.fixture()
+def db():
+    r = RelationSchema.of(
+        "R", {"a": AttrType.INT, "b": AttrType.STR}, ["a"]
+    )
+    return Database.from_dict(
+        [r], {"R": [(1, "x"), (2, "y"), (3, "x"), (4, "z")]}
+    )
+
+
+class TestParsing:
+    def test_union_all(self):
+        stmt = parse("select a from R union all select a from R")
+        assert isinstance(stmt, ast.CompoundSelect)
+        assert stmt.op == "union"
+
+    def test_except_all(self):
+        stmt = parse("select a from R except all select a from R")
+        assert stmt.op == "except"
+
+    def test_left_associative_chain(self):
+        stmt = parse(
+            "select a from R union all select a from R "
+            "except all select a from R"
+        )
+        assert stmt.op == "except"
+        assert isinstance(stmt.left, ast.CompoundSelect)
+
+    def test_bag_only(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("select a from R union select a from R")
+
+    def test_str_roundtrip(self):
+        text = "select a from R union all select a from R"
+        assert "UNION ALL" in str(parse(text))
+
+
+class TestExecution:
+    def test_union_keeps_duplicates(self, db):
+        plan, _ = plan_sql(
+            "select b from R union all select b from R where a < 3",
+            db.schema,
+        )
+        out = execute(plan, db)
+        assert len(out.rows) == 6
+
+    def test_except_bag_semantics(self, db):
+        plan, _ = plan_sql(
+            "select b from R union all select b from R "
+            "except all select b from R where b = 'x'",
+            db.schema,
+        )
+        out = execute(plan, db)
+        # 8 rows (4+4) minus two 'x' occurrences
+        assert len(out.rows) == 6
+        assert sorted(r[0] for r in out.rows) == [
+            "x", "x", "y", "y", "z", "z",
+        ]
+
+    def test_arity_mismatch_rejected(self, db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            plan_sql(
+                "select a from R union all select a, b from R", db.schema
+            )
+
+
+class TestSystems:
+    def test_all_paths_agree(self, paper_db, paper_baav_schema):
+        sql = """
+        select S.suppkey from SUPPLIER S, NATION N
+        where S.nationkey = N.nationkey and N.name = 'GERMANY'
+        union all
+        select S.suppkey from SUPPLIER S, NATION N
+        where S.nationkey = N.nationkey and N.name = 'FRANCE'
+        except all
+        select S.suppkey from SUPPLIER S where S.suppkey = 3
+        """
+        plan, _ = plan_sql(sql, paper_db.schema)
+        reference = execute(plan, paper_db)
+
+        base = SQLOverNoSQL("kudu", 2, 2)
+        base.load(paper_db)
+        assert bag_equal(reference, base.execute(sql).relation)
+
+        zidian = ZidianSystem("kudu", 2, 2)
+        zidian.load(paper_db, paper_baav_schema)
+        result = zidian.execute(sql)
+        assert bag_equal(
+            reference, result.relation, check_names=False
+        )
+        assert result.decision is None
+        assert len(result.sub_decisions) == 3
+        assert result.sub_decisions[0].is_scan_free
+        assert result.sub_decisions[1].is_scan_free

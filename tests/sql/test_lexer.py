@@ -1,0 +1,59 @@
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt from WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable my_col")
+        assert tokens[0].value == "MyTable"
+        assert tokens[1].value == "my_col"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.14
+        assert tokens[2].value == 0.5
+
+    def test_string_literal(self):
+        tokens = tokenize("'GERMANY'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "GERMANY"
+
+    def test_string_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("<= >= <> != = < >")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["<=", ">=", "<>", "<>", "=", "<", ">"]
+
+    def test_qualified_name_tokens(self):
+        tokens = tokenize("a.b")
+        assert [t.value for t in tokens[:-1]] == ["a", ".", "b"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", 1]
+
+    def test_unexpected_char(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_number_then_dot_punct(self):
+        # "1." followed by identifier must not eat the dot into the number
+        tokens = tokenize("t1.a")
+        assert [t.value for t in tokens[:-1]] == ["t1", ".", "a"]

@@ -1,0 +1,124 @@
+"""Tests for min(Q) — SPC minimization (§5.2, Example 5)."""
+
+import pytest
+
+from repro.sql import analyze, bind, minimize, parse
+
+
+def min_atoms(db_schema, sql):
+    analysis = analyze(bind(parse(sql), db_schema))
+    return minimize(analysis)
+
+
+class TestMinimization:
+    def test_no_redundancy_kept(self, paper_db):
+        m = min_atoms(
+            paper_db.schema,
+            "select PS.suppkey from PARTSUPP PS, SUPPLIER S "
+            "where PS.suppkey = S.suppkey",
+        )
+        assert set(m.atoms) == {"PS", "S"}
+
+    def test_example5_self_join_removed(self, paper_db):
+        """Q2 of Example 5: the renamed PARTSUPP copy folds away."""
+        sql = """
+        select PS.suppkey, PS.supplycost
+        from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+        where N.name = 'GERMANY' and N.nationkey = S.nationkey
+          and S.suppkey = PS.suppkey
+          and PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+          and PS.partkey = PS2.partkey
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"N", "S", "PS"}
+
+    def test_example5_x_attrs_shrink(self, paper_db):
+        """After folding PS2, availqty leaves X_PS (per Example 5)."""
+        sql = """
+        select PS.suppkey, PS.supplycost
+        from PARTSUPP PS, PARTSUPP PS2
+        where PS.availqty = PS2.availqty and PS.suppkey = PS2.suppkey
+          and PS.partkey = PS2.partkey and PS.supplycost = PS2.supplycost
+          and PS.suppkey = 1
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"PS"}
+        x = {a.split(".")[1] for a in m.x_attrs("PS")}
+        assert "availqty" not in x
+        assert x == {"suppkey", "supplycost"}
+
+    def test_distinguished_copy_not_removed(self, paper_db):
+        """A copy with its own output attribute must survive."""
+        sql = """
+        select PS.suppkey, PS2.availqty
+        from PARTSUPP PS, PARTSUPP PS2
+        where PS.suppkey = PS2.suppkey
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"PS", "PS2"}
+
+    def test_copy_with_different_constant_not_removed(self, paper_db):
+        sql = """
+        select S1.suppkey
+        from SUPPLIER S1, SUPPLIER S2
+        where S1.nationkey = 10 and S2.nationkey = 20
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"S1", "S2"}
+
+    def test_copy_with_same_constant_removed(self, paper_db):
+        sql = """
+        select S1.suppkey
+        from SUPPLIER S1, SUPPLIER S2
+        where S1.nationkey = 10 and S2.nationkey = 10
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"S1"}
+
+    def test_residual_atom_frozen(self, paper_db):
+        """Atoms with range predicates cannot be folded away."""
+        sql = """
+        select S1.suppkey
+        from SUPPLIER S1, SUPPLIER S2
+        where S1.suppkey = S2.suppkey and S2.nationkey > 5
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"S1", "S2"}
+
+    def test_unconstrained_copy_removed(self, paper_db):
+        sql = "select S1.suppkey from SUPPLIER S1, SUPPLIER S2"
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"S1"}
+
+    def test_disjunctive_query_left_alone(self, paper_db):
+        sql = """
+        select S1.suppkey from SUPPLIER S1, SUPPLIER S2
+        where S1.nationkey = 1 or S2.nationkey = 2
+        """
+        m = min_atoms(paper_db.schema, sql)
+        assert set(m.atoms) == {"S1", "S2"}
+
+    def test_minimize_is_pure(self, paper_db):
+        sql = "select S1.suppkey from SUPPLIER S1, SUPPLIER S2"
+        analysis = analyze(bind(parse(sql), paper_db.schema))
+        before = set(analysis.atoms)
+        minimize(analysis)
+        assert set(analysis.atoms) == before
+
+    def test_equality_semantics_preserved(self, paper_db):
+        """Folding never changes query answers."""
+        from repro.relational import bag_equal
+        from repro.sql import execute, plan_sql
+
+        redundant = """
+        select PS.suppkey, PS.supplycost
+        from PARTSUPP PS, PARTSUPP PS2
+        where PS.suppkey = PS2.suppkey and PS.partkey = PS2.partkey
+          and PS.availqty = PS2.availqty and PS.supplycost = PS2.supplycost
+        """
+        minimal = "select PS.suppkey, PS.supplycost from PARTSUPP PS"
+        plan1, _ = plan_sql(redundant, paper_db.schema)
+        plan2, _ = plan_sql(minimal, paper_db.schema)
+        assert bag_equal(
+            execute(plan1, paper_db), execute(plan2, paper_db)
+        )

@@ -1,0 +1,181 @@
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse("select a, b from R")
+        assert len(stmt.items) == 2
+        assert stmt.tables[0].relation == "R"
+        assert stmt.tables[0].alias == "R"
+
+    def test_star(self):
+        assert parse("select * from R").star
+
+    def test_alias_forms(self):
+        stmt = parse("select x from R as r1, S s2")
+        assert stmt.tables[0].alias == "r1"
+        assert stmt.tables[1].alias == "s2"
+
+    def test_select_item_alias(self):
+        stmt = parse("select a as x, sum(b) total from R")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "total"
+
+    def test_distinct(self):
+        assert parse("select distinct a from R").distinct
+
+    def test_limit(self):
+        assert parse("select a from R limit 10").limit == 10
+
+    def test_limit_requires_int(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("select a from R limit 1.5")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("select a from R extra junk ;")
+
+
+class TestWhereParsing:
+    def test_comparison_ops(self):
+        stmt = parse("select a from R where a <= 3 and b <> 'x'")
+        conjs = ast.conjuncts(stmt.where)
+        assert len(conjs) == 2
+        assert conjs[0].op == "<="
+        assert conjs[1].op == "<>"
+
+    def test_or_precedence(self):
+        stmt = parse("select a from R where a = 1 and b = 2 or c = 3")
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.items[0], ast.And)
+
+    def test_parentheses(self):
+        stmt = parse("select a from R where a = 1 and (b = 2 or c = 3)")
+        conjs = ast.conjuncts(stmt.where)
+        assert len(conjs) == 2
+        assert isinstance(conjs[1], ast.Or)
+
+    def test_between(self):
+        stmt = parse("select a from R where a between 1 and 5")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_not_between(self):
+        stmt = parse("select a from R where a not between 1 and 5")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_in_list(self):
+        stmt = parse("select a from R where b in ('x', 'y')")
+        assert isinstance(stmt.where, ast.InList)
+        assert stmt.where.values == ["x", "y"]
+
+    def test_in_list_negative_number(self):
+        stmt = parse("select a from R where b in (-1, 2)")
+        assert stmt.where.values == [-1, 2]
+
+    def test_like(self):
+        stmt = parse("select a from R where b like '%BRASS'")
+        assert isinstance(stmt.where, ast.Like)
+
+    def test_is_null(self):
+        stmt = parse("select a from R where b is null")
+        assert "IS NULL" in str(stmt.where)
+
+    def test_is_not_null(self):
+        stmt = parse("select a from R where b is not null")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_not(self):
+        stmt = parse("select a from R where not a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        stmt = parse("select a + b * c from R")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.Arith) and expr.op == "+"
+        assert isinstance(expr.right, ast.Arith) and expr.right.op == "*"
+
+    def test_parens_override(self):
+        stmt = parse("select (a + b) * c from R")
+        expr = stmt.items[0].expr
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse("select -a from R")
+        assert isinstance(stmt.items[0].expr, ast.Neg)
+
+    def test_typical_revenue_expr(self):
+        stmt = parse("select sum(l.extendedprice * (1 - l.discount)) from R")
+        agg = stmt.items[0].expr
+        assert isinstance(agg, ast.AggCall) and agg.func == "SUM"
+
+
+class TestAggregatesAndClauses:
+    def test_count_star(self):
+        agg = parse("select count(*) from R").items[0].expr
+        assert agg.func == "COUNT" and agg.arg is None
+
+    def test_count_distinct(self):
+        agg = parse("select count(distinct a) from R").items[0].expr
+        assert agg.distinct
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse(
+            "select a, sum(b) t from R group by a having sum(b) > 5 "
+            "order by t desc, a limit 3"
+        )
+        assert [c.name for c in stmt.group_by] == ["a"]
+        assert stmt.having is not None
+        assert len(stmt.order_by) == 2
+        assert not stmt.order_by[0].ascending
+        assert stmt.order_by[1].ascending
+        assert stmt.limit == 3
+
+    def test_join_on_normalized(self):
+        stmt = parse(
+            "select a from R join S on R.x = S.x where R.y = 1"
+        )
+        assert len(stmt.tables) == 2
+        conjs = ast.conjuncts(stmt.where)
+        assert len(conjs) == 2
+
+    def test_roundtrip_str_parses(self):
+        sql = (
+            "select a, sum(b) as t from R, S where R.x = S.x and a > 3 "
+            "group by a order by t desc limit 5"
+        )
+        stmt = parse(sql)
+        again = parse(str(stmt))
+        assert str(again) == str(stmt)
+
+
+class TestExprEval:
+    def test_null_propagation_arith(self):
+        assert ast.Arith("+", ast.Lit(None), ast.Lit(1)).eval({}) is None
+
+    def test_null_comparison_false(self):
+        assert ast.Cmp("=", ast.Lit(None), ast.Lit(None)).eval({}) is False
+
+    def test_division_by_zero_null(self):
+        assert ast.Arith("/", ast.Lit(1), ast.Lit(0)).eval({}) is None
+
+    def test_like_wildcards(self):
+        like = ast.Like(ast.Lit("ECONOMY BRASS"), "%BRASS")
+        assert like.eval({})
+        assert not ast.Like(ast.Lit("BRASS PLATE"), "%BRASS").eval({})
+        assert ast.Like(ast.Lit("abc"), "a_c").eval({})
+
+    def test_between_inclusive(self):
+        assert ast.Between(ast.Lit(5), ast.Lit(5), ast.Lit(7)).eval({})
+        assert ast.Between(ast.Lit(7), ast.Lit(5), ast.Lit(7)).eval({})
+        assert not ast.Between(ast.Lit(8), ast.Lit(5), ast.Lit(7)).eval({})
+
+    def test_columns_collection(self):
+        stmt = parse("select a + b from R where c = 1 and d like 'x%'")
+        assert stmt.items[0].expr.columns() == {"a", "b"}
+        assert stmt.where.columns() == {"c", "d"}

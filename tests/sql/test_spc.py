@@ -1,0 +1,122 @@
+"""Tests for the SPC structure extraction (terms, X-attrs, residuals)."""
+
+import pytest
+
+from repro.sql import analyze, bind, parse
+
+
+def get_analysis(schema, sql):
+    return analyze(bind(parse(sql), schema))
+
+
+class TestTerms:
+    def test_join_equality_merges_terms(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select S.suppkey from SUPPLIER S, PARTSUPP PS "
+            "where S.suppkey = PS.suppkey",
+        )
+        term = a.term_of("S.suppkey")
+        assert term is not None
+        assert term.attrs == {"S.suppkey", "PS.suppkey"}
+
+    def test_transitivity(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select S1.suppkey from SUPPLIER S1, SUPPLIER S2, SUPPLIER S3 "
+            "where S1.suppkey = S2.suppkey and S2.suppkey = S3.suppkey",
+        )
+        term = a.term_of("S1.suppkey")
+        assert len(term.attrs) == 3
+
+    def test_constant_binding(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select N.nationkey from NATION N where N.name = 'GERMANY'",
+        )
+        term = a.term_of("N.name")
+        assert term.has_constant and term.constant == "GERMANY"
+        assert "N.name" in a.constant_bound_attrs()
+
+    def test_constant_propagates_through_equality(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select S.suppkey from SUPPLIER S, NATION N "
+            "where S.nationkey = N.nationkey and N.nationkey = 10",
+        )
+        assert "S.nationkey" in a.constant_bound_attrs()
+
+    def test_conflicting_constants_unsatisfiable(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select N.nationkey from NATION N "
+            "where N.name = 'A' and N.name = 'B'",
+        )
+        assert a.unsatisfiable
+
+    def test_in_list_binds(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select N.nationkey from NATION N where N.name in ('A', 'B')",
+        )
+        term = a.term_of("N.name")
+        assert term.in_values == ("A", "B")
+        assert term.is_bound
+
+    def test_range_does_not_bind(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select PS.suppkey from PARTSUPP PS where PS.availqty > 5",
+        )
+        assert a.constant_bound_attrs() == set()
+        assert "PS.availqty" in a.residual_attrs
+
+
+class TestXAttrs:
+    def test_x_includes_projection_and_joins(self, paper_db, q1_sql):
+        a = get_analysis(paper_db.schema, q1_sql)
+        x_ps = a.x_attrs("PS")
+        assert x_ps == {"PS.suppkey", "PS.supplycost"}
+        x_n = a.x_attrs("N")
+        assert x_n == {"N.name", "N.nationkey"}
+        x_s = a.x_attrs("S")
+        assert x_s == {"S.suppkey", "S.nationkey"}
+
+    def test_x_includes_residual_attrs(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select PS.suppkey from PARTSUPP PS where PS.availqty > 5",
+        )
+        assert "PS.availqty" in a.x_attrs("PS")
+
+    def test_unused_attr_not_in_x(self, paper_db):
+        a = get_analysis(
+            paper_db.schema, "select PS.suppkey from PARTSUPP PS"
+        )
+        assert "PS.partkey" not in a.x_attrs("PS")
+
+    def test_group_and_order_attrs_counted(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select S.nationkey, count(*) as n from SUPPLIER S "
+            "group by S.nationkey order by n",
+        )
+        assert "S.nationkey" in a.x_attrs("S")
+
+
+class TestStructure:
+    def test_conjunctive_flag(self, paper_db):
+        a = get_analysis(
+            paper_db.schema,
+            "select S.suppkey from SUPPLIER S "
+            "where S.nationkey = 1 or S.nationkey = 2",
+        )
+        assert not a.conjunctive
+
+    def test_join_edges(self, paper_db, q1_sql):
+        a = get_analysis(paper_db.schema, q1_sql)
+        assert ("N", "S") in a.join_edges()
+        assert ("PS", "S") in a.join_edges()
+
+    def test_describe_runs(self, paper_db, q1_sql):
+        assert "atoms" in get_analysis(paper_db.schema, q1_sql).describe()

@@ -1,0 +1,125 @@
+"""End-to-end system tests: SoX vs SoXZidian on the paper's example."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational import bag_equal
+from repro.sql import execute as ra_execute, plan_sql
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+
+def reference(db, sql):
+    plan, _ = plan_sql(sql, db.schema)
+    return ra_execute(plan, db)
+
+
+class TestSQLOverNoSQL:
+    def test_name(self):
+        assert SQLOverNoSQL("hbase").name == "SoH"
+        assert SQLOverNoSQL("kudu").name == "SoK"
+        assert SQLOverNoSQL("cassandra").name == "SoC"
+
+    def test_requires_load(self):
+        with pytest.raises(ExecutionError):
+            SQLOverNoSQL().execute("select a from R")
+
+    def test_execute(self, paper_db, q1_sql):
+        system = SQLOverNoSQL("kudu", workers=4, storage_nodes=2)
+        system.load(paper_db)
+        result = system.execute(q1_sql)
+        assert bag_equal(result.relation, reference(paper_db, q1_sql))
+        assert result.metrics.n_get == paper_db.num_tuples()
+
+    def test_counters_reset_between_queries(self, paper_db, q1_sql):
+        system = SQLOverNoSQL("kudu", workers=4, storage_nodes=2)
+        system.load(paper_db)
+        first = system.execute(q1_sql).metrics
+        second = system.execute(q1_sql).metrics
+        assert first.n_get == second.n_get
+
+
+class TestZidianSystem:
+    def test_name(self):
+        assert ZidianSystem("hbase").name == "SoHZidian"
+
+    def test_execute_matches_reference(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        system = ZidianSystem("hbase", workers=4, storage_nodes=2)
+        system.load(paper_db, paper_baav_schema)
+        result = system.execute(q1_sql)
+        assert bag_equal(result.relation, reference(paper_db, q1_sql))
+        assert result.decision.is_scan_free
+
+    def test_beats_baseline_on_all_metrics(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        base = SQLOverNoSQL("hbase", workers=4, storage_nodes=2)
+        base.load(paper_db)
+        zidian = ZidianSystem("hbase", workers=4, storage_nodes=2)
+        zidian.load(paper_db, paper_baav_schema)
+        m_base = base.execute(q1_sql).metrics
+        m_z = zidian.execute(q1_sql).metrics
+        assert m_z.n_get < m_base.n_get
+        assert m_z.data_values < m_base.data_values
+        assert m_z.comm_bytes < m_base.comm_bytes
+        assert m_z.sim_time_ms < m_base.sim_time_ms
+
+    def test_t2b_route(self, paper_db, q1_sql):
+        system = ZidianSystem("kudu", workers=4, storage_nodes=2)
+        system.load(paper_db, workload=[q1_sql])
+        result = system.execute(q1_sql)
+        assert bag_equal(result.relation, reference(paper_db, q1_sql))
+        assert result.decision.is_scan_free
+
+    def test_load_requires_schema_or_workload(self, paper_db):
+        system = ZidianSystem("kudu")
+        with pytest.raises(ExecutionError):
+            system.load(paper_db)
+
+    def test_updates_keep_results_fresh(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        system = ZidianSystem("kudu", workers=4, storage_nodes=2)
+        system.load(paper_db.copy(), paper_baav_schema)
+        system.apply_updates(
+            "PARTSUPP", inserts=[(400, 2, 10.0, 6)],
+            deletes=[(100, 1, 5.0, 7)],
+        )
+        result = system.execute(q1_sql)
+        assert bag_equal(
+            result.relation, reference(system.database, q1_sql)
+        )
+
+    def test_no_taav_keeps_working_for_covered_queries(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        """Users may drop D entirely when R̃ is data preserving (§5.1)."""
+        system = ZidianSystem(
+            "kudu", workers=4, storage_nodes=2, keep_taav=False
+        )
+        system.load(paper_db, paper_baav_schema)
+        result = system.execute(q1_sql)
+        assert bag_equal(result.relation, reference(paper_db, q1_sql))
+
+    def test_compression_off_still_correct(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        system = ZidianSystem(
+            "kudu", workers=4, storage_nodes=2, compress=False
+        )
+        system.load(paper_db, paper_baav_schema)
+        assert bag_equal(
+            system.execute(q1_sql).relation, reference(paper_db, q1_sql)
+        )
+
+    def test_split_threshold_still_correct(
+        self, paper_db, paper_baav_schema, q1_sql
+    ):
+        system = ZidianSystem(
+            "kudu", workers=4, storage_nodes=2, split_threshold=1
+        )
+        system.load(paper_db, paper_baav_schema)
+        assert bag_equal(
+            system.execute(q1_sql).relation, reference(paper_db, q1_sql)
+        )

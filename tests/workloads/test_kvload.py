@@ -1,0 +1,103 @@
+"""Exp-4 workload primitives: throughput under TaaV vs BaaV."""
+
+import pytest
+
+from repro.baav import BaaVStore
+from repro.kv import KVCluster, TaaVStore, profile
+from repro.workloads.kvload import (
+    baav_read_workload,
+    baav_write_workload,
+    taav_read_workload,
+    taav_write_workload,
+)
+
+
+@pytest.fixture()
+def stores(mot_small):
+    from repro.workloads.mot import mot_baav_schema
+
+    cluster = KVCluster(4)
+    taav = TaaVStore.from_database(mot_small, cluster)
+    store = BaaVStore.map_database(mot_small, mot_baav_schema(), cluster)
+    return mot_small, taav, store
+
+
+class TestReadWorkload:
+    def test_taav_read(self, stores):
+        db, taav, _ = stores
+        keys = [(t,) for t in range(1, 51)]
+        result = taav_read_workload(
+            taav.relation("TEST"), keys, profile("hbase")
+        )
+        assert result.operations == 50
+        assert result.tpms > 0
+
+    def test_baav_read_higher_throughput(self, stores):
+        """A BaaV get returns a block: more values per get (Exp-4)."""
+        db, taav, store = stores
+        test_keys = [(t,) for t in range(1, 51)]
+        taav_result = taav_read_workload(
+            taav.relation("TEST"), test_keys, profile("hbase")
+        )
+        vehicle_keys = [(v,) for v in range(1, 51)]
+        baav_result = baav_read_workload(
+            store.instance("test_by_vehicle"), vehicle_keys, profile("hbase")
+        )
+        assert baav_result.tpms > taav_result.tpms
+
+    def test_misses_counted(self, stores):
+        db, taav, store = stores
+        result = baav_read_workload(
+            store.instance("veh_by_id"), [(10**9,)], profile("kudu")
+        )
+        assert result.operations == 1
+        assert result.values == 0
+
+
+class TestWriteWorkload:
+    def new_rows(self, db, n=30):
+        schema = db.schema.relation("TEST")
+        base = 10_000_000
+        return [
+            (base + i, (i % 50) + 1, "2010-06-01", 4, "NORMAL", "PASS",
+             50_000, 3, 1600, 150.0, 0, 0, False, 45, 54.85, 7)
+            for i in range(n)
+        ]
+
+    def test_taav_write(self, stores):
+        db, taav, _ = stores
+        result = taav_write_workload(
+            taav.relation("TEST"), self.new_rows(db), profile("hbase")
+        )
+        assert result.operations == 30
+        assert result.tpms > 0
+
+    def test_baav_write_lower_but_comparable(self, stores):
+        """BaaV writes pay read-modify-write: slower, same order (Exp-4)."""
+        db, taav, store = stores
+        rows = self.new_rows(db)
+        taav_result = taav_write_workload(
+            taav.relation("TEST"), rows, profile("hbase")
+        )
+        more = self.new_rows(db, 30)
+        baav_result = baav_write_workload(
+            store, "TEST", more, profile("hbase")
+        )
+        assert baav_result.tpms < taav_result.tpms
+        assert baav_result.tpms > taav_result.tpms / 20
+
+    def test_horizontal_scalability(self, mot_small):
+        """Throughput grows with storage nodes (Exp-4)."""
+        from repro.workloads.mot import mot_baav_schema
+
+        results = []
+        for nodes in (2, 8):
+            cluster = KVCluster(nodes)
+            taav = TaaVStore.from_database(mot_small, cluster)
+            keys = [(t,) for t in range(1, 101)]
+            results.append(
+                taav_read_workload(
+                    taav.relation("TEST"), keys, profile("cassandra")
+                ).tpms
+            )
+        assert results[1] > results[0] * 2

@@ -1,0 +1,109 @@
+"""MOT and AIRCA workload tests: shape, skew, templates, classification."""
+
+import random
+
+import pytest
+
+from repro.baav import BaaVStore
+from repro.core import Zidian, is_data_preserving
+from repro.kv import KVCluster
+from repro.sql import execute, plan_sql
+from repro.workloads import airca_generator, mot_generator
+from repro.workloads.airca import airca_baav_schema, airca_schema
+from repro.workloads.mot import mot_baav_schema, mot_schema
+
+
+class TestMOTShape:
+    def test_3_tables_42_attributes(self):
+        schema = mot_schema()
+        assert len(schema) == 3
+        assert schema.total_attributes() == 42
+
+    def test_skewed_makes(self, mot_small):
+        """Zipf FKs: the top make dominates (unlike TPC-H's uniformity)."""
+        makes = mot_small["VEHICLE"].column("make")
+        top = max(set(makes), key=makes.count)
+        assert makes.count(top) > len(makes) / 15
+
+    def test_foreign_keys_resolve(self, mot_small):
+        vids = mot_small["VEHICLE"].distinct_values("vehicle_id")
+        assert mot_small["TEST"].distinct_values("vehicle_id") <= vids
+        assert mot_small["SURVEY"].distinct_values("vehicle_id") <= vids
+
+    def test_data_preserving(self):
+        assert is_data_preserving(mot_schema(), mot_baav_schema()).preserved
+
+    def test_bounded_degrees_on_selective_keys(self, mot_small):
+        """q1–q6 instances stay under the degree bound by construction."""
+        store = BaaVStore.map_database(
+            mot_small, mot_baav_schema(), KVCluster(2)
+        )
+        for name in ("veh_by_id", "test_by_vehicle", "survey_by_vehicle",
+                     "test_by_station_date", "survey_by_road_date"):
+            assert store.instance(name).degree <= 64, name
+
+    def test_skewed_key_unbounded(self, mot_small):
+        store = BaaVStore.map_database(
+            mot_small, mot_baav_schema(), KVCluster(2)
+        )
+        assert store.instance("veh_by_make").degree > 5
+
+
+class TestAIRCAShape:
+    def test_7_tables_358_attributes(self):
+        schema = airca_schema()
+        assert len(schema) == 7
+        assert schema.total_attributes() == 358
+
+    def test_data_preserving(self):
+        assert is_data_preserving(
+            airca_schema(), airca_baav_schema()
+        ).preserved
+
+    def test_foreign_keys_resolve(self, airca_small):
+        carriers = airca_small["CARRIER"].distinct_values("carrier_id")
+        assert airca_small["FLIGHT"].distinct_values("carrier_id") <= carriers
+        fids = airca_small["FLIGHT"].distinct_values("flight_id")
+        assert airca_small["DELAY"].distinct_values("flight_id") <= fids
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("which", ["mot", "airca"])
+    def test_generator_yields_runnable_queries(
+        self, which, mot_small, airca_small
+    ):
+        db = mot_small if which == "mot" else airca_small
+        gen = mot_generator(1) if which == "mot" else airca_generator(1)
+        queries = gen.generate(db, per_template=1)
+        assert len(queries) == 12
+        for query in queries:
+            plan, _ = plan_sql(query.sql, db.schema)
+            execute(plan, db)  # must not raise
+
+    def test_generator_deterministic(self, mot_small):
+        a = mot_generator(7).generate(mot_small, per_template=2)
+        b = mot_generator(7).generate(mot_small, per_template=2)
+        assert [q.sql for q in a] == [q.sql for q in b]
+
+    def test_36_queries_like_the_paper(self, mot_small):
+        queries = mot_generator(3).generate(mot_small, per_template=3)
+        assert len(queries) == 36
+
+    @pytest.mark.parametrize("which", ["mot", "airca"])
+    def test_scan_free_classification(self, which, mot_small, airca_small):
+        if which == "mot":
+            db, baav, gen = mot_small, mot_baav_schema(), mot_generator(5)
+        else:
+            db, baav, gen = (
+                airca_small, airca_baav_schema(), airca_generator(5),
+            )
+        store = BaaVStore.map_database(db, baav, KVCluster(2))
+        zidian = Zidian(db.schema, baav, store)
+        for query in gen.generate(db, per_template=1):
+            decision = zidian.decide(query.sql)
+            assert decision.is_scan_free == query.expected_scan_free, (
+                query.template
+            )
+            # the paper's real-life scan-free queries are also bounded
+            if query.expected_scan_free:
+                assert decision.is_bounded, query.template

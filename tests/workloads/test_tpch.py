@@ -1,0 +1,114 @@
+"""TPC-H workload tests: generator invariants and query classification."""
+
+import pytest
+
+from repro.core import Zidian, is_data_preserving
+from repro.sql import execute, plan_sql
+from repro.workloads.tpch import (
+    EXPECTED_NON_SCAN_FREE,
+    EXPECTED_SCAN_FREE,
+    QUERIES,
+    generate_tpch,
+    query_names,
+    tpch_baav_schema,
+    tpch_schema,
+)
+
+
+class TestSchema:
+    def test_eight_relations_61_attributes(self):
+        schema = tpch_schema()
+        assert len(schema) == 8
+        assert schema.total_attributes() == 61
+
+    def test_primary_keys(self):
+        schema = tpch_schema()
+        assert schema.relation("LINEITEM").primary_key == (
+            "orderkey", "linenumber",
+        )
+        assert schema.relation("PARTSUPP").primary_key == (
+            "partkey", "suppkey",
+        )
+
+
+class TestGenerator:
+    def test_cardinality_ratios(self, tpch_tiny):
+        assert len(tpch_tiny["REGION"]) == 5
+        assert len(tpch_tiny["NATION"]) == 25
+        assert len(tpch_tiny["PARTSUPP"]) == 4 * len(tpch_tiny["PART"])
+        assert len(tpch_tiny["ORDERS"]) == 10 * len(tpch_tiny["CUSTOMER"])
+        ratio = len(tpch_tiny["LINEITEM"]) / len(tpch_tiny["ORDERS"])
+        assert 2.0 < ratio < 6.0
+
+    def test_deterministic(self):
+        a = generate_tpch(0.001, seed=3)
+        b = generate_tpch(0.001, seed=3)
+        assert a["LINEITEM"].rows == b["LINEITEM"].rows
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(0.001, seed=3)
+        b = generate_tpch(0.001, seed=4)
+        assert a["LINEITEM"].rows != b["LINEITEM"].rows
+
+    def test_rows_validate(self, tpch_tiny):
+        for relation in tpch_tiny:
+            relation.validate()
+
+    def test_foreign_keys_resolve(self, tpch_tiny):
+        nation_keys = tpch_tiny["NATION"].distinct_values("nationkey")
+        assert tpch_tiny["SUPPLIER"].distinct_values("nationkey") <= nation_keys
+        supp_keys = tpch_tiny["SUPPLIER"].distinct_values("suppkey")
+        assert tpch_tiny["PARTSUPP"].distinct_values("suppkey") <= supp_keys
+        order_keys = tpch_tiny["ORDERS"].distinct_values("orderkey")
+        assert tpch_tiny["LINEITEM"].distinct_values("orderkey") <= order_keys
+
+    def test_dates_in_range(self, tpch_tiny):
+        dates = tpch_tiny["ORDERS"].distinct_values("orderdate")
+        assert min(dates) >= "1992-01-01"
+        assert max(dates) <= "1998-12-31"
+
+    def test_scale_scales(self):
+        small = generate_tpch(0.001)
+        large = generate_tpch(0.002)
+        assert large.num_tuples() > 1.5 * small.num_tuples()
+
+
+class TestQueries:
+    def test_22_queries(self):
+        assert len(QUERIES) == 22
+        assert query_names()[0] == "q1" and query_names()[-1] == "q22"
+
+    def test_all_parse_and_run(self, tpch_tiny):
+        for name in query_names():
+            plan, _ = plan_sql(QUERIES[name], tpch_tiny.schema)
+            execute(plan, tpch_tiny)  # must not raise
+
+    def test_classification_lists_partition(self):
+        assert set(EXPECTED_SCAN_FREE) | set(EXPECTED_NON_SCAN_FREE) == set(
+            QUERIES
+        )
+        assert not set(EXPECTED_SCAN_FREE) & set(EXPECTED_NON_SCAN_FREE)
+
+
+class TestBaaVSchema:
+    def test_data_preserving(self):
+        report = is_data_preserving(tpch_schema(), tpch_baav_schema())
+        assert report.preserved
+
+    def test_scan_free_classification(self, tpch_tiny):
+        zidian = Zidian(tpch_tiny.schema, tpch_baav_schema())
+        for name in query_names():
+            decision = zidian.decide(QUERIES[name])
+            expected = name in EXPECTED_SCAN_FREE
+            assert decision.is_scan_free == expected, name
+            assert decision.answerable, name
+
+    def test_paper_core_queries_match_paper_classification(self, tpch_tiny):
+        """The paper's scan-free list, minus our simplification deltas."""
+        paper_scan_free = {"q2", "q3", "q5", "q7", "q8", "q10", "q11",
+                           "q12", "q17", "q19", "q21"}
+        zidian = Zidian(tpch_tiny.schema, tpch_baav_schema())
+        for name in sorted(paper_scan_free):
+            assert zidian.decide(QUERIES[name]).is_scan_free, name
+        for name in ("q1", "q4", "q6", "q9", "q13", "q14", "q15", "q18"):
+            assert not zidian.decide(QUERIES[name]).is_scan_free, name
