@@ -1,0 +1,184 @@
+"""Batched multi-get pipeline — round-trip amortization on Exp-4's workload.
+
+Compares the per-key baseline (one get invocation = one RPC round trip,
+the conventional SQL-over-NoSQL client) against the coalescing pipeline
+(probe keys grouped per owning node, one round trip per node per batch)
+on all three backend profiles. Two views:
+
+* the raw KV read workload of Exp-4 (bulk point reads, TaaV and BaaV);
+* end-to-end non-scan-free MOT queries (q7/q9/q11), per-key vs batched.
+
+#get is identical in every pair — batching changes how invocations are
+carried, not how many are needed — so any win is pure RPC amortization.
+"""
+
+import random
+
+from harness import (
+    BACKENDS,
+    baav_schema_for,
+    dataset,
+    fmt,
+    publish,
+    render_table,
+)
+
+from repro.baav import BaaVStore
+from repro.kv import KVCluster, TaaVStore, profile
+from repro.systems import ZidianSystem
+from repro.workloads import mot_generator
+from repro.workloads.kvload import (
+    baav_batched_read_workload,
+    baav_read_workload,
+    taav_batched_read_workload,
+    taav_read_workload,
+)
+from repro.workloads.mot import mot_baav_schema
+
+SCALE_UNITS = 8
+N_READS = 400
+BATCH = 64
+
+
+def fresh_stores(nodes=4):
+    db = dataset("mot", SCALE_UNITS)
+    cluster = KVCluster(nodes)
+    taav = TaaVStore.from_database(db, cluster)
+    store = BaaVStore.map_database(db, mot_baav_schema(), cluster)
+    return db, taav, store
+
+
+def run_kv_batching():
+    db, taav, store = fresh_stores()
+    rng = random.Random(11)
+    n_tests = len(db["TEST"])
+    n_vehicles = len(db["VEHICLE"])
+    # sample WITHOUT replacement: multi_get dedups repeated keys within
+    # a batch, so distinct keys keep #get identical across the pair
+    taav_keys = [
+        (k,) for k in rng.sample(range(1, n_tests + 1),
+                                 min(N_READS, n_tests))
+    ]
+    baav_keys = [
+        (k,) for k in rng.sample(range(1, n_vehicles + 1),
+                                 min(N_READS, n_vehicles))
+    ]
+
+    results = {}
+    for backend in BACKENDS:
+        p = profile(backend)
+        results[backend] = {
+            "taav": (
+                taav_read_workload(taav.relation("TEST"), taav_keys, p),
+                taav_batched_read_workload(
+                    taav.relation("TEST"), taav_keys, p, batch_size=BATCH
+                ),
+            ),
+            "baav": (
+                baav_read_workload(
+                    store.instance("test_by_vehicle"), baav_keys, p
+                ),
+                baav_batched_read_workload(
+                    store.instance("test_by_vehicle"), baav_keys, p,
+                    batch_size=BATCH,
+                ),
+            ),
+        }
+    return results
+
+
+def test_kv_workload_batching(once):
+    results = once(run_kv_batching)
+    rows = []
+    for backend in BACKENDS:
+        for layout in ("taav", "baav"):
+            per_key, batched = results[backend][layout]
+            rows.append(
+                [
+                    backend,
+                    layout,
+                    fmt(per_key.sim_time_ms),
+                    fmt(batched.sim_time_ms),
+                    f"{per_key.sim_time_ms / batched.sim_time_ms:.2f}x",
+                ]
+            )
+    publish(
+        "batching_kv_workload",
+        render_table(
+            f"Batching (repro): Exp-4 bulk reads, per-key vs multi-get "
+            f"(batch={BATCH}), MOT",
+            ["backend", "layout", "per-key ms", "batched ms", "speedup"],
+            rows,
+        ),
+    )
+    # acceptance: batching beats the per-key baseline on every profile,
+    # at identical logical work
+    for backend in BACKENDS:
+        for layout in ("taav", "baav"):
+            per_key, batched = results[backend][layout]
+            assert batched.operations == per_key.operations, (backend, layout)
+            assert batched.values == per_key.values, (backend, layout)
+            assert batched.sim_time_ms < per_key.sim_time_ms, (
+                backend, layout
+            )
+
+
+def run_query_batching():
+    db = dataset("mot", SCALE_UNITS)
+    # the non-scan-free templates: thousands of gets per query, the
+    # round-trip-bound regime where coalescing matters
+    queries = [
+        (q.template, q.sql)
+        for q in mot_generator(13).generate(db, per_template=1)
+        if q.template in ("q7", "q9", "q11")
+    ]
+    results = {}
+    for backend in BACKENDS:
+        per_key_sys = ZidianSystem(backend, batch_size=1)
+        per_key_sys.load(db, mot_baav_schema())
+        batched_sys = ZidianSystem(backend, batch_size=BATCH)
+        batched_sys.load(db, mot_baav_schema())
+        per_key_ms = batched_ms = 0.0
+        gets = round_trips = batched_round_trips = 0
+        for _, sql in queries:
+            a = per_key_sys.execute(sql).metrics
+            b = batched_sys.execute(sql).metrics
+            assert a.n_get == b.n_get
+            per_key_ms += a.sim_time_ms
+            batched_ms += b.sim_time_ms
+            gets += a.n_get
+            round_trips += a.n_round_trips
+            batched_round_trips += b.n_round_trips
+        results[backend] = (
+            per_key_ms, batched_ms, gets, round_trips, batched_round_trips
+        )
+    return results
+
+
+def test_query_batching(once):
+    results = once(run_query_batching)
+    rows = [
+        [
+            backend,
+            fmt(per_key_ms),
+            fmt(batched_ms),
+            f"{per_key_ms / batched_ms:.2f}x",
+            fmt(gets),
+            fmt(rt_batched),
+        ]
+        for backend, (per_key_ms, batched_ms, gets, _, rt_batched)
+        in results.items()
+    ]
+    publish(
+        "batching_queries",
+        render_table(
+            f"Batching (repro): MOT non-scan-free queries (q7/q9/q11), "
+            f"per-key vs batched (batch={BATCH})",
+            ["backend", "per-key ms", "batched ms", "speedup", "#get",
+             "#rt batched"],
+            rows,
+        ),
+    )
+    for backend, (per_key_ms, batched_ms, _, rt, rt_batched) in results.items():
+        assert batched_ms < per_key_ms, backend
+        assert rt_batched < rt, backend

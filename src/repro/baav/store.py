@@ -137,14 +137,62 @@ class KVInstance:
             block.entries.extend(segment.entries)
         return block
 
-    def _charge_block_values(self, block: Block) -> None:
+    def multi_get(self, keys: Sequence[Row]) -> Dict[Row, Optional[Block]]:
+        """Fetch many logical blocks with coalesced multi-gets.
+
+        Two batched waves instead of one get per segment: wave 1 fetches
+        every key's segment 0 (one round trip per owning node for the
+        whole batch), wave 2 fetches all remaining segments of
+        multi-segment blocks. Duplicate keys are fetched once.
+        """
+        unique: List[Row] = list(dict.fromkeys(tuple(k) for k in keys))
+        firsts = self.cluster.multi_get(
+            self.namespace,
+            [codec.encode_key(key + (0,)) for key in unique],
+            n_values_each=1,
+        )
+        blocks: Dict[Row, Optional[Block]] = {}
+        pending: List[Tuple[Row, int]] = []
+        for key, data in zip(unique, firsts):
+            if data is None:
+                blocks[key] = None
+                continue
+            n_segments, block = _decode_segment(data)
+            self._charge_block_values(block)
+            blocks[key] = block
+            for index in range(1, n_segments):
+                pending.append((key, index))
+        if pending:
+            extras = self.cluster.multi_get(
+                self.namespace,
+                [codec.encode_key(key + (index,)) for key, index in pending],
+                n_values_each=1,
+            )
+            # pending holds each key's tail segments in ascending index
+            # order, so extending in zip order reassembles the block
+            for (key, index), data in zip(pending, extras):
+                if data is None:
+                    raise BaaVError(
+                        f"missing segment {index} of key {key!r} "
+                        f"in {self.schema.name}"
+                    )
+                _, segment = _decode_segment(data)
+                self._charge_block_values(segment)
+                blocks[key].entries.extend(segment.entries)
+        return blocks
+
+    def _charge_block_values(
+        self, block: Block, already_counted: int = 1
+    ) -> None:
         """Account the logical values of a fetched block.
 
-        ``cluster.get`` counted ``n_values=1`` (the serving node is only
-        known inside the cluster); the remainder is spread evenly, which
-        keeps totals exact and per-node counts approximate.
+        ``cluster.get``/``multi_get`` counted ``n_values=1`` (the serving
+        node is only known inside the cluster); the remainder is spread
+        evenly, which keeps totals exact and per-node counts approximate.
+        Scans pass ``already_counted=0`` — ``cluster.scan`` counts no
+        values itself — so per-key and batched paths charge identically.
         """
-        extra = block.num_values() - 1
+        extra = block.num_values() - already_counted
         if extra > 0:
             nodes = list(self.cluster.nodes.values())
             share, remainder = divmod(extra, len(nodes))
@@ -166,12 +214,27 @@ class KVInstance:
 
     # -- scans ---------------------------------------------------------------
 
-    def scan(self) -> Iterator[Tuple[Row, Block]]:
+    def scan(self, batch_size: int = 1) -> Iterator[Tuple[Row, Block]]:
         """Iterate all logical blocks (gets counted per physical segment).
+
+        ``batch_size=1`` drives the scan the conventional way: keys via
+        ``next()``, one get (and round trip) per physical segment. A
+        larger batch extracts the key list first and coalesces the gets
+        into multi-get rounds — same #get, far fewer round trips.
 
         Segments of one key may be served by different nodes; we merge them
         by buffering partial blocks.
         """
+        if batch_size > 1:
+            keys = self.keys()
+            for start in range(0, len(keys), batch_size):
+                chunk = keys[start:start + batch_size]
+                blocks = self.multi_get(chunk)
+                for key in chunk:
+                    block = blocks[key]
+                    if block is not None:
+                        yield key, block
+            return
         partial: Dict[Row, List[Tuple[int, Block]]] = defaultdict(list)
         for key_bytes, payload in self.cluster.scan(
             self.namespace, count_as_gets=True
@@ -179,7 +242,7 @@ class KVInstance:
             physical_key = codec.decode_key(key_bytes)
             key, segment_index = physical_key[:-1], physical_key[-1]
             _, segment = _decode_segment(payload)
-            self._charge_block_values(segment)
+            self._charge_block_values(segment, already_counted=0)
             partial[key].append((segment_index, segment))
         for key, segments in partial.items():
             segments.sort(key=lambda pair: pair[0])

@@ -9,7 +9,7 @@ costs to workers and stages.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.baav.block import Block
 from repro.baav.store import BaaVStore
@@ -22,16 +22,33 @@ from repro.sql.aggregates import make_accumulator
 from repro.sql.algebra import AggSpec
 
 
+#: default number of probe keys coalesced into one multi-get batch
+DEFAULT_BATCH_SIZE = 64
+
+
 class ExecContext:
-    """Stores available to a KBA plan execution."""
+    """Stores available to a KBA plan execution.
+
+    ``batch_size`` is the number of distinct probe keys coalesced into one
+    ``multi_get`` round (1 = the per-key baseline: one get, one round trip
+    per probe). ``batch_partitions`` models independent batching domains —
+    the parallel engine sets it to its worker count so each partition
+    coalesces only its own probes, as real workers would.
+    """
 
     def __init__(
         self,
         baav: Optional[BaaVStore],
         taav: Optional[TaaVStore] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_partitions: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ExecutionError("batch_size must be >= 1")
         self.baav = baav
         self.taav = taav
+        self.batch_size = batch_size
+        self.batch_partitions = max(1, batch_partitions)
 
     def instance(self, name: str):
         if self.baav is None:
@@ -72,7 +89,7 @@ def _run_scan_kv(node: kp.ScanKV, ctx: ExecContext, inputs: List[BlockSet]) -> B
     key_attrs = tuple(f"{alias}.{a}" for a in instance.schema.key)
     value_attrs = tuple(f"{alias}.{a}" for a in instance.schema.value)
     data: Dict[Row, List[Entry]] = {}
-    for key, block in instance.scan():
+    for key, block in instance.scan(batch_size=ctx.batch_size):
         data.setdefault(key, []).extend(block.entries)
     return BlockSet(key_attrs, value_attrs, data)
 
@@ -83,7 +100,7 @@ def _run_taav_scan(node: kp.TaaVScan, ctx: ExecContext, inputs: List[BlockSet]) 
             f"TaaV store has no relation {node.relation!r}"
         )
     taav = ctx.taav.relation(node.relation)
-    relation = taav.fetch_all()
+    relation = taav.fetch_all(batch_size=ctx.batch_size)
     attrs = tuple(
         f"{node.alias}.{a}" for a in relation.schema.attribute_names
     )
@@ -121,17 +138,34 @@ def _run_extend(node: kp.Extend, ctx: ExecContext, inputs: List[BlockSet]) -> Bl
         rename.get(a, f"{alias}.{a}") for a in schema.value
     )
 
+    # Pass 1 — collect the distinct probe keys of every entry. This is
+    # the single probing path of the executor: key lookups (Constant →
+    # Extend), fetch-joins and semijoins all arrive here.
+    probes: List[Row] = []
+    seen = set()
+    for key, value, count in child.iter_entries():
+        full = key + value
+        probe = tuple(full[p] for p in probe_positions)
+        if None in probe or probe in seen:
+            continue
+        seen.add(probe)
+        probes.append(probe)
+
+    # Pass 2 — fetch the deduplicated probe set with coalesced
+    # multi-gets: one round trip per owning node per batch, instead of
+    # one get invocation (and round trip) per probe.
     cache: Dict[Row, Optional[Block]] = {}
+    for batch in _probe_batches(probes, ctx.batch_size, ctx.batch_partitions):
+        cache.update(instance.multi_get(batch))
+
+    # Pass 3 — the join itself, now purely cache-local.
     data: Dict[Row, List[Entry]] = {}
     for key, value, count in child.iter_entries():
         full = key + value
         probe = tuple(full[p] for p in probe_positions)
         if None in probe:
             continue
-        block = cache.get(probe, _MISSING)
-        if block is _MISSING:
-            block = instance.get(probe)
-            cache[probe] = block
+        block = cache[probe]
         if block is None:
             continue
         out_key = full + tuple(probe[p] for p in exposed_positions)
@@ -144,7 +178,22 @@ def _run_extend(node: kp.Extend, ctx: ExecContext, inputs: List[BlockSet]) -> Bl
     return BlockSet(child_attrs + exposed_names, value_attrs, data)
 
 
-_MISSING = object()
+def _probe_batches(
+    probes: List[Row], batch_size: int, partitions: int
+) -> Iterator[List[Row]]:
+    """Split probe keys into per-partition batches of ``batch_size``.
+
+    Partitions model workers that batch independently; keys are dealt
+    round-robin (deterministic, unlike string hashing) so round-trip
+    counts are reproducible across runs.
+    """
+    if partitions <= 1:
+        groups = [probes]
+    else:
+        groups = [probes[start::partitions] for start in range(partitions)]
+    for group in groups:
+        for start in range(0, len(group), batch_size):
+            yield group[start:start + batch_size]
 
 
 def _run_shift(node: kp.Shift, ctx: ExecContext, inputs: List[BlockSet]) -> BlockSet:

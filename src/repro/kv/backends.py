@@ -32,24 +32,75 @@ class BackendProfile:
     """Simulated cost parameters for one KV backend.
 
     Times are in milliseconds; bandwidth in bytes per millisecond.
+
+    Point-op latencies are decomposed into a fixed **per-round-trip** cost
+    (RPC dispatch, network hop, server-side request setup — paid once per
+    batch sent to a node) and a **per-key marginal** cost (index probe,
+    block read — paid per key even inside a batch):
+
+        get_latency_ms == round_trip_ms + get_key_ms
+        put_latency_ms == round_trip_ms + put_key_ms
+
+    A single-key operation therefore costs exactly what it always did,
+    while an n-key batch to one node costs one round trip plus n marginal
+    keys — the amortization real multi-get APIs (HBase ``Table.get(List)``,
+    Cassandra ``IN``-clause reads, Kudu sessions) provide.
     """
 
     name: str
-    get_latency_ms: float          # service time of one get invocation
+    get_latency_ms: float          # service time of one single-key get
     scan_value_ms: float           # per-value cost on the sequential path
-    put_latency_ms: float          # service time of one put invocation
+    put_latency_ms: float          # service time of one single-key put
     write_value_ms: float          # per-value cost when writing
     network_bytes_per_ms: float    # per-link bandwidth
     cpu_value_ms: float            # SQL-layer per-value processing cost
     job_overhead_ms: float         # fixed start-up per query job
     stage_overhead_ms: float       # fixed overhead per plan stage
+    round_trip_ms: float           # fixed cost of one RPC round trip
+    get_key_ms: float              # marginal per-key cost in a batched get
+    put_key_ms: float              # marginal per-key cost in a batched put
+
+    def __post_init__(self) -> None:
+        for latency, marginal in (
+            (self.get_latency_ms, self.get_key_ms),
+            (self.put_latency_ms, self.put_key_ms),
+        ):
+            if abs(latency - (self.round_trip_ms + marginal)) > 1e-9:
+                raise ValueError(
+                    f"{self.name}: latency {latency} must equal "
+                    f"round_trip_ms + marginal "
+                    f"({self.round_trip_ms} + {marginal})"
+                )
 
     def get_cost_ms(self, n_gets: int, n_values: int) -> float:
-        """Time for ``n_gets`` get invocations returning ``n_values`` values."""
+        """Time for ``n_gets`` unbatched gets returning ``n_values`` values."""
         return n_gets * self.get_latency_ms + n_values * self.scan_value_ms
 
     def put_cost_ms(self, n_puts: int, n_values: int) -> float:
         return n_puts * self.put_latency_ms + n_values * self.write_value_ms
+
+    def batched_get_cost_ms(
+        self, n_round_trips: int, n_keys: int, n_values: int
+    ) -> float:
+        """Time for ``n_keys`` gets coalesced into ``n_round_trips`` RPCs.
+
+        ``batched_get_cost_ms(n, n, v) == get_cost_ms(n, v)`` — the
+        unbatched case is one round trip per key.
+        """
+        return (
+            n_round_trips * self.round_trip_ms
+            + n_keys * self.get_key_ms
+            + n_values * self.scan_value_ms
+        )
+
+    def batched_put_cost_ms(
+        self, n_round_trips: int, n_keys: int, n_values: int
+    ) -> float:
+        return (
+            n_round_trips * self.round_trip_ms
+            + n_keys * self.put_key_ms
+            + n_values * self.write_value_ms
+        )
 
     def transfer_ms(self, n_bytes: int, links: int = 1) -> float:
         """Time to move ``n_bytes`` over ``links`` parallel links."""
@@ -61,6 +112,9 @@ class BackendProfile:
         return n_values * self.cpu_value_ms
 
 
+# Round-trip shares follow the stacks' RPC weight: HBase pays the
+# heaviest per-request cost (Thrift/protobuf RPC + region lookup), so
+# batching amortizes the most there; Kudu's point path is already lean.
 HBASE = BackendProfile(
     name="hbase",
     get_latency_ms=0.50,
@@ -71,6 +125,9 @@ HBASE = BackendProfile(
     cpu_value_ms=0.0008,
     job_overhead_ms=15.0,
     stage_overhead_ms=1.0,
+    round_trip_ms=0.28,
+    get_key_ms=0.22,
+    put_key_ms=0.02,
 )
 
 KUDU = BackendProfile(
@@ -83,6 +140,9 @@ KUDU = BackendProfile(
     cpu_value_ms=0.0008,
     job_overhead_ms=4.0,
     stage_overhead_ms=0.3,
+    round_trip_ms=0.06,
+    get_key_ms=0.04,
+    put_key_ms=0.06,
 )
 
 CASSANDRA = BackendProfile(
@@ -95,6 +155,9 @@ CASSANDRA = BackendProfile(
     cpu_value_ms=0.0008,
     job_overhead_ms=6.0,
     stage_overhead_ms=0.4,
+    round_trip_ms=0.15,
+    get_key_ms=0.15,
+    put_key_ms=0.03,
 )
 
 PROFILES: Dict[str, BackendProfile] = {

@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 _TOMBSTONE = object()
 
@@ -117,6 +117,11 @@ class LSMStore:
             self._live_count += 1
         self._maybe_flush()
 
+    def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        """Batched write of (key, value) pairs (memtable may flush mid-batch)."""
+        for key, value in items:
+            self.put(key, value)
+
     def delete(self, key: bytes) -> bool:
         existed = self._contains_live(key)
         if existed:
@@ -173,6 +178,15 @@ class LSMStore:
         if value is None or value is _TOMBSTONE:
             return None
         return value  # type: ignore[return-value]
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched lookup: one value (or ``None``) per key, in key order.
+
+        Each key still walks the memtable and runs individually — the
+        LSM read path is per-key — but the batch shares one invocation,
+        which is what the cluster's round-trip accounting models.
+        """
+        return [self.get(key) for key in keys]
 
     def __contains__(self, key: bytes) -> bool:
         return self._contains_live(key)

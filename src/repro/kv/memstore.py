@@ -9,7 +9,7 @@ via next()").
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 class MemStore:
@@ -38,10 +38,20 @@ class MemStore:
         """Return the value for ``key`` or ``None`` if absent."""
         return self._data.get(key)
 
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched lookup: one value (or ``None``) per key, in key order."""
+        data = self._data
+        return [data.get(key) for key in keys]
+
     def put(self, key: bytes, value: bytes) -> None:
         if key not in self._data:
             self._dirty = True
         self._data[key] = value
+
+    def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        """Batched write of (key, value) pairs."""
+        for key, value in items:
+            self.put(key, value)
 
     def delete(self, key: bytes) -> bool:
         """Delete ``key``; return True if it was present."""

@@ -9,7 +9,7 @@ scan" the paper sets out to remove.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.kv import codec
 from repro.kv.cluster import KVCluster
@@ -71,6 +71,22 @@ class TaaVRelation:
         row, _ = codec.decode_row(data)
         return row
 
+    def multi_get(self, keys: Sequence[Row]) -> List[Optional[Row]]:
+        """Batched point gets (one round trip per owning node); positional."""
+        payloads = self.cluster.multi_get(
+            self.namespace,
+            [codec.encode_key(tuple(key)) for key in keys],
+            n_values_each=self.schema.arity,
+        )
+        out: List[Optional[Row]] = []
+        for data in payloads:
+            if data is None:
+                out.append(None)
+            else:
+                row, _ = codec.decode_row(data)
+                out.append(row)
+        return out
+
     def scan(self) -> Iterator[Row]:
         """Full scan: one counted get per tuple (the TaaV scan cost)."""
         for _, value in self.cluster.scan(self.namespace, count_as_gets=True):
@@ -78,8 +94,16 @@ class TaaVRelation:
             # account logical values read for the blind fetch
             yield row
 
-    def fetch_all(self) -> Relation:
-        """Materialize the full relation, counting gets and values."""
+    def fetch_all(self, batch_size: int = 1) -> Relation:
+        """Materialize the full relation, counting gets and values.
+
+        ``batch_size=1`` is the conventional stack: one get invocation
+        (and round trip) per tuple, driven by ``next()``. A larger batch
+        models a client that extracts keys first and coalesces its gets —
+        same #get, far fewer round trips.
+        """
+        if batch_size > 1:
+            return self._fetch_all_batched(batch_size)
         rows: List[Row] = []
         arity = self.schema.arity
         total_values = 0
@@ -88,6 +112,21 @@ class TaaVRelation:
             rows.append(row)
             total_values += arity
         self._charge_values(total_values)
+        return Relation(self.schema, rows)
+
+    def _fetch_all_batched(self, batch_size: int) -> Relation:
+        key_bytes = self.cluster.namespace_keys(self.namespace)
+        arity = self.schema.arity
+        rows: List[Row] = []
+        for start in range(0, len(key_bytes), batch_size):
+            batch = key_bytes[start:start + batch_size]
+            payloads = self.cluster.multi_get(
+                self.namespace, batch, n_values_each=arity
+            )
+            for data in payloads:
+                if data is not None:
+                    row, _ = codec.decode_row(data)
+                    rows.append(row)
         return Relation(self.schema, rows)
 
     def _charge_values(self, n_values: int) -> None:

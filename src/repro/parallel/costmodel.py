@@ -15,6 +15,7 @@ divides evenly by ``p``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.kv.backends import BackendProfile
 from repro.parallel.metrics import StageCost
@@ -38,14 +39,22 @@ class CostModel:
         values: int,
         bytes_out: int,
         repartition_bytes: int = 0,
+        round_trips: Optional[int] = None,
     ) -> StageCost:
         """A stage that reads from the storage layer.
 
         ``repartition_bytes`` is intermediate data shuffled to align with
         the storage partitioning first (the interleaved ∝ of §7.2).
+        ``round_trips`` is the number of client↔node RPCs that carried
+        the ``gets``; when omitted, every get is its own round trip (the
+        unbatched baseline, identical to the old cost).
         """
         profile = self.profile
-        storage = profile.get_cost_ms(gets, values) / max(1, self.storage_nodes)
+        if round_trips is None:
+            round_trips = gets
+        storage = profile.batched_get_cost_ms(
+            round_trips, gets, values
+        ) / max(1, self.storage_nodes)
         links = max(1, min(self.workers, self.storage_nodes))
         transfer = profile.transfer_ms(bytes_out, links=links)
         shuffle = profile.transfer_ms(repartition_bytes, links=self.workers)
@@ -57,6 +66,7 @@ class CostModel:
             comm_bytes=bytes_out + repartition_bytes,
             gets=gets,
             values=values,
+            round_trips=round_trips,
         )
 
     def shuffle_stage(
@@ -80,14 +90,24 @@ class CostModel:
         return StageCost(name, time_ms=compute, values=0)
 
     def write_stage(
-        self, name: str, puts: int, values: int, bytes_in: int
+        self,
+        name: str,
+        puts: int,
+        values: int,
+        bytes_in: int,
+        round_trips: Optional[int] = None,
     ) -> StageCost:
         profile = self.profile
-        storage = profile.put_cost_ms(puts, values) / max(1, self.storage_nodes)
+        if round_trips is None:
+            round_trips = puts
+        storage = profile.batched_put_cost_ms(
+            round_trips, puts, values
+        ) / max(1, self.storage_nodes)
         links = max(1, min(self.workers, self.storage_nodes))
         transfer = profile.transfer_ms(bytes_in, links=links)
         return StageCost(
             name,
             time_ms=storage + transfer,
             comm_bytes=bytes_in,
+            round_trips=round_trips,
         )

@@ -28,7 +28,7 @@ from repro.core.plangen import ZidianPlan, substitute_table
 from repro.errors import ExecutionError
 from repro.kba import plan as kp
 from repro.kba.blockset import BlockSet
-from repro.kba.executor import ExecContext, execute_node
+from repro.kba.executor import DEFAULT_BATCH_SIZE, ExecContext, execute_node
 from repro.kv.backends import BackendProfile
 from repro.kv.cluster import KVCluster
 from repro.kv.node import NodeCounters
@@ -77,6 +77,7 @@ class _CounterProbe:
             values_written=now.values_written - self._last.values_written,
             bytes_out=now.bytes_out - self._last.bytes_out,
             bytes_in=now.bytes_in - self._last.bytes_in,
+            round_trips=now.round_trips - self._last.round_trips,
         )
         self._last = now
         return diff
@@ -91,11 +92,15 @@ class BaselineEngine:
         cluster: KVCluster,
         profile: BackendProfile,
         workers: int,
+        batch_size: int = 1,
     ) -> None:
         self.taav = taav
         self.cluster = cluster
         self.profile = profile
         self.workers = workers
+        # 1 = the paper's per-key baseline; >1 models a client that
+        # coalesces its scan-driven gets into multi-get round trips
+        self.batch_size = batch_size
         self.model = CostModel(profile, workers, cluster.num_nodes)
 
     def execute(
@@ -236,7 +241,9 @@ class BaselineEngine:
         metrics: ExecutionMetrics,
         probe: _CounterProbe,
     ) -> Table:
-        relation = self.taav.relation(node.relation).fetch_all()
+        relation = self.taav.relation(node.relation).fetch_all(
+            batch_size=self.batch_size
+        )
         delta = probe.delta()
         table = Table(
             [f"{node.alias}.{a}" for a in relation.schema.attribute_names],
@@ -248,6 +255,7 @@ class BaselineEngine:
                 gets=delta.gets,
                 values=delta.values_read,
                 bytes_out=delta.bytes_out,
+                round_trips=delta.round_trips,
             )
         )
         return table
@@ -279,14 +287,22 @@ class ZidianEngine:
         cluster: KVCluster,
         profile: BackendProfile,
         workers: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.baav = baav
         self.taav = taav
         self.cluster = cluster
         self.profile = profile
         self.workers = workers
+        self.batch_size = batch_size
         self.model = CostModel(profile, workers, cluster.num_nodes)
-        self.ctx = ExecContext(baav, taav)
+        # each worker partition coalesces its own probe batches
+        self.ctx = ExecContext(
+            baav,
+            taav,
+            batch_size=batch_size,
+            batch_partitions=workers,
+        )
 
     def execute(
         self, plan: ZidianPlan, database_for_top: Optional[Database] = None
@@ -338,6 +354,7 @@ class ZidianEngine:
                     values=delta.values_read,
                     bytes_out=delta.bytes_out,
                     repartition_bytes=child_bytes,
+                    round_trips=delta.round_trips,
                 )
             )
         elif isinstance(node, (kp.ScanKV, kp.TaaVScan, kp.StatsGroup)):
@@ -352,6 +369,7 @@ class ZidianEngine:
                     gets=delta.gets,
                     values=delta.values_read,
                     bytes_out=delta.bytes_out,
+                    round_trips=delta.round_trips,
                 )
             )
         elif isinstance(node, (kp.SelectK, kp.ProjectK, kp.CopyK, kp.Shift)):

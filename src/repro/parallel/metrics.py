@@ -26,12 +26,16 @@ class StageCost:
     gets: int = 0
     values: int = 0
     skew: float = 1.0
+    #: client↔node RPCs carrying the gets (== gets when unbatched)
+    round_trips: int = 0
 
     def __str__(self) -> str:
         out = (
             f"{self.name}: {self.time_ms:.2f}ms, comm={self.comm_bytes}B, "
             f"gets={self.gets}, values={self.values}"
         )
+        if self.round_trips and self.round_trips != self.gets:
+            out += f", round_trips={self.round_trips}"
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -45,6 +49,7 @@ class ExecutionMetrics:
     wall_time_ms: float = 0.0
     n_get: int = 0
     n_put: int = 0
+    n_round_trips: int = 0
     data_values: int = 0
     comm_bytes: int = 0
     stages: List[StageCost] = field(default_factory=list)
@@ -57,6 +62,7 @@ class ExecutionMetrics:
         self.sim_time_ms += stage.time_ms
         self.comm_bytes += stage.comm_bytes
         self.n_get += stage.gets
+        self.n_round_trips += stage.round_trips
         self.data_values += stage.values
 
     @property
@@ -68,6 +74,7 @@ class ExecutionMetrics:
         self.wall_time_ms += other.wall_time_ms
         self.n_get += other.n_get
         self.n_put += other.n_put
+        self.n_round_trips += other.n_round_trips
         self.data_values += other.data_values
         self.comm_bytes += other.comm_bytes
         self.stages.extend(other.stages)
@@ -75,6 +82,7 @@ class ExecutionMetrics:
     def summary(self) -> str:
         return (
             f"time={self.sim_time_s:.3f}s #get={self.n_get} "
+            f"#rt={self.n_round_trips} "
             f"#data={self.data_values} comm={self.comm_bytes / 1e6:.3f}MB "
             f"(wall={self.wall_time_ms:.1f}ms, p={self.workers})"
         )
@@ -97,6 +105,7 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.wall_time_ms = sum(m.wall_time_ms for m in metrics) / n
     out.n_get = sum(m.n_get for m in metrics) // n
     out.n_put = sum(m.n_put for m in metrics) // n
+    out.n_round_trips = sum(m.n_round_trips for m in metrics) // n
     out.data_values = sum(m.data_values for m in metrics) // n
     out.comm_bytes = sum(m.comm_bytes for m in metrics) // n
     return out

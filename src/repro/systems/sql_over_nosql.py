@@ -22,6 +22,7 @@ from repro.errors import ExecutionError
 from repro.kv.backends import BackendProfile, profile as get_profile
 from repro.kv.cluster import KVCluster
 from repro.kv.taav import TaaVStore
+from repro.kba.executor import DEFAULT_BATCH_SIZE
 from repro.parallel.engine import BaselineEngine, ZidianEngine
 from repro.parallel.metrics import ExecutionMetrics
 from repro.relational.database import Database
@@ -67,10 +68,14 @@ class SQLOverNoSQL:
         backend: str = "hbase",
         workers: int = 8,
         storage_nodes: int = 4,
+        batch_size: int = 1,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         self.cluster = KVCluster(storage_nodes)
+        # per-key gets by default — the conventional stack the paper
+        # measures; raise to model a multi-get-capable client
+        self.batch_size = batch_size
         self.database: Optional[Database] = None
         self.taav: Optional[TaaVStore] = None
 
@@ -91,7 +96,11 @@ class SQLOverNoSQL:
         ra_plan = build_plan_any(bound)
         self.cluster.reset_counters()
         engine = BaselineEngine(
-            self.taav, self.cluster, self.profile, self.workers
+            self.taav,
+            self.cluster,
+            self.profile,
+            self.workers,
+            batch_size=self.batch_size,
         )
         table, metrics = engine.execute(ra_plan)
         return QueryResult(_to_relation(table), metrics)
@@ -111,10 +120,13 @@ class ZidianSystem:
         keep_stats: bool = True,
         use_stats: bool = True,
         keep_taav: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         self.cluster = KVCluster(storage_nodes)
+        # probe keys coalesced per multi-get round (1 = per-key probes)
+        self.batch_size = batch_size
         self.degree_bound = degree_bound
         self.compress = compress
         self.split_threshold = split_threshold
@@ -186,7 +198,12 @@ class ZidianSystem:
         plan, decision = self.middleware.plan(bound)
         self.cluster.reset_counters()
         engine = ZidianEngine(
-            self.store, self.taav, self.cluster, self.profile, self.workers
+            self.store,
+            self.taav,
+            self.cluster,
+            self.profile,
+            self.workers,
+            batch_size=self.batch_size,
         )
         table, metrics = engine.execute(plan)
         return QueryResult(_to_relation(table), metrics, decision)

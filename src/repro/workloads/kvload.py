@@ -54,24 +54,44 @@ def _write_time(profile: BackendProfile, nodes: int, puts: int,
     return profile.put_cost_ms(puts, values) / max(1, nodes)
 
 
+def _read_workload(
+    cluster: KVCluster,
+    layout: str,
+    issue_reads,
+    profile: BackendProfile,
+) -> WorkloadResult:
+    """Meter ``issue_reads()`` against ``cluster`` and price the diff.
+
+    ``batched_get_cost_ms(rt, gets, values)`` degrades to the per-key
+    ``get_cost_ms`` when every get is its own round trip, so one formula
+    serves both the per-key and the coalesced workloads.
+    """
+    before = cluster.total_counters()
+    issue_reads()
+    after = cluster.total_counters()
+    gets = after.gets - before.gets
+    values = after.values_read - before.values_read
+    round_trips = after.round_trips - before.round_trips
+    time_ms = profile.batched_get_cost_ms(round_trips, gets, values) / max(
+        1, cluster.num_nodes
+    )
+    return WorkloadResult(
+        "read", layout, gets, values, time_ms, cluster.num_nodes
+    )
+
+
 def taav_read_workload(
     taav: TaaVRelation,
     keys: Sequence[Row],
     profile: BackendProfile,
 ) -> WorkloadResult:
     """Bulk point reads against the TaaV layout."""
-    cluster = taav.cluster
-    before = cluster.total_counters()
-    for key in keys:
-        taav.get(tuple(key))
-    after = cluster.total_counters()
-    gets = after.gets - before.gets
-    values = after.values_read - before.values_read
-    return WorkloadResult(
-        "read", "taav", gets, values,
-        _read_time(profile, cluster.num_nodes, gets, values),
-        cluster.num_nodes,
-    )
+
+    def issue():
+        for key in keys:
+            taav.get(tuple(key))
+
+    return _read_workload(taav.cluster, "taav", issue, profile)
 
 
 def baav_read_workload(
@@ -80,18 +100,51 @@ def baav_read_workload(
     profile: BackendProfile,
 ) -> WorkloadResult:
     """Bulk point reads against the BaaV layout (block per get)."""
-    cluster = instance.cluster
-    before = cluster.total_counters()
-    for key in keys:
-        instance.get(tuple(key))
-    after = cluster.total_counters()
-    gets = after.gets - before.gets
-    values = after.values_read - before.values_read
-    return WorkloadResult(
-        "read", "baav", gets, values,
-        _read_time(profile, cluster.num_nodes, gets, values),
-        cluster.num_nodes,
-    )
+
+    def issue():
+        for key in keys:
+            instance.get(tuple(key))
+
+    return _read_workload(instance.cluster, "baav", issue, profile)
+
+
+def taav_batched_read_workload(
+    taav: TaaVRelation,
+    keys: Sequence[Row],
+    profile: BackendProfile,
+    batch_size: int = 64,
+) -> WorkloadResult:
+    """Bulk point reads against TaaV, coalesced into multi-get batches.
+
+    Same #get as :func:`taav_read_workload` on the same distinct keys,
+    but one round trip per owning node per batch — the amortization the
+    batched pipeline buys.
+    """
+
+    def issue():
+        for start in range(0, len(keys), batch_size):
+            taav.multi_get(
+                [tuple(k) for k in keys[start:start + batch_size]]
+            )
+
+    return _read_workload(taav.cluster, "taav-batched", issue, profile)
+
+
+def baav_batched_read_workload(
+    instance: KVInstance,
+    keys: Sequence[Row],
+    profile: BackendProfile,
+    batch_size: int = 64,
+) -> WorkloadResult:
+    """Bulk block reads against BaaV, coalesced into multi-get batches."""
+
+    def issue():
+        for start in range(0, len(keys), batch_size):
+            instance.multi_get(
+                [tuple(k) for k in keys[start:start + batch_size]]
+            )
+
+    return _read_workload(instance.cluster, "baav-batched", issue, profile)
 
 
 def taav_write_workload(

@@ -1,0 +1,107 @@
+"""Property: batched execution ≡ per-key execution.
+
+The multi-get pipeline is a pure plumbing optimization — for any
+database, query and batch size, a Zidian system probing with coalesced
+multi-gets must return exactly the per-key system's answers, issue the
+same number of get invocations, and never more round trips than gets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baav import BaaVSchema, KVSchema
+from repro.relational import AttrType, Database, RelationSchema, bag_equal, bag_diff
+from repro.systems import ZidianSystem
+
+VEHICLE = RelationSchema.of(
+    "V",
+    {"vid": AttrType.INT, "make": AttrType.STR, "region": AttrType.INT},
+    ["vid"],
+)
+EVENT = RelationSchema.of(
+    "E",
+    {
+        "eid": AttrType.INT,
+        "vid": AttrType.INT,
+        "kind": AttrType.STR,
+        "score": AttrType.INT,
+    },
+    ["eid"],
+)
+
+BAAV = BaaVSchema(
+    [
+        KVSchema("v_by_id", VEHICLE, ["vid"], ["make", "region"]),
+        KVSchema("e_by_vid", EVENT, ["vid"], ["eid", "kind", "score"]),
+    ]
+)
+
+MAKES = ["ford", "bmw", "audi"]
+KINDS = ["pass", "fail"]
+
+
+@st.composite
+def database_strategy(draw):
+    n_vehicles = draw(st.integers(min_value=0, max_value=8))
+    vehicles = [
+        (vid, draw(st.sampled_from(MAKES)), draw(st.integers(0, 2)))
+        for vid in range(n_vehicles)
+    ]
+    n_events = draw(st.integers(min_value=0, max_value=15))
+    events = [
+        (
+            eid,
+            draw(st.integers(0, max(0, n_vehicles - 1) or 0)),
+            draw(st.sampled_from(KINDS)),
+            draw(st.integers(0, 50)),
+        )
+        for eid in range(n_events)
+    ]
+    return Database.from_dict([VEHICLE, EVENT], {"V": vehicles, "E": events})
+
+
+@st.composite
+def query_strategy(draw):
+    make = draw(st.sampled_from(MAKES))
+    kind = draw(st.sampled_from(KINDS))
+    shape = draw(st.integers(0, 2))
+    if shape == 0:
+        return f"select V.vid, V.region from V where V.make = '{make}'"
+    if shape == 1:
+        return (
+            "select V.vid, E.kind, E.score from V, E "
+            f"where V.vid = E.vid and V.make = '{make}'"
+        )
+    return (
+        "select V.make, sum(E.score) as total from V, E "
+        f"where V.vid = E.vid and E.kind = '{kind}' group by V.make"
+    )
+
+
+@given(
+    database_strategy(),
+    query_strategy(),
+    st.integers(min_value=1, max_value=11),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_equals_per_key(db, sql, batch_size):
+    per_key = ZidianSystem("hbase", workers=2, storage_nodes=3, batch_size=1)
+    per_key.load(db, BAAV)
+    reference = per_key.execute(sql)
+
+    batched = ZidianSystem(
+        "hbase", workers=2, storage_nodes=3, batch_size=batch_size
+    )
+    batched.load(db, BAAV)
+    result = batched.execute(sql)
+
+    assert bag_equal(reference.relation, result.relation), (
+        sql + "\n" + bag_diff(reference.relation, result.relation)
+    )
+    # same logical work, never more RPCs than logical gets
+    assert result.metrics.n_get == reference.metrics.n_get
+    assert result.metrics.data_values == reference.metrics.data_values
+    assert result.metrics.n_round_trips <= reference.metrics.n_round_trips
+    assert result.metrics.n_round_trips <= result.metrics.n_get
+    # amortization can only help simulated time
+    assert result.metrics.sim_time_ms <= reference.metrics.sim_time_ms + 1e-9
