@@ -100,8 +100,10 @@ def build_pair(
     # paper fidelity: the deployed Zidian issues per-key gets like the
     # baseline, so the §9 reproductions keep batch_size=1 and measure
     # only BaaV's contribution; the orthogonal multi-get amortization
-    # is benchmarked separately in test_batching.py
+    # is benchmarked separately in test_batching.py, and the block cache
+    # is pinned off (test_caching.py measures it in isolation)
     zidian_kwargs.setdefault("batch_size", 1)
+    zidian_kwargs.setdefault("cache_capacity_bytes", 0)
     zidian = ZidianSystem(
         backend, workers=workers, storage_nodes=storage_nodes, **zidian_kwargs
     )
@@ -153,6 +155,20 @@ def mean(values: Iterable[float]) -> float:
 # --------------------------------------------------------------------------
 # reporting
 # --------------------------------------------------------------------------
+
+
+def cache_rate(obj) -> str:
+    """Render a cache hit-rate column from ``ExecutionMetrics``,
+    ``CacheStats`` or a plain ratio (``"-"`` when nothing was looked up)."""
+    if isinstance(obj, float):
+        return f"{obj:.0%}"
+    if hasattr(obj, "cache_hit_rate"):  # ExecutionMetrics
+        lookups = obj.cache_hits + obj.cache_misses
+        rate = obj.cache_hit_rate
+    else:  # CacheStats
+        lookups = obj.lookups
+        rate = obj.hit_rate
+    return f"{rate:.0%}" if lookups else "-"
 
 
 def fmt(value: float) -> str:

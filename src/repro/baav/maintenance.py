@@ -28,22 +28,35 @@ class Maintainer:
         self.store = store
 
     def insert(self, relation: str, rows: Iterable[Row]) -> int:
-        """Insert tuples of ``relation``; returns touched block count."""
-        touched = 0
+        """Insert tuples of ``relation``; returns the touched block count.
+
+        "Touched" means *distinct* blocks written across the affected KV
+        instances: two inserted rows landing in the same block count
+        once, not rows × instances.
+        """
+        rows = list(rows)
+        touched = set()
         for instance in self.store.instances_over(relation):
             for row in rows:
-                self._insert_one(instance, row)
-                touched += 1
-        return touched
+                touched.add(
+                    (instance.schema.name, self._insert_one(instance, row))
+                )
+        return len(touched)
 
     def delete(self, relation: str, rows: Iterable[Row]) -> int:
-        """Delete tuples of ``relation`` (one occurrence per given row)."""
-        touched = 0
+        """Delete tuples of ``relation`` (one occurrence per given row).
+
+        Returns the number of *distinct* blocks actually modified; rows
+        that matched no stored tuple touch nothing.
+        """
+        rows = list(rows)
+        touched = set()
         for instance in self.store.instances_over(relation):
             for row in rows:
-                self._delete_one(instance, row)
-                touched += 1
-        return touched
+                key = self._delete_one(instance, row)
+                if key is not None:
+                    touched.add((instance.schema.name, key))
+        return len(touched)
 
     # -- internals -----------------------------------------------------------
 
@@ -54,7 +67,8 @@ class Maintainer:
         value = tuple(row[rel.index_of(a)] for a in instance.schema.value)
         return key, value
 
-    def _insert_one(self, instance: KVInstance, row: Row) -> None:
+    def _insert_one(self, instance: KVInstance, row: Row) -> Row:
+        """Apply one insert; returns the touched block's key."""
         key, value = self._project(instance, row)
         cluster = instance.cluster
         first_key = codec.encode_key(key + (0,))
@@ -62,7 +76,7 @@ class Maintainer:
         if payload is None:
             block = Block.from_rows([value], compress=instance.compress)
             instance._write_block(key, block)
-            return
+            return key
         # read-modify-write the *last* segment
         n_segments, _ = _decode_segment(payload)
         n_segments = max(1, n_segments)
@@ -103,6 +117,7 @@ class Maintainer:
             )
         self._refresh_meta_on_insert(instance, key)
         self._refresh_stats(instance, key)
+        return key
 
     def _bump_segment_count(
         self, instance: KVInstance, key: Row, n_segments: int
@@ -120,15 +135,17 @@ class Maintainer:
             n_values=first_block.num_values(),
         )
 
-    def _delete_one(self, instance: KVInstance, row: Row) -> None:
+    def _delete_one(self, instance: KVInstance, row: Row) -> Optional[Row]:
+        """Apply one delete; returns the touched block's key, or ``None``
+        when the row matched nothing (no block was modified)."""
         key, value = self._project(instance, row)
         cluster = instance.cluster
         block = instance.get(key)
         if block is None:
-            return
+            return None
         removed = block.remove(value, 1)
         if not removed:
-            return
+            return None
         # rewrite the whole logical block (segments may shrink)
         first_key = codec.encode_key(key + (0,))
         payload = cluster.peek(instance.namespace, first_key)
@@ -142,10 +159,11 @@ class Maintainer:
                     instance.stats_namespace, codec.encode_key(key)
                 )
             instance._num_tuples -= 1
-            return
+            return key
         instance._num_tuples -= block.num_tuples + 1
         instance._write_block(key, block)
         self._refresh_stats(instance, key)
+        return key
 
     def _refresh_meta_on_insert(self, instance: KVInstance, key: Row) -> None:
         instance._num_tuples += 1

@@ -23,6 +23,7 @@ from repro.baav.block import Block, BlockStats, split_block
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.errors import BaaVError
 from repro.kv import codec
+from repro.kv.cache import read_through, read_through_many
 from repro.kv.cluster import KVCluster
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -42,12 +43,17 @@ class KVInstance:
         compress: bool = True,
         split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
         keep_stats: bool = True,
+        cache=None,
     ) -> None:
         self.schema = schema
         self.cluster = cluster
         self.compress = compress
         self.split_threshold = split_threshold
         self.keep_stats = keep_stats
+        #: optional client-side read-through block cache (repro.kv.cache);
+        #: registered with the cluster so writes invalidate stale segments
+        self.cache = cache
+        cluster.register_cache(cache)
         self.namespace = f"baav:{schema.name}"
         self.stats_namespace = f"baav:{schema.name}#stats"
         self._degree = 0
@@ -115,25 +121,52 @@ class KVInstance:
 
     # -- point access -----------------------------------------------------------
 
+    def _cached_get(self, encoded: bytes) -> Tuple[Optional[bytes], bool]:
+        """Fetch one segment payload; returns (payload, reached_cluster).
+
+        Read-through: a cache hit serves the payload locally — no node
+        counters move, zero round trips — and only misses issue a
+        cluster get (which fills the cache).
+        """
+        return read_through(
+            self.cache,
+            self.namespace,
+            encoded,
+            lambda kb: self.cluster.get(self.namespace, kb, n_values=1),
+        )
+
+    def _cached_multi_get(
+        self, encoded_keys: Sequence[bytes]
+    ) -> List[Tuple[Optional[bytes], bool]]:
+        """Positional batched segment fetch; hits never reach the cluster."""
+        return read_through_many(
+            self.cache,
+            self.namespace,
+            encoded_keys,
+            lambda missing: self.cluster.multi_get(
+                self.namespace, missing, n_values_each=1
+            ),
+        )
+
     def get(self, key: Row) -> Optional[Block]:
         """Fetch the whole logical block for ``key`` (1 get per segment)."""
-        first = self.cluster.get(
-            self.namespace, codec.encode_key(tuple(key) + (0,)), n_values=1
-        )
+        first, fetched = self._cached_get(codec.encode_key(tuple(key) + (0,)))
         if first is None:
             return None
         n_segments, block = _decode_segment(first)
-        self._charge_block_values(block)
+        if fetched:
+            self._charge_block_values(block)
         for index in range(1, n_segments):
-            data = self.cluster.get(
-                self.namespace, codec.encode_key(tuple(key) + (index,)), n_values=1
+            data, fetched = self._cached_get(
+                codec.encode_key(tuple(key) + (index,))
             )
             if data is None:
                 raise BaaVError(
                     f"missing segment {index} of key {key!r} in {self.schema.name}"
                 )
             _, segment = _decode_segment(data)
-            self._charge_block_values(segment)
+            if fetched:
+                self._charge_block_values(segment)
             block.entries.extend(segment.entries)
         return block
 
@@ -143,41 +176,41 @@ class KVInstance:
         Two batched waves instead of one get per segment: wave 1 fetches
         every key's segment 0 (one round trip per owning node for the
         whole batch), wave 2 fetches all remaining segments of
-        multi-segment blocks. Duplicate keys are fetched once.
+        multi-segment blocks. Duplicate keys are fetched once. With a
+        cache attached, cached segments are served locally and only the
+        missing ones are batched to the cluster.
         """
         unique: List[Row] = list(dict.fromkeys(tuple(k) for k in keys))
-        firsts = self.cluster.multi_get(
-            self.namespace,
-            [codec.encode_key(key + (0,)) for key in unique],
-            n_values_each=1,
+        firsts = self._cached_multi_get(
+            [codec.encode_key(key + (0,)) for key in unique]
         )
         blocks: Dict[Row, Optional[Block]] = {}
         pending: List[Tuple[Row, int]] = []
-        for key, data in zip(unique, firsts):
+        for key, (data, fetched) in zip(unique, firsts):
             if data is None:
                 blocks[key] = None
                 continue
             n_segments, block = _decode_segment(data)
-            self._charge_block_values(block)
+            if fetched:
+                self._charge_block_values(block)
             blocks[key] = block
             for index in range(1, n_segments):
                 pending.append((key, index))
         if pending:
-            extras = self.cluster.multi_get(
-                self.namespace,
-                [codec.encode_key(key + (index,)) for key, index in pending],
-                n_values_each=1,
+            extras = self._cached_multi_get(
+                [codec.encode_key(key + (index,)) for key, index in pending]
             )
             # pending holds each key's tail segments in ascending index
             # order, so extending in zip order reassembles the block
-            for (key, index), data in zip(pending, extras):
+            for (key, index), (data, fetched) in zip(pending, extras):
                 if data is None:
                     raise BaaVError(
                         f"missing segment {index} of key {key!r} "
                         f"in {self.schema.name}"
                     )
                 _, segment = _decode_segment(data)
-                self._charge_block_values(segment)
+                if fetched:
+                    self._charge_block_values(segment)
                 blocks[key].entries.extend(segment.entries)
         return blocks
 
@@ -189,8 +222,9 @@ class KVInstance:
         ``cluster.get``/``multi_get`` counted ``n_values=1`` (the serving
         node is only known inside the cluster); the remainder is spread
         evenly, which keeps totals exact and per-node counts approximate.
-        Scans pass ``already_counted=0`` — ``cluster.scan`` counts no
-        values itself — so per-key and batched paths charge identically.
+        ``cluster.scan`` likewise counts one value per pair on the owning
+        node, so scans also top up with ``already_counted=1`` and per-key,
+        batched and scan paths all charge identically.
         """
         extra = block.num_values() - already_counted
         if extra > 0:
@@ -205,8 +239,11 @@ class KVInstance:
         """Fetch only the per-block statistics (1 get, tiny payload)."""
         if not self.keep_stats:
             return None
-        data = self.cluster.get(
-            self.stats_namespace, codec.encode_key(tuple(key)), n_values=4
+        data, _ = read_through(
+            self.cache,
+            self.stats_namespace,
+            codec.encode_key(tuple(key)),
+            lambda kb: self.cluster.get(self.stats_namespace, kb, n_values=4),
         )
         if data is None:
             return None
@@ -242,7 +279,9 @@ class KVInstance:
             physical_key = codec.decode_key(key_bytes)
             key, segment_index = physical_key[:-1], physical_key[-1]
             _, segment = _decode_segment(payload)
-            self._charge_block_values(segment, already_counted=0)
+            # cluster.scan charged 1 value on the owning node; top up the
+            # decoded remainder so per-key and batched paths charge alike
+            self._charge_block_values(segment, already_counted=1)
             partial[key].append((segment_index, segment))
         for key, segments in partial.items():
             segments.sort(key=lambda pair: pair[0])
@@ -352,12 +391,14 @@ class BaaVStore:
         compress: bool = True,
         split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
         keep_stats: bool = True,
+        cache=None,
     ) -> None:
         self.schema = schema
         self.cluster = cluster
         self.compress = compress
         self.split_threshold = split_threshold
         self.keep_stats = keep_stats
+        self.cache = cache
         self.instances: Dict[str, KVInstance] = {}
 
     @classmethod
@@ -369,12 +410,20 @@ class BaaVStore:
         compress: bool = True,
         split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
         keep_stats: bool = True,
+        cache=None,
     ) -> "BaaVStore":
         """The mapping of ``D`` on ``R̃`` (§4.1): build every KV instance."""
-        store = cls(schema, cluster, compress, split_threshold, keep_stats)
+        store = cls(
+            schema, cluster, compress, split_threshold, keep_stats, cache
+        )
         for kv_schema in schema:
             instance = KVInstance(
-                kv_schema, cluster, compress, split_threshold, keep_stats
+                kv_schema,
+                cluster,
+                compress,
+                split_threshold,
+                keep_stats,
+                cache=cache,
             )
             instance.build_from(database.relation(kv_schema.relation.name))
             store.instances[kv_schema.name] = instance

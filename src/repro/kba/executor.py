@@ -154,18 +154,18 @@ def _run_extend(node: kp.Extend, ctx: ExecContext, inputs: List[BlockSet]) -> Bl
     # Pass 2 — fetch the deduplicated probe set with coalesced
     # multi-gets: one round trip per owning node per batch, instead of
     # one get invocation (and round trip) per probe.
-    cache: Dict[Row, Optional[Block]] = {}
+    fetched: Dict[Row, Optional[Block]] = {}
     for batch in _probe_batches(probes, ctx.batch_size, ctx.batch_partitions):
-        cache.update(instance.multi_get(batch))
+        fetched.update(instance.multi_get(batch))
 
-    # Pass 3 — the join itself, now purely cache-local.
+    # Pass 3 — the join itself, now purely local on the fetched blocks.
     data: Dict[Row, List[Entry]] = {}
     for key, value, count in child.iter_entries():
         full = key + value
         probe = tuple(full[p] for p in probe_positions)
         if None in probe:
             continue
-        block = cache[probe]
+        block = fetched[probe]
         if block is None:
             continue
         out_key = full + tuple(probe[p] for p in exposed_positions)
@@ -389,16 +389,25 @@ def _run_stats_group(node: kp.StatsGroup, ctx: ExecContext, inputs: List[BlockSe
     from repro.baav.store import _decode_stats
     from repro.kv import codec
 
-    nodes = list(instance.cluster.nodes.values())
-    node_index = 0
+    # values_of decodes each sidecar to charge 4 statistic values per
+    # attribute on the owning node; memoize so the loop body reuses the
+    # decode instead of decoding every payload twice
+    decoded: Dict[bytes, Dict[str, object]] = {}
+
+    def _stats_values(key_bytes: bytes, data: bytes) -> int:
+        stats = _decode_stats(data)
+        decoded[key_bytes] = stats
+        return 4 * len(stats)
+
     for key_bytes, payload in instance.cluster.scan(
-        instance.stats_namespace, count_as_gets=True
+        instance.stats_namespace,
+        count_as_gets=True,
+        values_of=_stats_values,
     ):
         key = codec.decode_key(key_bytes)
-        stats = _decode_stats(payload)
-        # 4 statistic values per attribute read from the sidecar
-        nodes[node_index % len(nodes)].counters.values_read += 4 * len(stats)
-        node_index += 1
+        # the memo is only filled when the scan counts (values_of runs);
+        # fall back to a fresh decode so counting stays a metrics concern
+        stats = decoded.pop(key_bytes, None) or _decode_stats(payload)
         out: List[object] = []
         for spec in node.aggs:
             attr = _agg_attr(spec, alias)

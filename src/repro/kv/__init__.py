@@ -1,6 +1,12 @@
-"""KV storage substrate: codec, memstore, DHT cluster, TaaV layout."""
+"""KV storage substrate: codec, memstore, DHT cluster, block cache, TaaV layout."""
 
 from repro.kv.backends import BackendProfile, CASSANDRA, HBASE, KUDU, PROFILES, profile
+from repro.kv.cache import (
+    BlockCache,
+    CacheStats,
+    PartitionedBlockCache,
+    make_cache,
+)
 from repro.kv.cluster import KVCluster
 from repro.kv.hashring import HashRing
 from repro.kv.lsm import BloomFilter, LSMStore
@@ -10,12 +16,16 @@ from repro.kv.taav import TaaVRelation, TaaVStore
 
 __all__ = [
     "BackendProfile",
+    "BlockCache",
+    "CacheStats",
     "CASSANDRA",
     "HBASE",
     "HashRing",
     "KUDU",
     "BloomFilter",
     "KVCluster",
+    "PartitionedBlockCache",
+    "make_cache",
     "LSMStore",
     "MemStore",
     "NodeCounters",

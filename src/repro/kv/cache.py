@@ -1,0 +1,311 @@
+"""Client-side read-through block cache for the KV stack.
+
+Real deployments of the substrates the paper models put a block cache in
+front of the store (HBase's BlockCache, Cassandra's row/key caches); an
+HTAP stack's analytic path lives or dies on how well hot data stays close
+to compute. This module provides that layer for the repro:
+
+* :class:`BlockCache` — a byte-capacity LRU over ``(namespace,
+  key_bytes) → payload bytes``, with hit / miss / eviction / bytes
+  statistics;
+* :class:`PartitionedBlockCache` — per-worker caches matching the
+  per-worker partitions of the parallel engine: keys are routed to one
+  sub-cache by a stable hash, so the same worker owns the same keys
+  across queries (no cross-worker sharing, as on a real cluster);
+* :func:`make_cache` — the knob-to-cache factory used by the systems.
+
+The cache is **read-through** and **write-invalidated**: readers
+(:class:`repro.baav.store.KVInstance`, :class:`repro.kv.taav.TaaVRelation`)
+consult it before the cluster and fill it on miss; every write routed
+through :class:`repro.kv.cluster.KVCluster` (``put`` / ``multi_put`` /
+``delete`` / ``drop_namespace``) invalidates the touched keys in every
+cache registered with the cluster. Cached payloads are raw bytes — value
+objects are re-decoded per read — so there is no aliasing between cached
+state and caller-mutated blocks.
+
+Cache hits never reach a storage node: :class:`~repro.kv.node.NodeCounters`
+stay honest and a hit costs zero round trips in the cost model, which is
+exactly the speedup the caching benchmark measures. Blind scans
+(``KVCluster.scan``) bypass the cache entirely — they stream every pair
+anyway and would only evict the hot point-read set.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass
+class CacheStats:
+    """Cumulative statistics of one cache (or an aggregate of several)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    insertions: int = 0
+    bytes_cached: int = 0    # current resident payload bytes
+    bytes_served: int = 0    # cumulative payload bytes served from hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 when the cache was never consulted."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        self.insertions += other.insertions
+        self.bytes_cached += other.bytes_cached
+        self.bytes_served += other.bytes_served
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"rate={self.hit_rate:.1%} evictions={self.evictions} "
+            f"cached={self.bytes_cached}B"
+        )
+
+
+#: accounted per-entry bookkeeping overhead (dict slot, key tuple) so a
+#: cache of many tiny values cannot pretend to be free
+ENTRY_OVERHEAD_BYTES = 64
+
+_CacheKey = Tuple[str, bytes]
+
+
+class BlockCache:
+    """A byte-capacity LRU cache of ``(namespace, key_bytes) → payload``.
+
+    ``capacity_bytes`` bounds the sum of entry charges (key + payload +
+    :data:`ENTRY_OVERHEAD_BYTES`); least-recently-used entries are
+    evicted when an insertion exceeds it. A payload larger than the whole
+    capacity is never admitted (it would only flush the cache for one
+    use). Absent keys are not cached — a read miss on a missing key
+    always reaches the cluster.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[_CacheKey, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- read path --------------------------------------------------------
+
+    def get(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
+        """Return the cached payload or ``None``; counts a hit or miss."""
+        entry = self._entries.get((namespace, key_bytes))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((namespace, key_bytes))
+        self.stats.hits += 1
+        self.stats.bytes_served += len(entry)
+        return entry
+
+    def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
+        """Uncounted, LRU-neutral read (tests and introspection)."""
+        return self._entries.get((namespace, key_bytes))
+
+    # -- fill / invalidate -------------------------------------------------
+
+    @staticmethod
+    def _charge(key: _CacheKey, payload: bytes) -> int:
+        return len(key[0]) + len(key[1]) + len(payload) + ENTRY_OVERHEAD_BYTES
+
+    def put(self, namespace: str, key_bytes: bytes, payload: bytes) -> None:
+        """Fill on read-miss (and refresh on re-fill); evicts LRU to fit."""
+        key = (namespace, key_bytes)
+        charge = self._charge(key, payload)
+        if charge > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.bytes_cached -= self._charge(key, old)
+        while (
+            self._entries
+            and self.stats.bytes_cached + charge > self.capacity_bytes
+        ):
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self.stats.bytes_cached -= self._charge(evicted_key, evicted)
+            self.stats.evictions += 1
+        self._entries[key] = payload
+        self.stats.bytes_cached += charge
+        self.stats.insertions += 1
+
+    def invalidate(self, namespace: str, key_bytes: bytes) -> bool:
+        """Drop one entry (a write touched it); True if it was cached."""
+        entry = self._entries.pop((namespace, key_bytes), None)
+        if entry is None:
+            return False
+        self.stats.bytes_cached -= self._charge((namespace, key_bytes), entry)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_namespace(self, namespace: str) -> int:
+        """Drop every entry of a namespace (``drop_namespace``)."""
+        doomed = [k for k in self._entries if k[0] == namespace]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self.stats.bytes_cached -= self._charge(key, entry)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.bytes_cached = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCache(entries={len(self._entries)}, "
+            f"{self.stats.bytes_cached}/{self.capacity_bytes}B)"
+        )
+
+
+class PartitionedBlockCache:
+    """Per-worker block caches matching per-worker partitions.
+
+    The parallel engine's ``p`` workers each keep a private cache of the
+    keys they own; a key's owner is a stable hash of ``(namespace,
+    key_bytes)``, so the same worker serves the same keys across queries
+    — repeat hits accrue per worker without modeling a shared cache the
+    real deployment would not have. Capacity is split evenly.
+    """
+
+    def __init__(self, capacity_bytes: int, partitions: int) -> None:
+        if partitions <= 0:
+            raise ValueError("partitions must be positive")
+        per_worker = max(1, capacity_bytes // partitions)
+        self.partitions: List[BlockCache] = [
+            BlockCache(per_worker) for _ in range(partitions)
+        ]
+        self.capacity_bytes = per_worker * partitions
+
+    def _route(self, namespace: str, key_bytes: bytes) -> BlockCache:
+        digest = zlib.crc32(namespace.encode("utf-8") + b"\x00" + key_bytes)
+        return self.partitions[digest % len(self.partitions)]
+
+    def get(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
+        return self._route(namespace, key_bytes).get(namespace, key_bytes)
+
+    def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
+        return self._route(namespace, key_bytes).peek(namespace, key_bytes)
+
+    def put(self, namespace: str, key_bytes: bytes, payload: bytes) -> None:
+        self._route(namespace, key_bytes).put(namespace, key_bytes, payload)
+
+    def invalidate(self, namespace: str, key_bytes: bytes) -> bool:
+        return self._route(namespace, key_bytes).invalidate(
+            namespace, key_bytes
+        )
+
+    def invalidate_namespace(self, namespace: str) -> int:
+        return sum(
+            cache.invalidate_namespace(namespace) for cache in self.partitions
+        )
+
+    def clear(self) -> None:
+        for cache in self.partitions:
+            cache.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate statistics over all worker partitions."""
+        total = CacheStats()
+        for cache in self.partitions:
+            total.add(cache.stats)
+        return total
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self.partitions)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedBlockCache(workers={len(self.partitions)}, "
+            f"entries={len(self)})"
+        )
+
+
+#: either cache flavor — they expose the same get/put/invalidate surface
+AnyBlockCache = Union[BlockCache, PartitionedBlockCache]
+
+
+def make_cache(
+    capacity_bytes: int, partitions: int = 1
+) -> Optional[AnyBlockCache]:
+    """Build the cache a ``cache_capacity_bytes`` knob asks for.
+
+    ``capacity_bytes <= 0`` means caching is off (``None``) — the paper
+    benchmarks pin this so they keep measuring BaaV's contribution alone.
+    """
+    if capacity_bytes <= 0:
+        return None
+    if partitions <= 1:
+        return BlockCache(capacity_bytes)
+    return PartitionedBlockCache(capacity_bytes, partitions)
+
+
+def read_through(
+    cache: Optional[AnyBlockCache],
+    namespace: str,
+    key_bytes: bytes,
+    fetch_one: Callable[[bytes], Optional[bytes]],
+) -> Tuple[Optional[bytes], bool]:
+    """Serve one payload through ``cache``; ``(payload, reached_cluster)``.
+
+    A hit is served locally (no storage traffic); a miss calls
+    ``fetch_one`` and fills the cache with its non-``None`` result.
+    This is THE read-through step — every cached point-read path
+    (TaaV tuples, BaaV segments, stats sidecars) goes through here or
+    :func:`read_through_many`, so cache semantics live in one place.
+    """
+    if cache is not None:
+        data = cache.get(namespace, key_bytes)
+        if data is not None:
+            return data, False
+    data = fetch_one(key_bytes)
+    if data is not None and cache is not None:
+        cache.put(namespace, key_bytes, data)
+    return data, True
+
+
+def read_through_many(
+    cache: Optional[AnyBlockCache],
+    namespace: str,
+    keys: Sequence[bytes],
+    fetch_many: Callable[[List[bytes]], List[Optional[bytes]]],
+) -> List[Tuple[Optional[bytes], bool]]:
+    """Batched :func:`read_through`: positional ``(payload, reached_cluster)``
+    per key; only the cache-missing keys are passed to ``fetch_many``."""
+    if cache is None:
+        return [(data, True) for data in fetch_many(list(keys))]
+    out: List[Tuple[Optional[bytes], bool]] = [(None, False)] * len(keys)
+    missing: List[Tuple[int, bytes]] = []
+    for index, key_bytes in enumerate(keys):
+        data = cache.get(namespace, key_bytes)
+        if data is not None:
+            out[index] = (data, False)
+        else:
+            missing.append((index, key_bytes))
+    if missing:
+        fetched = fetch_many([key_bytes for _, key_bytes in missing])
+        for (index, key_bytes), data in zip(missing, fetched):
+            out[index] = (data, True)
+            if data is not None:
+                cache.put(namespace, key_bytes, data)
+    return out

@@ -11,7 +11,7 @@ stored key is ``encode_value(namespace) + key_bytes``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
@@ -32,8 +32,27 @@ class KVCluster:
         self.engine = engine
         self.nodes: Dict[int, StorageNode] = {}
         self.ring = HashRing(replicas=ring_replicas)
+        #: client-side block caches subscribed to write invalidations
+        self._caches: List = []
         for node_id in range(num_nodes):
             self._add_node(node_id)
+
+    # -- cache invalidation bus -------------------------------------------
+
+    def register_cache(self, cache) -> None:
+        """Subscribe a client-side block cache to write invalidations.
+
+        Every write that flows through the cluster (``put``,
+        ``multi_put``, ``delete``, ``drop_namespace``) invalidates the
+        touched ``(namespace, key_bytes)`` in every registered cache, so
+        read-through caches can never serve stale payloads. Idempotent.
+        """
+        if cache is not None and all(c is not cache for c in self._caches):
+            self._caches.append(cache)
+
+    def _invalidate(self, namespace: str, key_bytes: bytes) -> None:
+        for cache in self._caches:
+            cache.invalidate(namespace, key_bytes)
 
     # -- topology --------------------------------------------------------
 
@@ -117,6 +136,7 @@ class KVCluster:
 
     def put(self, namespace: str, key_bytes: bytes, value: bytes,
             n_values: int = 1) -> None:
+        self._invalidate(namespace, key_bytes)
         full = self.full_key(namespace, key_bytes)
         self._owner(full).put(full, value, n_values=n_values)
 
@@ -130,6 +150,7 @@ class KVCluster:
         (items are applied in order within each node's batch)."""
         by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
         for key_bytes, value in items:
+            self._invalidate(namespace, key_bytes)
             full = self.full_key(namespace, key_bytes)
             by_node.setdefault(self.ring.node_for(full), []).append(
                 (full, value)
@@ -140,6 +161,7 @@ class KVCluster:
             )
 
     def delete(self, namespace: str, key_bytes: bytes) -> bool:
+        self._invalidate(namespace, key_bytes)
         full = self.full_key(namespace, key_bytes)
         return self._owner(full).delete(full)
 
@@ -149,7 +171,10 @@ class KVCluster:
         return self._owner(full).peek(full)
 
     def scan(
-        self, namespace: str, count_as_gets: bool = True
+        self,
+        namespace: str,
+        count_as_gets: bool = True,
+        values_of: Optional[Callable[[bytes, bytes], int]] = None,
     ) -> Iterator[Tuple[bytes, bytes]]:
         """Scan all pairs of a namespace across all nodes.
 
@@ -157,19 +182,31 @@ class KVCluster:
         value with ``get``; with ``count_as_gets`` every pair visited is
         tallied as one get on its node, which is exactly the "blind scan"
         cost TaaV suffers. Yields (stripped key bytes, value bytes).
+
+        ``values_of`` maps a (stripped key, value) pair to its logical
+        value count, so decode-aware callers charge ``values_read``
+        exactly like :meth:`StorageNode.get` would (a TaaV pair is
+        ``arity`` values, a stats sidecar ``4 × attrs``); without it
+        every pair counts as one value — never zero, which silently
+        undercounted the blind-scan #data.
         """
         prefix = encode_value(namespace)
         plen = len(prefix)
         for node in self.nodes.values():
             for key, value in node.store.scan(prefix):
+                stripped = key[plen:]
                 if count_as_gets:
                     # the blind scan issues one full get (and thus one
                     # round trip) per pair — the cost BaaV removes
-                    node.counters.gets += 1
-                    node.counters.round_trips += 1
-                    node.counters.hits += 1
-                    node.counters.bytes_out += len(value)
-                yield key[plen:], value
+                    counters = node.counters
+                    counters.gets += 1
+                    counters.round_trips += 1
+                    counters.hits += 1
+                    counters.bytes_out += len(value)
+                    counters.values_read += (
+                        values_of(stripped, value) if values_of else 1
+                    )
+                yield stripped, value
 
     def namespace_keys(self, namespace: str) -> List[bytes]:
         """All (stripped) key bytes of a namespace, uncounted."""
@@ -183,6 +220,8 @@ class KVCluster:
 
     def drop_namespace(self, namespace: str) -> int:
         """Delete every pair in ``namespace``; return how many."""
+        for cache in self._caches:
+            cache.invalidate_namespace(namespace)
         prefix = encode_value(namespace)
         dropped = 0
         for node in self.nodes.values():

@@ -106,13 +106,21 @@ class LSMStore:
         self._memtable_limit = memtable_limit
         self._max_runs = max_runs
         self._live_count = 0
+        #: merged live view (sorted keys, values), rebuilt lazily; reused
+        #: by keys()/next_key()/scan()/size_bytes() so repeated next_key
+        #: iteration is linear overall instead of O(n²)
+        self._merged: Optional[Tuple[List[bytes], List[bytes]]] = None
         self.stats = LSMStats()
 
     # -- write path ---------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
+        # liveness probe is an internal write-path read: uncounted, so
+        # runs_probed / bloom_skips reflect the read amplification of
+        # *reads* only
         existed = self._contains_live(key)
         self._memtable[key] = value
+        self._merged = None
         if not existed:
             self._live_count += 1
         self._maybe_flush()
@@ -126,6 +134,7 @@ class LSMStore:
         existed = self._contains_live(key)
         if existed:
             self._memtable[key] = _TOMBSTONE
+            self._merged = None
             self._live_count -= 1
             self._maybe_flush()
         return existed
@@ -136,6 +145,7 @@ class LSMStore:
         items = sorted(self._memtable.items())
         self._runs.insert(0, _Run(items))
         self._memtable.clear()
+        self._merged = None
         self.stats.flushes += 1
         if len(self._runs) > self._max_runs:
             self._compact()
@@ -152,25 +162,29 @@ class LSMStore:
             (k, v) for k, v in merged.items() if v is not _TOMBSTONE
         )
         self._runs = [_Run(survivors)] if survivors else []
+        self._merged = None
         self.stats.compactions += 1
 
     # -- read path ------------------------------------------------------------
 
-    def _lookup(self, key: bytes):
+    def _lookup(self, key: bytes, counted: bool = True):
         if key in self._memtable:
             return self._memtable[key]
         for run in self._runs:
             if not run.bloom.might_contain(key):
-                self.stats.bloom_skips += 1
+                if counted:
+                    self.stats.bloom_skips += 1
                 continue
-            self.stats.runs_probed += 1
+            if counted:
+                self.stats.runs_probed += 1
             value = run.get(key)
             if value is not None:
                 return value
         return None
 
     def _contains_live(self, key: bytes) -> bool:
-        value = self._lookup(key)
+        """Uncounted liveness probe (write path / introspection)."""
+        value = self._lookup(key, counted=False)
         return value is not None and value is not _TOMBSTONE
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -196,17 +210,35 @@ class LSMStore:
 
     # -- iteration --------------------------------------------------------------
 
+    def _merged_view(self) -> Tuple[List[bytes], List[bytes]]:
+        """Sorted (keys, values) of all live pairs, cached until a write.
+
+        Building the merge is O(n log n) once per write epoch; every
+        ``next_key`` / ``scan`` / ``size_bytes`` call in between reuses
+        it, so driving a scan with repeated ``next_key`` is linear
+        overall instead of rebuilding the full sorted key list per call.
+        """
+        if self._merged is None:
+            seen: Dict[bytes, object] = {}
+            for run in reversed(self._runs):
+                for key, value in zip(run.keys, run.values):
+                    seen[key] = value
+            seen.update(self._memtable)
+            live = sorted(
+                (k, v) for k, v in seen.items() if v is not _TOMBSTONE
+            )
+            self._merged = (
+                [k for k, _ in live],
+                [v for _, v in live],  # type: ignore[misc]
+            )
+        return self._merged
+
     def keys(self) -> List[bytes]:
         """All live keys in sorted order (merging memtable and runs)."""
-        seen: Dict[bytes, object] = {}
-        for run in reversed(self._runs):
-            for key, value in zip(run.keys, run.values):
-                seen[key] = value
-        seen.update(self._memtable)
-        return sorted(k for k, v in seen.items() if v is not _TOMBSTONE)
+        return list(self._merged_view()[0])
 
     def next_key(self, after: Optional[bytes] = None) -> Optional[bytes]:
-        keys = self.keys()
+        keys = self._merged_view()[0]
         if not keys:
             return None
         if after is None:
@@ -217,26 +249,22 @@ class LSMStore:
         return keys[index] if index < len(keys) else None
 
     def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
-        for key in self.keys():
+        keys, values = self._merged_view()
+        for key, value in zip(keys, values):
             if key.startswith(prefix):
-                value = self.get(key)
-                if value is not None:
-                    yield key, value
+                yield key, value
 
     # -- maintenance ---------------------------------------------------------------
 
     def size_bytes(self) -> int:
-        total = 0
-        for key in self.keys():
-            value = self.get(key)
-            if value is not None:
-                total += len(key) + len(value)
-        return total
+        keys, values = self._merged_view()
+        return sum(len(k) + len(v) for k, v in zip(keys, values))
 
     def clear(self) -> None:
         self._memtable.clear()
         self._runs = []
         self._live_count = 0
+        self._merged = None
 
     @property
     def num_runs(self) -> int:

@@ -136,9 +136,15 @@ class StorageNode:
             counters.bytes_in += len(value)
 
     def delete(self, key: bytes) -> bool:
+        """Serve a delete; the RPC is counted whether or not the key existed.
+
+        ``deletes`` is the logical invocation count (like ``gets``, which
+        count misses too) and every delete is one client↔node round trip
+        — a miss still crosses the network.
+        """
         removed = self.store.delete(key)
-        if removed:
-            self.counters.deletes += 1
+        self.counters.deletes += 1
+        self.counters.round_trips += 1
         return removed
 
     def peek(self, key: bytes) -> Optional[bytes]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.kv import codec
+from repro.kv.cache import read_through, read_through_many
 from repro.kv.cluster import KVCluster
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -20,11 +21,25 @@ from repro.relational.types import Row
 
 
 class TaaVRelation:
-    """One relation stored tuple-as-a-value in the cluster."""
+    """One relation stored tuple-as-a-value in the cluster.
 
-    def __init__(self, schema: RelationSchema, cluster: KVCluster) -> None:
+    ``cache`` is an optional client-side read-through block cache
+    (:mod:`repro.kv.cache`): point reads consult it first and only
+    cache-missing keys reach the cluster; it is registered with the
+    cluster so every write invalidates the touched keys. Blind scans
+    bypass it.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        cluster: KVCluster,
+        cache=None,
+    ) -> None:
         self.schema = schema
         self.cluster = cluster
+        self.cache = cache
+        cluster.register_cache(cache)
         self.namespace = f"taav:{schema.name}"
         self._pk_positions: Optional[Tuple[int, ...]] = (
             schema.indexes_of(schema.primary_key) if schema.primary_key else None
@@ -62,9 +77,14 @@ class TaaVRelation:
         return removed
 
     def get(self, key: Row) -> Optional[Row]:
-        """Point get by primary key."""
-        data = self.cluster.get(
-            self.namespace, codec.encode_key(key), n_values=self.schema.arity
+        """Point get by primary key (read-through the cache when present)."""
+        data, _ = read_through(
+            self.cache,
+            self.namespace,
+            codec.encode_key(key),
+            lambda kb: self.cluster.get(
+                self.namespace, kb, n_values=self.schema.arity
+            ),
         )
         if data is None:
             return None
@@ -72,12 +92,13 @@ class TaaVRelation:
         return row
 
     def multi_get(self, keys: Sequence[Row]) -> List[Optional[Row]]:
-        """Batched point gets (one round trip per owning node); positional."""
-        payloads = self.cluster.multi_get(
-            self.namespace,
-            [codec.encode_key(tuple(key)) for key in keys],
-            n_values_each=self.schema.arity,
-        )
+        """Batched point gets (one round trip per owning node); positional.
+
+        With a cache attached, only the cache-missing keys reach the
+        cluster — the batch the nodes see shrinks with the hit rate.
+        """
+        encoded = [codec.encode_key(tuple(key)) for key in keys]
+        payloads = self._cached_multi_get(encoded, self.schema.arity)
         out: List[Optional[Row]] = []
         for data in payloads:
             if data is None:
@@ -87,11 +108,33 @@ class TaaVRelation:
                 out.append(row)
         return out
 
+    def _cached_multi_get(
+        self, encoded_keys: Sequence[bytes], n_values_each: int
+    ) -> List[Optional[bytes]]:
+        """Positional payload fetch serving hits locally, misses batched."""
+        pairs = read_through_many(
+            self.cache,
+            self.namespace,
+            encoded_keys,
+            lambda missing: self.cluster.multi_get(
+                self.namespace, missing, n_values_each=n_values_each
+            ),
+        )
+        return [data for data, _ in pairs]
+
     def scan(self) -> Iterator[Row]:
-        """Full scan: one counted get per tuple (the TaaV scan cost)."""
-        for _, value in self.cluster.scan(self.namespace, count_as_gets=True):
+        """Full scan: one counted get per tuple (the TaaV scan cost).
+
+        Every pair is ``arity`` logical values, charged on its owning
+        node — the blind scan's #data, which used to go uncounted.
+        """
+        arity = self.schema.arity
+        for _, value in self.cluster.scan(
+            self.namespace,
+            count_as_gets=True,
+            values_of=lambda _k, _v: arity,
+        ):
             row, _ = codec.decode_row(value)
-            # account logical values read for the blind fetch
             yield row
 
     def fetch_all(self, batch_size: int = 1) -> Relation:
@@ -104,15 +147,7 @@ class TaaVRelation:
         """
         if batch_size > 1:
             return self._fetch_all_batched(batch_size)
-        rows: List[Row] = []
-        arity = self.schema.arity
-        total_values = 0
-        for _, value in self.cluster.scan(self.namespace, count_as_gets=True):
-            row, _ = codec.decode_row(value)
-            rows.append(row)
-            total_values += arity
-        self._charge_values(total_values)
-        return Relation(self.schema, rows)
+        return Relation(self.schema, list(self.scan()))
 
     def _fetch_all_batched(self, batch_size: int) -> Relation:
         key_bytes = self.cluster.namespace_keys(self.namespace)
@@ -120,23 +155,12 @@ class TaaVRelation:
         rows: List[Row] = []
         for start in range(0, len(key_bytes), batch_size):
             batch = key_bytes[start:start + batch_size]
-            payloads = self.cluster.multi_get(
-                self.namespace, batch, n_values_each=arity
-            )
+            payloads = self._cached_multi_get(batch, arity)
             for data in payloads:
                 if data is not None:
                     row, _ = codec.decode_row(data)
                     rows.append(row)
         return Relation(self.schema, rows)
-
-    def _charge_values(self, n_values: int) -> None:
-        """Spread logical value counts over the nodes that served the scan."""
-        nodes = list(self.cluster.nodes.values())
-        if not nodes or n_values <= 0:
-            return
-        share, remainder = divmod(n_values, len(nodes))
-        for index, node in enumerate(nodes):
-            node.counters.values_read += share + (1 if index < remainder else 0)
 
     def __len__(self) -> int:
         return self._row_count
@@ -145,19 +169,22 @@ class TaaVRelation:
 class TaaVStore:
     """A whole database stored tuple-as-a-value."""
 
-    def __init__(self, cluster: KVCluster) -> None:
+    def __init__(self, cluster: KVCluster, cache=None) -> None:
         self.cluster = cluster
+        self.cache = cache
         self.relations: Dict[str, TaaVRelation] = {}
 
     @classmethod
-    def from_database(cls, database: Database, cluster: KVCluster) -> "TaaVStore":
-        store = cls(cluster)
+    def from_database(
+        cls, database: Database, cluster: KVCluster, cache=None
+    ) -> "TaaVStore":
+        store = cls(cluster, cache=cache)
         for relation in database:
             store.add_relation(relation)
         return store
 
     def add_relation(self, relation: Relation) -> TaaVRelation:
-        taav = TaaVRelation(relation.schema, self.cluster)
+        taav = TaaVRelation(relation.schema, self.cluster, cache=self.cache)
         taav.load(relation.rows)
         self.relations[relation.schema.name] = taav
         return taav

@@ -40,6 +40,8 @@ class CostModel:
         bytes_out: int,
         repartition_bytes: int = 0,
         round_trips: Optional[int] = None,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
     ) -> StageCost:
         """A stage that reads from the storage layer.
 
@@ -48,6 +50,11 @@ class CostModel:
         ``round_trips`` is the number of client↔node RPCs that carried
         the ``gets``; when omitted, every get is its own round trip (the
         unbatched baseline, identical to the old cost).
+
+        ``cache_hits``/``cache_misses`` record block-cache traffic: hits
+        are served on the SQL-layer side of the network, so they cost
+        zero storage time, zero round trips and zero transfer — they
+        simply never appear in the counted ``gets``/``values``/``bytes``.
         """
         profile = self.profile
         if round_trips is None:
@@ -67,6 +74,8 @@ class CostModel:
             gets=gets,
             values=values,
             round_trips=round_trips,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     def shuffle_stage(

@@ -83,6 +83,27 @@ class _CounterProbe:
         return diff
 
 
+class _CacheProbe:
+    """Snapshot/diff of a block cache's hit/miss counters (cache may be
+    ``None``, in which case every delta is zero)."""
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+        self._hits, self._misses = self._snapshot()
+
+    def _snapshot(self) -> Tuple[int, int]:
+        if self.cache is None:
+            return 0, 0
+        stats = self.cache.stats
+        return stats.hits, stats.misses
+
+    def delta(self) -> Tuple[int, int]:
+        hits, misses = self._snapshot()
+        diff = (hits - self._hits, misses - self._misses)
+        self._hits, self._misses = hits, misses
+        return diff
+
+
 class BaselineEngine:
     """Fetch-all SQL-over-NoSQL evaluation over a TaaV store (§7.1)."""
 
@@ -93,6 +114,7 @@ class BaselineEngine:
         profile: BackendProfile,
         workers: int,
         batch_size: int = 1,
+        cache=None,
     ) -> None:
         self.taav = taav
         self.cluster = cluster
@@ -101,6 +123,9 @@ class BaselineEngine:
         # 1 = the paper's per-key baseline; >1 models a client that
         # coalesces its scan-driven gets into multi-get round trips
         self.batch_size = batch_size
+        # the client-side block cache the TaaV store reads through (only
+        # probed here for per-stage hit/miss attribution)
+        self.cache = cache
         self.model = CostModel(profile, workers, cluster.num_nodes)
 
     def execute(
@@ -114,7 +139,8 @@ class BaselineEngine:
         )
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
-        table = self._run(ra_plan, metrics, probe)
+        cache_probe = _CacheProbe(self.cache)
+        table = self._run(ra_plan, metrics, probe, cache_probe)
         metrics.wall_time_ms = (time.perf_counter() - start) * 1000.0
         return table, metrics
 
@@ -125,11 +151,12 @@ class BaselineEngine:
         node: algebra.PlanNode,
         metrics: ExecutionMetrics,
         probe: _CounterProbe,
+        cache_probe: _CacheProbe,
     ) -> Table:
         if isinstance(node, algebra.ScanNode):
-            return self._scan(node, metrics, probe)
+            return self._scan(node, metrics, probe, cache_probe)
         if isinstance(node, algebra.SelectNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             rows = [
                 r
                 for r in child.rows
@@ -140,15 +167,15 @@ class BaselineEngine:
             )
             return Table(child.attrs, rows)
         if isinstance(node, algebra.ProjectNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             table = self._project(node, child)
             metrics.add_stage(
                 self.model.compute_stage("project", _table_values(child))
             )
             return table
         if isinstance(node, (algebra.JoinNode, algebra.CrossNode)):
-            left = self._run(node.left, metrics, probe)
-            right = self._run(node.right, metrics, probe)
+            left = self._run(node.left, metrics, probe, cache_probe)
+            right = self._run(node.right, metrics, probe, cache_probe)
             equi = node.equi if isinstance(node, algebra.JoinNode) else []
             residual = (
                 node.residual if isinstance(node, algebra.JoinNode) else None
@@ -166,7 +193,7 @@ class BaselineEngine:
             )
             return out
         if isinstance(node, algebra.GroupByNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             out = group_table(child, node.keys, node.key_names, node.aggs)
             metrics.add_stage(
                 self.model.shuffle_stage(
@@ -175,7 +202,7 @@ class BaselineEngine:
             )
             return out
         if isinstance(node, algebra.DistinctNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             seen = set()
             rows = []
             for row in child.rows:
@@ -189,7 +216,7 @@ class BaselineEngine:
             )
             return Table(child.attrs, rows)
         if isinstance(node, algebra.OrderByNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             rows = sort_rows(child, node.keys)
             metrics.add_stage(
                 self.model.shuffle_stage(
@@ -198,11 +225,11 @@ class BaselineEngine:
             )
             return Table(child.attrs, rows)
         if isinstance(node, algebra.LimitNode):
-            child = self._run(node.child, metrics, probe)
+            child = self._run(node.child, metrics, probe, cache_probe)
             return Table(child.attrs, child.rows[: node.limit])
         if isinstance(node, algebra.UnionNode):
-            left = self._run(node.left, metrics, probe)
-            right = self._run(node.right, metrics, probe)
+            left = self._run(node.left, metrics, probe, cache_probe)
+            right = self._run(node.right, metrics, probe, cache_probe)
             metrics.add_stage(
                 self.model.compute_stage(
                     "union", _table_values(left) + _table_values(right)
@@ -212,8 +239,8 @@ class BaselineEngine:
         if isinstance(node, algebra.DifferenceNode):
             from collections import Counter
 
-            left = self._run(node.left, metrics, probe)
-            right = self._run(node.right, metrics, probe)
+            left = self._run(node.left, metrics, probe, cache_probe)
+            right = self._run(node.right, metrics, probe, cache_probe)
             remaining = Counter(right.rows)
             rows = []
             for row in left.rows:
@@ -240,11 +267,13 @@ class BaselineEngine:
         node: algebra.ScanNode,
         metrics: ExecutionMetrics,
         probe: _CounterProbe,
+        cache_probe: _CacheProbe,
     ) -> Table:
         relation = self.taav.relation(node.relation).fetch_all(
             batch_size=self.batch_size
         )
         delta = probe.delta()
+        hits, misses = cache_probe.delta()
         table = Table(
             [f"{node.alias}.{a}" for a in relation.schema.attribute_names],
             list(relation.rows),
@@ -256,6 +285,8 @@ class BaselineEngine:
                 values=delta.values_read,
                 bytes_out=delta.bytes_out,
                 round_trips=delta.round_trips,
+                cache_hits=hits,
+                cache_misses=misses,
             )
         )
         return table
@@ -288,6 +319,7 @@ class ZidianEngine:
         profile: BackendProfile,
         workers: int,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        cache=None,
     ) -> None:
         self.baav = baav
         self.taav = taav
@@ -295,6 +327,9 @@ class ZidianEngine:
         self.profile = profile
         self.workers = workers
         self.batch_size = batch_size
+        # the client-side block cache the stores read through (only
+        # probed here for per-stage hit/miss attribution)
+        self.cache = cache
         self.model = CostModel(profile, workers, cluster.num_nodes)
         # each worker partition coalesces its own probe batches
         self.ctx = ExecContext(
@@ -316,7 +351,8 @@ class ZidianEngine:
         )
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
-        result = self._run(plan.root, metrics, probe)
+        cache_probe = _CacheProbe(self.cache)
+        result = self._run(plan.root, metrics, probe, cache_probe)
 
         table = Table(result.attrs, list(result.expand()))
         final_plan = substitute_table(plan.ra_plan, plan.replace_node, table)
@@ -335,11 +371,16 @@ class ZidianEngine:
         node: kp.KBANode,
         metrics: ExecutionMetrics,
         probe: _CounterProbe,
+        cache_probe: _CacheProbe,
     ) -> BlockSet:
-        inputs = [self._run(c, metrics, probe) for c in node.children()]
+        inputs = [
+            self._run(c, metrics, probe, cache_probe)
+            for c in node.children()
+        ]
         before = time.perf_counter()
         result = execute_node(node, self.ctx, inputs)
         delta = probe.delta()
+        cache_hits, cache_misses = cache_probe.delta()
 
         if isinstance(node, kp.Constant):
             pass
@@ -355,6 +396,8 @@ class ZidianEngine:
                     bytes_out=delta.bytes_out,
                     repartition_bytes=child_bytes,
                     round_trips=delta.round_trips,
+                    cache_hits=cache_hits,
+                    cache_misses=cache_misses,
                 )
             )
         elif isinstance(node, (kp.ScanKV, kp.TaaVScan, kp.StatsGroup)):
@@ -370,6 +413,8 @@ class ZidianEngine:
                     values=delta.values_read,
                     bytes_out=delta.bytes_out,
                     round_trips=delta.round_trips,
+                    cache_hits=cache_hits,
+                    cache_misses=cache_misses,
                 )
             )
         elif isinstance(node, (kp.SelectK, kp.ProjectK, kp.CopyK, kp.Shift)):

@@ -28,6 +28,10 @@ class StageCost:
     skew: float = 1.0
     #: client↔node RPCs carrying the gets (== gets when unbatched)
     round_trips: int = 0
+    #: block-cache lookups served locally (zero round trips, zero #get)
+    cache_hits: int = 0
+    #: block-cache lookups that fell through to the storage nodes
+    cache_misses: int = 0
 
     def __str__(self) -> str:
         out = (
@@ -36,6 +40,8 @@ class StageCost:
         )
         if self.round_trips and self.round_trips != self.gets:
             out += f", round_trips={self.round_trips}"
+        if self.cache_hits or self.cache_misses:
+            out += f", cache={self.cache_hits}/{self.cache_hits + self.cache_misses}"
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -52,6 +58,8 @@ class ExecutionMetrics:
     n_round_trips: int = 0
     data_values: int = 0
     comm_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     stages: List[StageCost] = field(default_factory=list)
     workers: int = 1
     storage_nodes: int = 1
@@ -64,10 +72,18 @@ class ExecutionMetrics:
         self.n_get += stage.gets
         self.n_round_trips += stage.round_trips
         self.data_values += stage.values
+        self.cache_hits += stage.cache_hits
+        self.cache_misses += stage.cache_misses
 
     @property
     def sim_time_s(self) -> float:
         return self.sim_time_ms / 1000.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Block-cache hits over lookups; 0.0 when no cache was consulted."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def merge(self, other: "ExecutionMetrics") -> None:
         self.sim_time_ms += other.sim_time_ms
@@ -77,15 +93,20 @@ class ExecutionMetrics:
         self.n_round_trips += other.n_round_trips
         self.data_values += other.data_values
         self.comm_bytes += other.comm_bytes
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.stages.extend(other.stages)
 
     def summary(self) -> str:
-        return (
+        out = (
             f"time={self.sim_time_s:.3f}s #get={self.n_get} "
             f"#rt={self.n_round_trips} "
             f"#data={self.data_values} comm={self.comm_bytes / 1e6:.3f}MB "
             f"(wall={self.wall_time_ms:.1f}ms, p={self.workers})"
         )
+        if self.cache_hits or self.cache_misses:
+            out += f" cache={self.cache_hit_rate:.0%}"
+        return out
 
     def breakdown(self) -> str:
         return "\n".join(str(s) for s in self.stages)
@@ -108,4 +129,6 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.n_round_trips = sum(m.n_round_trips for m in metrics) // n
     out.data_values = sum(m.data_values for m in metrics) // n
     out.comm_bytes = sum(m.comm_bytes for m in metrics) // n
+    out.cache_hits = sum(m.cache_hits for m in metrics) // n
+    out.cache_misses = sum(m.cache_misses for m in metrics) // n
     return out

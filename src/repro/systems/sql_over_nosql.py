@@ -20,6 +20,7 @@ from repro.core.qcs import extract_workload_qcs
 from repro.core.t2b import design_schema
 from repro.errors import ExecutionError
 from repro.kv.backends import BackendProfile, profile as get_profile
+from repro.kv.cache import CacheStats, make_cache
 from repro.kv.cluster import KVCluster
 from repro.kv.taav import TaaVStore
 from repro.kba.executor import DEFAULT_BATCH_SIZE
@@ -61,7 +62,14 @@ def _to_relation(table: Table) -> Relation:
 
 
 class SQLOverNoSQL:
-    """A baseline SQL-over-NoSQL system (TaaV storage, fetch-all plans)."""
+    """A baseline SQL-over-NoSQL system (TaaV storage, fetch-all plans).
+
+    ``cache_capacity_bytes`` enables a client-side read-through block
+    cache (0 = off, the conventional stack the paper measures). The
+    cache is partitioned per worker — each worker caches the keys it
+    owns — and only serves the batched point-read path
+    (``batch_size > 1``); the per-key blind scan streams past it.
+    """
 
     def __init__(
         self,
@@ -69,6 +77,7 @@ class SQLOverNoSQL:
         workers: int = 8,
         storage_nodes: int = 4,
         batch_size: int = 1,
+        cache_capacity_bytes: int = 0,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
@@ -76,6 +85,7 @@ class SQLOverNoSQL:
         # per-key gets by default — the conventional stack the paper
         # measures; raise to model a multi-get-capable client
         self.batch_size = batch_size
+        self.cache = make_cache(cache_capacity_bytes, partitions=workers)
         self.database: Optional[Database] = None
         self.taav: Optional[TaaVStore] = None
 
@@ -83,10 +93,16 @@ class SQLOverNoSQL:
     def name(self) -> str:
         return f"So{self.profile.name[0].upper()}"
 
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Aggregate block-cache statistics (``None`` when cache is off)."""
+        return self.cache.stats if self.cache is not None else None
+
     def load(self, database: Database) -> None:
         """Load a database into the TaaV store."""
         self.database = database
-        self.taav = TaaVStore.from_database(database, self.cluster)
+        self.taav = TaaVStore.from_database(
+            database, self.cluster, cache=self.cache
+        )
         self.cluster.reset_counters()
 
     def execute(self, sql: str) -> QueryResult:
@@ -101,6 +117,7 @@ class SQLOverNoSQL:
             self.profile,
             self.workers,
             batch_size=self.batch_size,
+            cache=self.cache,
         )
         table, metrics = engine.execute(ra_plan)
         return QueryResult(_to_relation(table), metrics)
@@ -121,12 +138,16 @@ class ZidianSystem:
         use_stats: bool = True,
         keep_taav: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        cache_capacity_bytes: int = 0,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         self.cluster = KVCluster(storage_nodes)
         # probe keys coalesced per multi-get round (1 = per-key probes)
         self.batch_size = batch_size
+        # client-side read-through block cache, partitioned per worker
+        # (0 = off — paper reproductions measure BaaV's contribution alone)
+        self.cache = make_cache(cache_capacity_bytes, partitions=workers)
         self.degree_bound = degree_bound
         self.compress = compress
         self.split_threshold = split_threshold
@@ -142,6 +163,10 @@ class ZidianSystem:
     @property
     def name(self) -> str:
         return f"So{self.profile.name[0].upper()}Zidian"
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Aggregate block-cache statistics (``None`` when cache is off)."""
+        return self.cache.stats if self.cache is not None else None
 
     def load(
         self,
@@ -165,7 +190,9 @@ class ZidianSystem:
                 database.schema, qcs, database, budget_bytes
             )
         if self.keep_taav:
-            self.taav = TaaVStore.from_database(database, self.cluster)
+            self.taav = TaaVStore.from_database(
+                database, self.cluster, cache=self.cache
+            )
         self.store = BaaVStore.map_database(
             database,
             baav_schema,
@@ -173,6 +200,7 @@ class ZidianSystem:
             compress=self.compress,
             split_threshold=self.split_threshold,
             keep_stats=self.keep_stats,
+            cache=self.cache,
         )
         self.middleware = Zidian(
             database.schema,
@@ -204,6 +232,7 @@ class ZidianSystem:
             self.profile,
             self.workers,
             batch_size=self.batch_size,
+            cache=self.cache,
         )
         table, metrics = engine.execute(plan)
         return QueryResult(_to_relation(table), metrics, decision)

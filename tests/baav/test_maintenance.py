@@ -79,6 +79,44 @@ class TestDelete:
         assert sorted(version.rows) == sorted(expected)
 
 
+class TestTouchedBlockCount:
+    """Regression: insert/delete promised "touched block count" but
+    returned rows × instances; they now return *distinct* touched blocks."""
+
+    def test_insert_same_block_counted_once(self, setup):
+        store, maintainer, _ = setup
+        # both rows land in sup_by_nation block (10,): one touched block
+        assert maintainer.insert("SUPPLIER", [(9, 10), (11, 10)]) == 1
+
+    def test_insert_distinct_blocks(self, setup):
+        store, maintainer, _ = setup
+        assert maintainer.insert("SUPPLIER", [(9, 10), (11, 40)]) == 2
+
+    def test_insert_counts_blocks_across_instances(
+        self, paper_db, paper_schemas
+    ):
+        supplier, _, _ = paper_schemas
+        baav = BaaVSchema(
+            [
+                kv_schema("sup_by_nation", supplier, ["nationkey"]),
+                kv_schema("sup_by_key", supplier, ["suppkey"]),
+            ]
+        )
+        store = BaaVStore.map_database(paper_db, baav, KVCluster(2))
+        maintainer = Maintainer(store)
+        # one row touches one block in each of the two SUPPLIER instances
+        assert maintainer.insert("SUPPLIER", [(9, 10)]) == 2
+
+    def test_delete_counts_only_modified_blocks(self, setup):
+        store, maintainer, _ = setup
+        # (1,10) and (2,10) share block (10,): one distinct touched block
+        assert maintainer.delete("SUPPLIER", [(1, 10), (2, 10)]) == 1
+
+    def test_delete_missing_row_touches_nothing(self, setup):
+        store, maintainer, _ = setup
+        assert maintainer.delete("SUPPLIER", [(99, 10)]) == 0
+
+
 class TestSegmentedMaintenance:
     def test_insert_splits_when_over_threshold(self):
         schema = RelationSchema.of(

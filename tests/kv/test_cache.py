@@ -1,0 +1,249 @@
+"""Tests for the client-side read-through block cache (kv/cache.py)."""
+
+import pytest
+
+from repro.baav import BaaVStore
+from repro.kv import BlockCache, KVCluster, PartitionedBlockCache, make_cache
+from repro.kv.cache import ENTRY_OVERHEAD_BYTES
+from repro.kv.taav import TaaVRelation
+from repro.relational import AttrType, Relation, RelationSchema
+
+
+def entry_charge(namespace: str, key: bytes, payload: bytes) -> int:
+    return len(namespace) + len(key) + len(payload) + ENTRY_OVERHEAD_BYTES
+
+
+class TestBlockCache:
+    def test_get_put_roundtrip(self):
+        cache = BlockCache(1024)
+        assert cache.get("ns", b"k") is None
+        cache.put("ns", b"k", b"payload")
+        assert cache.get("ns", b"k") == b"payload"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_namespaces_isolated(self):
+        cache = BlockCache(1024)
+        cache.put("ns1", b"k", b"v1")
+        cache.put("ns2", b"k", b"v2")
+        assert cache.get("ns1", b"k") == b"v1"
+        assert cache.get("ns2", b"k") == b"v2"
+
+    def test_lru_eviction_under_capacity_pressure(self):
+        charge = entry_charge("ns", b"k0", b"x" * 10)
+        cache = BlockCache(charge * 2)  # room for exactly two entries
+        cache.put("ns", b"k0", b"x" * 10)
+        cache.put("ns", b"k1", b"x" * 10)
+        cache.get("ns", b"k0")  # k0 is now most recently used
+        cache.put("ns", b"k2", b"x" * 10)  # evicts k1, the LRU entry
+        assert cache.peek("ns", b"k0") is not None
+        assert cache.peek("ns", b"k1") is None
+        assert cache.peek("ns", b"k2") is not None
+        assert cache.stats.evictions == 1
+
+    def test_oversized_payload_never_admitted(self):
+        cache = BlockCache(128)
+        cache.put("ns", b"k", b"x" * 1024)
+        assert cache.peek("ns", b"k") is None
+        assert len(cache) == 0
+
+    def test_bytes_cached_tracks_residency(self):
+        cache = BlockCache(10_000)
+        cache.put("ns", b"k", b"x" * 100)
+        assert cache.stats.bytes_cached == entry_charge("ns", b"k", b"x" * 100)
+        cache.invalidate("ns", b"k")
+        assert cache.stats.bytes_cached == 0
+
+    def test_refill_replaces_entry(self):
+        cache = BlockCache(10_000)
+        cache.put("ns", b"k", b"old")
+        cache.put("ns", b"k", b"new-longer-payload")
+        assert cache.get("ns", b"k") == b"new-longer-payload"
+        assert cache.stats.bytes_cached == entry_charge(
+            "ns", b"k", b"new-longer-payload"
+        )
+
+    def test_invalidate(self):
+        cache = BlockCache(1024)
+        cache.put("ns", b"k", b"v")
+        assert cache.invalidate("ns", b"k")
+        assert not cache.invalidate("ns", b"k")
+        assert cache.peek("ns", b"k") is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_namespace(self):
+        cache = BlockCache(4096)
+        for i in range(5):
+            cache.put("doomed", f"k{i}".encode(), b"v")
+        cache.put("kept", b"k", b"v")
+        assert cache.invalidate_namespace("doomed") == 5
+        assert cache.peek("kept", b"k") == b"v"
+        assert len(cache) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)
+
+    def test_hit_rate(self):
+        cache = BlockCache(1024)
+        cache.put("ns", b"k", b"v")
+        cache.get("ns", b"k")
+        cache.get("ns", b"k")
+        cache.get("ns", b"absent")
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestPartitionedBlockCache:
+    def test_routing_is_stable(self):
+        cache = PartitionedBlockCache(8192, partitions=4)
+        for i in range(20):
+            cache.put("ns", f"k{i}".encode(), b"v")
+        for i in range(20):
+            assert cache.get("ns", f"k{i}".encode()) == b"v"
+
+    def test_stats_aggregate_over_partitions(self):
+        cache = PartitionedBlockCache(8192, partitions=4)
+        for i in range(10):
+            cache.put("ns", f"k{i}".encode(), b"v")
+            cache.get("ns", f"k{i}".encode())
+        assert cache.stats.hits == 10
+        assert cache.stats.insertions == 10
+        assert len(cache) == 10
+
+    def test_invalidate_namespace_spans_partitions(self):
+        cache = PartitionedBlockCache(8192, partitions=3)
+        for i in range(9):
+            cache.put("ns", f"k{i}".encode(), b"v")
+        assert cache.invalidate_namespace("ns") == 9
+        assert len(cache) == 0
+
+    def test_capacity_split_evenly(self):
+        cache = PartitionedBlockCache(1000, partitions=4)
+        assert all(p.capacity_bytes == 250 for p in cache.partitions)
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionedBlockCache(1024, partitions=0)
+
+
+class TestMakeCache:
+    def test_zero_capacity_is_off(self):
+        assert make_cache(0) is None
+        assert make_cache(-1, partitions=8) is None
+
+    def test_single_partition_plain_cache(self):
+        assert isinstance(make_cache(1024, partitions=1), BlockCache)
+
+    def test_multi_partition(self):
+        cache = make_cache(1024, partitions=4)
+        assert isinstance(cache, PartitionedBlockCache)
+        assert len(cache.partitions) == 4
+
+
+@pytest.fixture()
+def taav_with_cache():
+    schema = RelationSchema.of(
+        "R", {"k": AttrType.INT, "v": AttrType.STR}, ["k"]
+    )
+    rel = Relation(schema, [(i, f"row{i}") for i in range(10)])
+    cluster = KVCluster(3)
+    cache = BlockCache(1 << 20)
+    taav = TaaVRelation(schema, cluster, cache=cache)
+    taav.load(rel.rows)
+    cluster.reset_counters()
+    return taav, cluster, cache
+
+
+class TestReadThroughTaaV:
+    def test_hit_serves_without_touching_nodes(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        assert taav.get((3,)) == (3, "row3")  # miss: fills the cache
+        assert cluster.total_counters().gets == 1
+        assert taav.get((3,)) == (3, "row3")  # hit: zero node traffic
+        total = cluster.total_counters()
+        assert total.gets == 1
+        assert total.round_trips == 1
+        assert cache.stats.hits == 1
+
+    def test_multi_get_only_misses_reach_cluster(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        taav.get((1,))
+        taav.get((2,))
+        cluster.reset_counters()
+        rows = taav.multi_get([(1,), (2,), (3,), (4,)])
+        assert rows == [(1, "row1"), (2, "row2"), (3, "row3"), (4, "row4")]
+        # only the two cache-missing keys were fetched
+        assert cluster.total_counters().gets == 2
+        assert cache.stats.hits == 2
+
+    def test_write_invalidates_stale_entry(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        taav.get((5,))
+        taav.insert((5, "updated"))  # same pk: overwrites the pair
+        assert taav.get((5,)) == (5, "updated")
+
+    def test_delete_invalidates(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        taav.get((6,))
+        assert taav.delete_by_key((6,))
+        assert taav.get((6,)) is None
+
+    def test_drop_namespace_invalidates(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        taav.get((7,))
+        cluster.drop_namespace(taav.namespace)
+        assert taav.get((7,)) is None
+
+    def test_absent_keys_not_cached(self, taav_with_cache):
+        taav, cluster, cache = taav_with_cache
+        assert taav.get((99,)) is None
+        assert taav.get((99,)) is None
+        assert cluster.total_counters().gets == 2
+        assert cache.stats.hits == 0
+
+
+class TestReadThroughBaaV:
+    def test_block_hit_skips_cluster(self, paper_db, paper_baav_schema):
+        cluster = KVCluster(3)
+        cache = BlockCache(1 << 20)
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster, cache=cache
+        )
+        instance = store.instance("sup_by_nation")
+        cluster.reset_counters()
+        first = instance.get((10,))
+        gets_after_miss = cluster.total_counters().gets
+        assert gets_after_miss >= 1
+        again = instance.get((10,))
+        assert sorted(again.expand()) == sorted(first.expand())
+        assert cluster.total_counters().gets == gets_after_miss
+        assert cache.stats.hits >= 1
+
+    def test_maintenance_invalidates_block(self, paper_db, paper_baav_schema):
+        from repro.baav import Maintainer
+
+        cluster = KVCluster(3)
+        cache = BlockCache(1 << 20)
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster, cache=cache
+        )
+        instance = store.instance("sup_by_nation")
+        instance.get((10,))  # cached
+        Maintainer(store).insert("SUPPLIER", [(9, 10)])
+        block = instance.get((10,))
+        assert sorted(block.expand()) == [(1,), (2,), (9,)]
+
+    def test_multi_get_partial_hits(self, paper_db, paper_baav_schema):
+        cluster = KVCluster(3)
+        cache = BlockCache(1 << 20)
+        store = BaaVStore.map_database(
+            paper_db, paper_baav_schema, cluster, cache=cache
+        )
+        instance = store.instance("sup_by_nation")
+        instance.get((10,))
+        cluster.reset_counters()
+        blocks = instance.multi_get([(10,), (20,), (30,)])
+        assert sorted(blocks[(10,)].expand()) == [(1,), (2,)]
+        assert sorted(blocks[(20,)].expand()) == [(3,)]
+        # the cached key (10,) was served locally; 2 keys hit the cluster
+        assert cluster.total_counters().gets == 2

@@ -138,3 +138,46 @@ class TestKVCluster:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             KVCluster(0)
+
+    def test_scan_counts_values_read(self):
+        """Regression: the blind scan used to bump gets but never
+        values_read, undercounting #data — every pair is ≥ 1 value."""
+        cluster = KVCluster(2)
+        for i in range(10):
+            cluster.put("ns", encode_key((i,)), b"v")
+        cluster.reset_counters()
+        list(cluster.scan("ns"))
+        assert cluster.total_counters().values_read == 10
+
+    def test_scan_values_of_charges_logical_counts(self):
+        """Decode-aware callers pass per-pair value counts (e.g. a TaaV
+        pair is ``arity`` values), charged on the owning node."""
+        cluster = KVCluster(2)
+        for i in range(10):
+            cluster.put("ns", encode_key((i,)), b"v")
+        cluster.reset_counters()
+        list(cluster.scan("ns", values_of=lambda k, v: 3))
+        total = cluster.total_counters()
+        assert total.values_read == 30
+        assert total.gets == 10
+        # values land on the node that served the pair, not spread evenly
+        for node in cluster.nodes.values():
+            assert node.counters.values_read == 3 * node.counters.gets
+
+    def test_scan_uncounted_counts_no_values(self):
+        cluster = KVCluster(2)
+        cluster.put("ns", b"k", b"v")
+        cluster.reset_counters()
+        list(cluster.scan("ns", count_as_gets=False))
+        assert cluster.total_counters().values_read == 0
+
+    def test_delete_counts_round_trip(self):
+        """Regression: a delete is an RPC whether or not the key existed."""
+        cluster = KVCluster(2)
+        cluster.put("ns", b"k", b"v")
+        cluster.reset_counters()
+        assert cluster.delete("ns", b"k")
+        assert not cluster.delete("ns", b"missing")
+        total = cluster.total_counters()
+        assert total.round_trips == 2
+        assert total.deletes == 2

@@ -130,6 +130,51 @@ class TestLSMBasics:
         store.clear()
         assert len(store) == 0 and store.keys() == []
 
+    def test_write_path_does_not_pollute_read_stats(self):
+        """Regression: put/delete probed runs through the counted lookup,
+        inflating runs_probed/bloom_skips on every write — read
+        amplification counters must reflect reads only."""
+        store = LSMStore(memtable_limit=8)
+        for i in range(64):
+            store.put(f"k{i:03d}".encode(), b"v")  # many flushed runs
+        store.stats.runs_probed = 0
+        store.stats.bloom_skips = 0
+        for i in range(64):
+            store.put(f"k{i:03d}".encode(), b"v2")  # overwrites probe runs
+        store.delete(b"k000")
+        assert store.stats.runs_probed == 0
+        assert store.stats.bloom_skips == 0
+        # point reads still count
+        store.get(b"k001")
+        assert store.stats.runs_probed > 0
+
+    def test_merged_snapshot_reused_across_next_key_calls(self):
+        """Regression: next_key/size_bytes rebuilt the full sorted key
+        list per call (O(n²) scan driving); the merged view is now built
+        once per write epoch and reused."""
+        store = LSMStore(memtable_limit=4)
+        for key in (b"b", b"a", b"c", b"d"):
+            store.put(key, b"v")
+        store.next_key(None)
+        snapshot = store._merged
+        assert snapshot is not None
+        store.next_key(b"a")
+        store.size_bytes()
+        list(store.scan())
+        assert store._merged is snapshot  # reused, not rebuilt
+        store.put(b"e", b"v")
+        assert store._merged is None  # writes invalidate the view
+        assert store.next_key(b"d") == b"e"
+
+    def test_scan_does_not_probe_runs(self):
+        """The sequential path reads the merged view, not per-key probes."""
+        store = LSMStore(memtable_limit=4)
+        for i in range(16):
+            store.put(f"k{i:02d}".encode(), b"v")
+        store.stats.runs_probed = 0
+        assert len(list(store.scan())) == 16
+        assert store.stats.runs_probed == 0
+
 
 class TestEngineParity:
     """LSMStore behaves exactly like MemStore under any op sequence."""

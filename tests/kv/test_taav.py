@@ -70,6 +70,19 @@ class TestTaaVRelation:
         taav.load(rel.rows)
         assert sorted(taav.scan()) == sorted(rel.rows)
 
+    def test_blind_scan_counts_values(self, rel):
+        """Regression: the blind-scan iterator never counted values_read,
+        so TaaV #data — the paper's headline metric — was undercounted.
+        Every scanned pair is ``arity`` logical values."""
+        cluster = KVCluster(2)
+        taav = TaaVRelation(rel.schema, cluster)
+        taav.load(rel.rows)
+        cluster.reset_counters()
+        list(taav.scan())
+        total = cluster.total_counters()
+        assert total.values_read == len(rel) * rel.schema.arity
+        assert total.gets == len(rel)
+
 
 class TestTaaVStore:
     def test_from_database(self, paper_db, cluster):

@@ -1,0 +1,193 @@
+"""Property: cached execution ≡ uncached execution.
+
+The read-through block cache is a pure plumbing optimization: for any
+database, query, cache capacity and update batch, a system reading
+through the cache must return exactly the answers of the cache-off
+system — including after incremental maintenance (inserts/deletes then
+re-query), which exercises the write-invalidation path. Hits can only
+remove work: never more gets, round trips or simulated time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baav import BaaVSchema, KVSchema
+from repro.relational import AttrType, Database, RelationSchema, bag_equal, bag_diff
+from repro.systems import ZidianSystem
+
+VEHICLE = RelationSchema.of(
+    "V",
+    {"vid": AttrType.INT, "make": AttrType.STR, "region": AttrType.INT},
+    ["vid"],
+)
+EVENT = RelationSchema.of(
+    "E",
+    {
+        "eid": AttrType.INT,
+        "vid": AttrType.INT,
+        "kind": AttrType.STR,
+        "score": AttrType.INT,
+    },
+    ["eid"],
+)
+
+BAAV = BaaVSchema(
+    [
+        KVSchema("v_by_id", VEHICLE, ["vid"], ["make", "region"]),
+        KVSchema("e_by_vid", EVENT, ["vid"], ["eid", "kind", "score"]),
+    ]
+)
+
+MAKES = ["ford", "bmw", "audi"]
+KINDS = ["pass", "fail"]
+
+
+@st.composite
+def database_strategy(draw):
+    n_vehicles = draw(st.integers(min_value=0, max_value=8))
+    vehicles = [
+        (vid, draw(st.sampled_from(MAKES)), draw(st.integers(0, 2)))
+        for vid in range(n_vehicles)
+    ]
+    n_events = draw(st.integers(min_value=0, max_value=15))
+    events = [
+        (
+            eid,
+            draw(st.integers(0, max(0, n_vehicles - 1) or 0)),
+            draw(st.sampled_from(KINDS)),
+            draw(st.integers(0, 50)),
+        )
+        for eid in range(n_events)
+    ]
+    return Database.from_dict([VEHICLE, EVENT], {"V": vehicles, "E": events})
+
+
+@st.composite
+def query_strategy(draw):
+    make = draw(st.sampled_from(MAKES))
+    kind = draw(st.sampled_from(KINDS))
+    shape = draw(st.integers(0, 2))
+    if shape == 0:
+        return f"select V.vid, V.region from V where V.make = '{make}'"
+    if shape == 1:
+        return (
+            "select V.vid, E.kind, E.score from V, E "
+            f"where V.vid = E.vid and V.make = '{make}'"
+        )
+    return (
+        "select V.make, sum(E.score) as total from V, E "
+        f"where V.vid = E.vid and E.kind = '{kind}' group by V.make"
+    )
+
+
+def _pair(db, cache_capacity_bytes):
+    # each system gets its own Database copy: apply_updates mutates it
+    plain = ZidianSystem("hbase", workers=2, storage_nodes=3)
+    plain.load(db.copy(), BAAV)
+    cached = ZidianSystem(
+        "hbase",
+        workers=2,
+        storage_nodes=3,
+        cache_capacity_bytes=cache_capacity_bytes,
+    )
+    cached.load(db.copy(), BAAV)
+    return plain, cached
+
+
+@given(
+    database_strategy(),
+    query_strategy(),
+    st.sampled_from([512, 4096, 1 << 20]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cached_equals_uncached(db, sql, capacity):
+    plain, cached = _pair(db, capacity)
+    reference = plain.execute(sql)
+    # run twice so the second pass actually reads through a warm cache
+    cached.execute(sql)
+    result = cached.execute(sql)
+
+    assert bag_equal(reference.relation, result.relation), (
+        sql + "\n" + bag_diff(reference.relation, result.relation)
+    )
+    # hits only remove storage work, never add it
+    assert result.metrics.n_get <= reference.metrics.n_get
+    assert result.metrics.n_round_trips <= reference.metrics.n_round_trips
+    assert result.metrics.data_values <= reference.metrics.data_values
+    assert result.metrics.sim_time_ms <= reference.metrics.sim_time_ms + 1e-9
+    assert result.metrics.cache_misses + result.metrics.cache_hits >= 0
+
+
+@given(
+    database_strategy(),
+    query_strategy(),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_cache_stays_fresh_after_updates(db, sql, data):
+    """Invalidation correctness: insert/delete through the maintainer,
+    then re-query — the warm cache must never serve stale blocks."""
+    plain, cached = _pair(db, 1 << 20)
+    cached.execute(sql)  # warm the cache with pre-update blocks
+
+    events = list(db.relation("E").rows)
+    n_deletes = data.draw(
+        st.integers(0, min(3, len(events))), label="n_deletes"
+    )
+    deletes = events[:n_deletes]
+    n_inserts = data.draw(st.integers(0, 3), label="n_inserts")
+    inserts = [
+        (
+            1000 + i,
+            data.draw(st.integers(0, 8), label=f"vid{i}"),
+            data.draw(st.sampled_from(KINDS), label=f"kind{i}"),
+            data.draw(st.integers(0, 50), label=f"score{i}"),
+        )
+        for i in range(n_inserts)
+    ]
+
+    plain.apply_updates("E", inserts=inserts, deletes=deletes)
+    cached.apply_updates("E", inserts=inserts, deletes=deletes)
+
+    reference = plain.execute(sql)
+    result = cached.execute(sql)
+    assert bag_equal(reference.relation, result.relation), (
+        sql + "\n" + bag_diff(reference.relation, result.relation)
+    )
+
+
+def test_mot_suite_cached_equals_uncached(mot_small):
+    """Every query of the MOT suite answers identically through a warm
+    cache — cold pass, warm pass, and a third pass after incremental
+    inserts/deletes exercised the invalidation path."""
+    from repro.workloads import mot_generator
+    from repro.workloads.mot import mot_baav_schema
+
+    plain = ZidianSystem("cassandra", workers=4, storage_nodes=3)
+    plain.load(mot_small.copy(), mot_baav_schema())
+    cached = ZidianSystem(
+        "cassandra",
+        workers=4,
+        storage_nodes=3,
+        cache_capacity_bytes=16 << 20,
+    )
+    cached.load(mot_small.copy(), mot_baav_schema())
+    queries = [
+        q.sql for q in mot_generator(17).generate(mot_small, per_template=1)
+    ]
+
+    for _pass in range(2):  # pass 1 fills the cache, pass 2 reads through it
+        for sql in queries:
+            assert bag_equal(
+                plain.execute(sql).relation, cached.execute(sql).relation
+            ), sql
+    assert cached.cache_stats().hits > 0
+
+    # incremental maintenance, then the whole suite against the warm cache
+    doomed = list(mot_small["TEST"].rows[:3])
+    for system in (plain, cached):
+        system.apply_updates("TEST", inserts=doomed[:1], deletes=doomed)
+    for sql in queries:
+        assert bag_equal(
+            plain.execute(sql).relation, cached.execute(sql).relation
+        ), sql
