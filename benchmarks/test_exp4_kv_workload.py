@@ -4,6 +4,11 @@ Throughput is Tpms (values processed per ms across all workers). Paper
 shape: BaaV improves *read* throughput (a get returns a block), write
 throughput is lower but comparable (read-modify-write), and both layouts
 scale near-linearly when storage nodes are added.
+
+PR 3 adds the replicated variant: with ``replication_factor=R`` writes
+fan out R-way (honest write-throughput drop) while reads spread over the
+replicas, and every scale-out event reports its true migration bill —
+rebalance keys/bytes moved and the simulated milliseconds they cost.
 """
 
 import random
@@ -12,8 +17,10 @@ import pytest
 
 from harness import dataset, fmt, publish, render_table
 
-from repro.baav import BaaVStore
 from repro.kv import KVCluster, TaaVStore, profile
+from repro.parallel.costmodel import CostModel
+
+from repro.baav import BaaVStore
 from repro.workloads.kvload import (
     baav_read_workload,
     baav_write_workload,
@@ -101,6 +108,67 @@ def test_throughput(once):
     assert baav_read.tpms > taav_read.tpms
     assert baav_write.tpms < taav_write.tpms
     assert baav_write.tpms > taav_write.tpms / 10
+
+
+def run_replicated():
+    """Read/write Tpms and scale-out rebalance cost at R ∈ {1, 2, 3}."""
+    db = dataset("mot", SCALE_UNITS)
+    hbase = profile("hbase")
+    rng = random.Random(13)
+    n_tests = len(db["TEST"])
+    keys = [(rng.randrange(1, n_tests + 1),) for _ in range(N_READS)]
+    series = {}
+    for factor in (1, 2, 3):
+        cluster = KVCluster(4, replication_factor=factor)
+        taav = TaaVStore.from_database(db, cluster)
+        read = taav_read_workload(taav.relation("TEST"), keys, hbase)
+        write = taav_write_workload(
+            taav.relation("TEST"), new_test_rows(N_WRITES), hbase
+        )
+        cluster.reset_counters()
+        cluster.add_node()
+        report = cluster.last_rebalance
+        model = CostModel(hbase, workers=8,
+                          storage_nodes=cluster.num_live_nodes)
+        stage = model.rebalance_stage(
+            "scale-out", report.keys_moved, report.bytes_moved,
+            report.round_trips,
+        )
+        series[factor] = (read.tpms, write.tpms, report, stage.time_ms)
+    return series
+
+
+def test_replicated_throughput_and_rebalance(once):
+    series = once(run_replicated)
+    rows = [
+        [
+            str(factor), fmt(read_tpms), fmt(write_tpms),
+            str(report.keys_moved), f"{report.bytes_moved / 1e6:.3f}",
+            str(report.round_trips), fmt(time_ms),
+        ]
+        for factor, (read_tpms, write_tpms, report, time_ms)
+        in sorted(series.items())
+    ]
+    publish(
+        "exp4_replicated",
+        render_table(
+            "Exp-4 (repro): replicated KV cluster — TaaV Tpms and the "
+            "add-node rebalance bill, MOT",
+            ["R", "read Tpms", "write Tpms", "moved keys", "moved MB",
+             "transfers", "rebalance ms"],
+            rows,
+        ),
+    )
+    # write fan-out: R replicas cost ~R× the puts, so Tpms drops with R
+    assert series[1][1] > series[2][1] > series[3][1]
+    assert series[3][1] > series[1][1] / 5
+    # reads are served by exactly one replica regardless of R
+    assert series[3][0] > series[1][0] * 0.5
+    # migration honesty: more replicas → more data to move on scale-out
+    assert series[3][2].bytes_moved > series[1][2].bytes_moved
+    for _, (_, _, report, time_ms) in series.items():
+        assert report.keys_moved > 0
+        assert time_ms > 0
 
 
 def run_horizontal():

@@ -68,6 +68,17 @@ class KeyNotFoundError(KVError):
     """``get`` was called for a key that is not present."""
 
 
+class ClusterUnavailableError(KVError):
+    """No live node can serve the request (every cluster node is down).
+
+    Preference lists are recomputed over live nodes, so as long as any
+    node is up a request is routed somewhere; with fewer surviving
+    replicas than data copies the routed read may simply miss (silent
+    degradation), which is the R=1 crash behavior the failover tests
+    document.
+    """
+
+
 class CodecError(KVError):
     """A value could not be encoded to or decoded from bytes."""
 

@@ -7,7 +7,7 @@ from repro.kv.cache import (
     PartitionedBlockCache,
     make_cache,
 )
-from repro.kv.cluster import KVCluster
+from repro.kv.cluster import KVCluster, RebalanceReport
 from repro.kv.hashring import HashRing
 from repro.kv.lsm import BloomFilter, LSMStore
 from repro.kv.memstore import MemStore
@@ -30,6 +30,7 @@ __all__ = [
     "MemStore",
     "NodeCounters",
     "PROFILES",
+    "RebalanceReport",
     "StorageNode",
     "TaaVRelation",
     "TaaVStore",

@@ -1,21 +1,82 @@
-"""The KV cluster: a DHT of storage nodes with namespaced key spaces.
+"""The KV cluster: a replicated DHT of storage nodes with namespaces.
 
 This is the storage layer of Fig. 1: keys are placed on nodes by
 consistent hashing; clients issue ``get``/``put``/``delete`` and drive
 scans with ``next()``-style iteration. Every operation is counted on the
-owning node so the evaluation can report #get, #data and bytes moved.
+serving node so the evaluation can report #get, #data and bytes moved.
 
 Namespaces isolate key spaces of different relations / KV instances: the
 stored key is ``encode_value(namespace) + key_bytes``.
+
+Replication (PR 3)
+------------------
+
+With ``replication_factor=R`` every key lives on the first R distinct
+**live** nodes of its ring walk (its *preference list*, Dynamo-style):
+
+* **writes** fan out to all R live owners (``multi_put`` batches once
+  per owning node), so write counters honestly show the R× cost;
+* **reads** are served by the least-loaded live owner, spreading the
+  per-node read load the parallel cost model maxes over;
+* **failover**: ``fail_node`` marks a node down (its disk survives but
+  is unreachable) and eagerly re-replicates every key range that lost a
+  copy from the surviving replicas, so any single-node crash loses no
+  data while fewer than R owners of a key are down;
+* **recovery**: ``recover_node`` first applies the deletes that were
+  logged while the node was down (no stale resurrection), then
+  re-syncs every key range the node owns again from the replicas that
+  kept serving, and drops the ranges failover had parked elsewhere;
+* **elasticity**: ``add_node`` / ``remove_node`` migrate exactly the
+  key ranges whose preference lists changed.
+
+Every migration — failover, recovery, scale-out, decommission — charges
+``rebalance_keys_moved`` / ``rebalance_bytes_moved`` and one bulk
+round trip per synced peer to the receiving node's
+:class:`~repro.kv.node.NodeCounters`, and the latest event is summarized
+in :attr:`KVCluster.last_rebalance` so Exp-4 can plot elasticity cost.
+
+The invariant maintained after every membership event is: **every live
+owner of a key holds its current value, and no live non-owner holds
+it**. Reads may therefore hit any live owner, and blind scans visit each
+logical pair exactly once by yielding it only from its primary (first
+live) owner.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.errors import ClusterUnavailableError
 from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
+
+
+@dataclass
+class RebalanceReport:
+    """What one membership event moved (also charged to node counters)."""
+
+    keys_moved: int = 0
+    bytes_moved: int = 0
+    round_trips: int = 0
+    keys_dropped: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"moved {self.keys_moved} keys / {self.bytes_moved}B "
+            f"in {self.round_trips} transfers, "
+            f"dropped {self.keys_dropped}"
+        )
 
 
 class KVCluster:
@@ -26,14 +87,31 @@ class KVCluster:
         num_nodes: int = 4,
         ring_replicas: int = 64,
         engine: str = "mem",
+        replication_factor: int = 1,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        if replication_factor > num_nodes:
+            raise ValueError(
+                f"replication_factor {replication_factor} exceeds "
+                f"num_nodes {num_nodes}"
+            )
         self.engine = engine
+        self.replication_factor = replication_factor
         self.nodes: Dict[int, StorageNode] = {}
         self.ring = HashRing(replicas=ring_replicas)
+        #: node ids currently crashed (on the ring, but unreachable)
+        self._down: Set[int] = set()
+        #: per-down-node log of deletes it missed (full keys / prefixes),
+        #: applied on recovery so stale entries cannot resurrect
+        self._tombstone_keys: Dict[int, Set[bytes]] = {}
+        self._tombstone_prefixes: Dict[int, List[bytes]] = {}
         #: client-side block caches subscribed to write invalidations
         self._caches: List = []
+        #: summary of the most recent migration (None before any event)
+        self.last_rebalance: Optional[RebalanceReport] = None
         for node_id in range(num_nodes):
             self._add_node(node_id)
 
@@ -45,7 +123,9 @@ class KVCluster:
         Every write that flows through the cluster (``put``,
         ``multi_put``, ``delete``, ``drop_namespace``) invalidates the
         touched ``(namespace, key_bytes)`` in every registered cache, so
-        read-through caches can never serve stale payloads. Idempotent.
+        read-through caches can never serve stale payloads. Replica
+        migration never changes a key's logical value, so rebalancing
+        needs no invalidations — the bus stays write-driven. Idempotent.
         """
         if cache is not None and all(c is not cache for c in self._caches):
             self._caches.append(cache)
@@ -66,40 +146,156 @@ class KVCluster:
     def num_nodes(self) -> int:
         return len(self.nodes)
 
-    def add_node(self) -> StorageNode:
-        """Add a storage node and rebalance keys it now owns.
+    @property
+    def num_live_nodes(self) -> int:
+        return len(self.nodes) - len(self._down)
 
-        Models horizontal scale-out (Exp-4). Only keys whose ring owner
-        changed are moved, the consistent-hashing guarantee.
+    @property
+    def live_node_ids(self) -> List[int]:
+        return sorted(nid for nid in self.nodes if nid not in self._down)
+
+    @property
+    def down_node_ids(self) -> List[int]:
+        return sorted(self._down)
+
+    def is_live(self, node_id: int) -> bool:
+        return node_id in self.nodes and node_id not in self._down
+
+    def add_node(self) -> StorageNode:
+        """Add a storage node and migrate the key ranges it now owns.
+
+        Models horizontal scale-out (Exp-4). Only keys whose preference
+        list changed are moved — the consistent-hashing guarantee — and
+        the copies are charged to the rebalance counters.
         """
         new_id = max(self.nodes) + 1
         node = self._add_node(new_id)
-        for old_node in list(self.nodes.values()):
-            if old_node.node_id == new_id:
-                continue
-            moved: List[bytes] = []
-            for key, value in old_node.store.scan():
-                if self.ring.node_for(key) == new_id:
-                    node.store.put(key, value)
-                    moved.append(key)
-            for key in moved:
-                old_node.store.delete(key)
+        self.last_rebalance = self._rebalance()
         return node
 
-    def _owner(self, full_key: bytes) -> StorageNode:
-        return self.nodes[self.ring.node_for(full_key)]
+    def remove_node(self, node_id: int) -> None:
+        """Decommission a node, migrating its data to the new owners.
+
+        Removing a **down** node discards whatever only it held (a crash
+        followed by replacement); removing the last node is refused.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"node {node_id} not in the cluster")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self.ring.remove_node(node_id)
+        if node_id in self._down:
+            # crashed node replaced: its disk never comes back
+            self._down.discard(node_id)
+            self._tombstone_keys.pop(node_id, None)
+            self._tombstone_prefixes.pop(node_id, None)
+            del self.nodes[node_id]
+            self.last_rebalance = self._rebalance()
+            return
+        # live decommission: the leaving node is a valid source; the
+        # sweep copies its ranges to the new owners, then empties it
+        self.last_rebalance = self._rebalance()
+        del self.nodes[node_id]
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash a node: unreachable, but its disk survives for recovery.
+
+        The surviving replicas eagerly re-replicate every key range that
+        lost a copy onto the next live node of its ring walk, so reads
+        and writes keep succeeding as long as fewer than
+        ``replication_factor`` owners of a key are down.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"node {node_id} not in the cluster")
+        if node_id in self._down:
+            raise ValueError(f"node {node_id} is already down")
+        self._down.add(node_id)
+        self._tombstone_keys[node_id] = set()
+        self._tombstone_prefixes[node_id] = []
+        self.last_rebalance = self._rebalance()
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a crashed node back and re-sync it with the cluster.
+
+        Recovery first applies the deletes the node missed while down
+        (logged per down node — no stale resurrection), then re-syncs
+        the ranges it owns again from the replicas that kept serving,
+        overwriting any stale values, and drops the failover copies the
+        stand-in nodes no longer own.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"node {node_id} not in the cluster")
+        if node_id not in self._down:
+            raise ValueError(f"node {node_id} is not down")
+        store = self.nodes[node_id].store
+        for prefix in self._tombstone_prefixes.pop(node_id, []):
+            for key in [k for k, _ in store.scan(prefix)]:
+                store.delete(key)
+        for key in self._tombstone_keys.pop(node_id, set()):
+            store.delete(key)
+        self._down.discard(node_id)
+        self.last_rebalance = self._rebalance(stale_id=node_id)
+
+    # -- placement --------------------------------------------------------
+
+    def _live_owner_ids(self, full_key: bytes) -> List[int]:
+        """The key's preference list: first R distinct LIVE ring nodes."""
+        if self.replication_factor == 1 and not self._down:
+            return [self.ring.node_for(full_key)]
+        owners: List[int] = []
+        for node_id in self.ring.iter_nodes(full_key):
+            if node_id not in self._down:
+                owners.append(node_id)
+                if len(owners) == self.replication_factor:
+                    break
+        return owners
+
+    def _owners(self, full_key: bytes) -> List[StorageNode]:
+        owners = self._live_owner_ids(full_key)
+        if not owners:
+            raise ClusterUnavailableError(
+                "no live replica for key (all owners are down)"
+            )
+        return [self.nodes[node_id] for node_id in owners]
+
+    def _read_replica(self, full_key: bytes) -> StorageNode:
+        """The cheapest live owner: least-loaded, ties to the lowest id."""
+        owners = self._owners(full_key)
+        if len(owners) == 1:
+            return owners[0]
+        return min(
+            owners,
+            key=lambda n: (
+                n.counters.gets + n.counters.values_read,
+                n.node_id,
+            ),
+        )
+
+    def _is_primary(self, full_key: bytes, node_id: int) -> bool:
+        """Is ``node_id`` the first live owner of ``full_key``?"""
+        for candidate in self.ring.iter_nodes(full_key):
+            if candidate not in self._down:
+                return candidate == node_id
+        return False
 
     @staticmethod
     def full_key(namespace: str, key_bytes: bytes) -> bytes:
         return encode_value(namespace) + key_bytes
 
+    def _live_nodes(self) -> List[StorageNode]:
+        return [
+            node
+            for node_id, node in self.nodes.items()
+            if node_id not in self._down
+        ]
+
     # -- KV API ------------------------------------------------------------
 
     def get(self, namespace: str, key_bytes: bytes,
             n_values: int = 1) -> Optional[bytes]:
-        """Point get; counts one get on the owning node."""
+        """Point get; counts one get on the replica that served it."""
         full = self.full_key(namespace, key_bytes)
-        return self._owner(full).get(full, n_values=n_values)
+        return self._read_replica(full).get(full, n_values=n_values)
 
     def multi_get(
         self,
@@ -107,10 +303,12 @@ class KVCluster:
         keys: Sequence[bytes],
         n_values_each: int = 1,
     ) -> List[Optional[bytes]]:
-        """Batched get: ONE round trip per owning node for the whole batch.
+        """Batched get: ONE round trip per serving node for the whole batch.
 
-        Keys are grouped by their hash-ring owner; each node serves its
-        group with a single :meth:`StorageNode.multi_get`. Duplicate keys
+        Keys are grouped by the replica chosen to serve them — the
+        least-loaded live owner, with the batch's own assignments
+        balancing the load greedily — and each node serves its group
+        with a single :meth:`StorageNode.multi_get`. Duplicate keys
         within the batch are fetched once per node and fanned back out.
         Results are positional — ``out[i]`` answers ``keys[i]`` — so
         callers keep their ordering guarantees regardless of placement.
@@ -118,9 +316,29 @@ class KVCluster:
         results: List[Optional[bytes]] = [None] * len(keys)
         by_node: Dict[int, List[bytes]] = {}
         positions: Dict[Tuple[int, bytes], List[int]] = {}
+        replicated = self.replication_factor > 1 or bool(self._down)
+        loads: Dict[int, float] = {}
+        if replicated:
+            loads = {
+                node.node_id: float(
+                    node.counters.gets + node.counters.values_read
+                )
+                for node in self._live_nodes()
+            }
         for index, key_bytes in enumerate(keys):
             full = self.full_key(namespace, key_bytes)
-            node_id = self.ring.node_for(full)
+            if replicated:
+                owner_ids = self._live_owner_ids(full)
+                if not owner_ids:
+                    raise ClusterUnavailableError(
+                        "no live replica for key (all owners are down)"
+                    )
+                node_id = min(
+                    owner_ids, key=lambda nid: (loads[nid], nid)
+                )
+                loads[node_id] += 1.0
+            else:
+                node_id = self.ring.node_for(full)
             slot = positions.setdefault((node_id, full), [])
             if not slot:
                 by_node.setdefault(node_id, []).append(full)
@@ -136,9 +354,11 @@ class KVCluster:
 
     def put(self, namespace: str, key_bytes: bytes, value: bytes,
             n_values: int = 1) -> None:
+        """Replicated put: written to (and counted on) every live owner."""
         self._invalidate(namespace, key_bytes)
         full = self.full_key(namespace, key_bytes)
-        self._owner(full).put(full, value, n_values=n_values)
+        for node in self._owners(full):
+            node.put(full, value, n_values=n_values)
 
     def multi_put(
         self,
@@ -146,29 +366,40 @@ class KVCluster:
         items: Sequence[Tuple[bytes, bytes]],
         n_values_each: int = 1,
     ) -> None:
-        """Batched put: ONE round trip per owning node. Later duplicates win
-        (items are applied in order within each node's batch)."""
+        """Batched put: ONE round trip per owning node, fanned out to all
+        R replicas. Later duplicates win (items are applied in order
+        within each node's batch)."""
         by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
         for key_bytes, value in items:
             self._invalidate(namespace, key_bytes)
             full = self.full_key(namespace, key_bytes)
-            by_node.setdefault(self.ring.node_for(full), []).append(
-                (full, value)
-            )
+            owners = self._live_owner_ids(full)
+            if not owners:
+                raise ClusterUnavailableError(
+                    "no live replica for key (all owners are down)"
+                )
+            for node_id in owners:
+                by_node.setdefault(node_id, []).append((full, value))
         for node_id, node_items in by_node.items():
             self.nodes[node_id].multi_put(
                 node_items, n_values_each=n_values_each
             )
 
     def delete(self, namespace: str, key_bytes: bytes) -> bool:
+        """Replicated delete; logged as a tombstone for every down node."""
         self._invalidate(namespace, key_bytes)
         full = self.full_key(namespace, key_bytes)
-        return self._owner(full).delete(full)
+        removed = False
+        for node in self._owners(full):
+            removed = node.delete(full) or removed
+        for log in self._tombstone_keys.values():
+            log.add(full)
+        return removed
 
     def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
         """Uncounted read (maintenance bookkeeping)."""
         full = self.full_key(namespace, key_bytes)
-        return self._owner(full).peek(full)
+        return self._owners(full)[0].peek(full)
 
     def scan(
         self,
@@ -176,12 +407,14 @@ class KVCluster:
         count_as_gets: bool = True,
         values_of: Optional[Callable[[bytes, bytes], int]] = None,
     ) -> Iterator[Tuple[bytes, bytes]]:
-        """Scan all pairs of a namespace across all nodes.
+        """Scan all pairs of a namespace, each yielded exactly once.
 
         This is the §3 scan: iterate keys via ``next()`` and fetch each
         value with ``get``; with ``count_as_gets`` every pair visited is
         tallied as one get on its node, which is exactly the "blind scan"
-        cost TaaV suffers. Yields (stripped key bytes, value bytes).
+        cost TaaV suffers. Under replication each logical pair is served
+        (and counted) only by its primary live owner, so #get stays the
+        logical pair count, not R× it. Yields (stripped key, value).
 
         ``values_of`` maps a (stripped key, value) pair to its logical
         value count, so decode-aware callers charge ``values_read``
@@ -192,8 +425,11 @@ class KVCluster:
         """
         prefix = encode_value(namespace)
         plen = len(prefix)
-        for node in self.nodes.values():
+        dedup = self.replication_factor > 1
+        for node in self._live_nodes():
             for key, value in node.store.scan(prefix):
+                if dedup and not self._is_primary(key, node.node_id):
+                    continue
                 stripped = key[plen:]
                 if count_as_gets:
                     # the blind scan issues one full get (and thus one
@@ -209,27 +445,87 @@ class KVCluster:
                 yield stripped, value
 
     def namespace_keys(self, namespace: str) -> List[bytes]:
-        """All (stripped) key bytes of a namespace, uncounted."""
+        """All (stripped) key bytes of a namespace, uncounted, distinct."""
         prefix = encode_value(namespace)
         plen = len(prefix)
+        dedup = self.replication_factor > 1
         keys: List[bytes] = []
-        for node in self.nodes.values():
+        for node in self._live_nodes():
             for key, _ in node.store.scan(prefix):
+                if dedup and not self._is_primary(key, node.node_id):
+                    continue
                 keys.append(key[plen:])
         return keys
 
     def drop_namespace(self, namespace: str) -> int:
-        """Delete every pair in ``namespace``; return how many."""
+        """Delete every pair in ``namespace``; return how many (logical)."""
         for cache in self._caches:
             cache.invalidate_namespace(namespace)
         prefix = encode_value(namespace)
-        dropped = 0
-        for node in self.nodes.values():
+        dropped: Set[bytes] = set()
+        for node in self._live_nodes():
             doomed = [key for key, _ in node.store.scan(prefix)]
             for key in doomed:
                 node.store.delete(key)
-            dropped += len(doomed)
-        return dropped
+            dropped.update(doomed)
+        for log in self._tombstone_prefixes.values():
+            log.append(prefix)
+        return len(dropped)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _rebalance(self, stale_id: Optional[int] = None) -> RebalanceReport:
+        """Restore the replication invariant after a membership event.
+
+        Collects the authoritative value of every reachable key (a node
+        that was down is never authoritative when any other holder
+        exists), copies each key to the live owners that lack it, and
+        drops it from live nodes that no longer own it. Copies are
+        charged to the receiving node: ``rebalance_keys_moved`` /
+        ``rebalance_bytes_moved`` per key, plus one bulk round trip per
+        distinct source peer it synced from.
+        """
+        report = RebalanceReport()
+        if not len(self.ring):
+            return report
+        state: Dict[bytes, bytes] = {}
+        holders: Dict[bytes, List[int]] = {}
+        for node in self._live_nodes():
+            node_id = node.node_id
+            for key, value in node.store.scan():
+                holders.setdefault(key, []).append(node_id)
+                if node_id != stale_id or key not in state:
+                    state[key] = value
+        # (node receiving, node sending) pairs that exchanged a batch
+        transfers: Set[Tuple[int, int]] = set()
+        for key, value in state.items():
+            owner_ids = self._live_owner_ids(key)
+            holder_ids = holders[key]
+            # authoritative source: the lowest-id holder that stayed up
+            fresh = [h for h in holder_ids if h != stale_id]
+            source_id = min(fresh) if fresh else holder_ids[0]
+            for owner_id in owner_ids:
+                node = self.nodes[owner_id]
+                if owner_id not in holder_ids or (
+                    owner_id == stale_id
+                    and node.store.get(key) != value
+                ):
+                    node.store.put(key, value)
+                    moved = len(key) + len(value)
+                    node.counters.rebalance_keys_moved += 1
+                    node.counters.rebalance_bytes_moved += moved
+                    report.keys_moved += 1
+                    report.bytes_moved += moved
+                    transfers.add((owner_id, source_id))
+            owner_set = set(owner_ids)
+            for holder_id in holder_ids:
+                if holder_id not in owner_set:
+                    self.nodes[holder_id].store.delete(key)
+                    report.keys_dropped += 1
+        for receiver_id, _ in transfers:
+            self.nodes[receiver_id].counters.rebalance_round_trips += 1
+        report.round_trips = len(transfers)
+        return report
 
     # -- counters ----------------------------------------------------------
 
@@ -258,7 +554,14 @@ class KVCluster:
         return busiest
 
     def size_bytes(self) -> int:
+        """Physical bytes across all nodes (replicas counted R times)."""
         return sum(node.store.size_bytes() for node in self.nodes.values())
 
     def __repr__(self) -> str:
-        return f"KVCluster(nodes={self.num_nodes})"
+        down = f", down={sorted(self._down)}" if self._down else ""
+        factor = (
+            f", R={self.replication_factor}"
+            if self.replication_factor > 1
+            else ""
+        )
+        return f"KVCluster(nodes={self.num_nodes}{factor}{down})"

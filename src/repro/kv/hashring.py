@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 
 def _hash64(data: bytes) -> int:
@@ -63,3 +63,43 @@ class HashRing:
         if index == len(self._points):
             index = 0
         return self._ring[index][1]
+
+    def iter_nodes(self, key: bytes) -> Iterator[int]:
+        """Walk the ring clockwise from ``key``, yielding DISTINCT node ids.
+
+        The first id yielded is :meth:`node_for`; subsequent ids are the
+        successor nodes in ring order, each yielded once. Replica
+        placement and failover both consume this walk: the first ``n``
+        live ids are a key's preference list, so losing a node shifts
+        ownership to the next distinct successor — never reshuffling
+        unrelated keys.
+        """
+        if not self._ring:
+            raise ValueError("hash ring is empty")
+        point = _hash64(key)
+        start = bisect.bisect(self._points, point)
+        seen: set = set()
+        total = len(self._nodes)
+        for offset in range(len(self._ring)):
+            node_id = self._ring[(start + offset) % len(self._ring)][1]
+            if node_id not in seen:
+                seen.add(node_id)
+                yield node_id
+                if len(seen) == total:
+                    return
+
+    def nodes_for(self, key: bytes, n: int) -> List[int]:
+        """The first ``n`` distinct owners of ``key`` in ring-walk order.
+
+        ``nodes_for(key, 1) == [node_for(key)]``. When the ring has
+        fewer than ``n`` nodes, every node is returned (a replication
+        factor can exceed the momentary cluster size during churn).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        out: List[int] = []
+        for node_id in self.iter_nodes(key):
+            out.append(node_id)
+            if len(out) == n:
+                break
+        return out

@@ -23,6 +23,12 @@ class NodeCounters:
     is one round trip carrying *n* gets/puts. ``gets``/``puts`` stay the
     paper's logical invocation counts, so batching shows up as
     ``round_trips ≪ gets``.
+
+    The ``rebalance_*`` family meters membership churn, not queries:
+    every key-range migration (scale-out, decommission, failover
+    re-replication, crash recovery) charges the keys and bytes RECEIVED
+    by this node plus one bulk-transfer round trip per peer it synced
+    from, so Exp-4 can report what elasticity actually costs.
     """
 
     gets: int = 0
@@ -34,6 +40,9 @@ class NodeCounters:
     bytes_out: int = 0
     bytes_in: int = 0
     round_trips: int = 0
+    rebalance_keys_moved: int = 0
+    rebalance_bytes_moved: int = 0
+    rebalance_round_trips: int = 0
 
     def reset(self) -> None:
         self.gets = 0
@@ -45,6 +54,9 @@ class NodeCounters:
         self.bytes_out = 0
         self.bytes_in = 0
         self.round_trips = 0
+        self.rebalance_keys_moved = 0
+        self.rebalance_bytes_moved = 0
+        self.rebalance_round_trips = 0
 
     def add(self, other: "NodeCounters") -> None:
         self.gets += other.gets
@@ -56,6 +68,9 @@ class NodeCounters:
         self.bytes_out += other.bytes_out
         self.bytes_in += other.bytes_in
         self.round_trips += other.round_trips
+        self.rebalance_keys_moved += other.rebalance_keys_moved
+        self.rebalance_bytes_moved += other.rebalance_bytes_moved
+        self.rebalance_round_trips += other.rebalance_round_trips
 
 
 class StorageNode:

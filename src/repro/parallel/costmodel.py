@@ -98,6 +98,36 @@ class CostModel:
         compute = profile.compute_ms(values) / max(1, self.workers)
         return StageCost(name, time_ms=compute, values=0)
 
+    def rebalance_stage(
+        self,
+        name: str,
+        keys_moved: int,
+        bytes_moved: int,
+        round_trips: int,
+    ) -> StageCost:
+        """A membership-churn stage: key ranges migrating between nodes.
+
+        Migration is node-to-node bulk transfer: each moved key costs its
+        marginal put on the receiving node, each synced peer one round
+        trip, and the bytes cross the storage network's parallel links.
+        Used by the elasticity/failover benchmarks to price the
+        ``rebalance_*`` counters the cluster charges during churn.
+        """
+        profile = self.profile
+        storage = profile.batched_put_cost_ms(
+            round_trips, keys_moved, 0
+        ) / max(1, self.storage_nodes)
+        transfer = profile.transfer_ms(
+            bytes_moved, links=max(1, self.storage_nodes)
+        )
+        return StageCost(
+            name,
+            time_ms=storage + transfer,
+            comm_bytes=bytes_moved,
+            round_trips=round_trips,
+            rebalance_bytes=bytes_moved,
+        )
+
     def write_stage(
         self,
         name: str,

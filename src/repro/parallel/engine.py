@@ -126,7 +126,9 @@ class BaselineEngine:
         # the client-side block cache the TaaV store reads through (only
         # probed here for per-stage hit/miss attribution)
         self.cache = cache
-        self.model = CostModel(profile, workers, cluster.num_nodes)
+        # storage service time spreads over the LIVE nodes only —
+        # a failed node serves nothing
+        self.model = CostModel(profile, workers, cluster.num_live_nodes)
 
     def execute(
         self, ra_plan: algebra.PlanNode
@@ -134,7 +136,7 @@ class BaselineEngine:
         start = time.perf_counter()
         metrics = ExecutionMetrics(
             workers=self.workers,
-            storage_nodes=self.cluster.num_nodes,
+            storage_nodes=self.cluster.num_live_nodes,
             backend=self.profile.name,
         )
         metrics.add_stage(self.model.job_overhead())
@@ -330,7 +332,9 @@ class ZidianEngine:
         # the client-side block cache the stores read through (only
         # probed here for per-stage hit/miss attribution)
         self.cache = cache
-        self.model = CostModel(profile, workers, cluster.num_nodes)
+        # storage service time spreads over the LIVE nodes only —
+        # a failed node serves nothing
+        self.model = CostModel(profile, workers, cluster.num_live_nodes)
         # each worker partition coalesces its own probe batches
         self.ctx = ExecContext(
             baav,
@@ -346,7 +350,7 @@ class ZidianEngine:
         start = time.perf_counter()
         metrics = ExecutionMetrics(
             workers=self.workers,
-            storage_nodes=self.cluster.num_nodes,
+            storage_nodes=self.cluster.num_live_nodes,
             backend=self.profile.name,
         )
         metrics.add_stage(self.model.job_overhead())

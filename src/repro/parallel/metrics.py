@@ -32,6 +32,8 @@ class StageCost:
     cache_hits: int = 0
     #: block-cache lookups that fell through to the storage nodes
     cache_misses: int = 0
+    #: bytes migrated between nodes by rebalancing (churn, not queries)
+    rebalance_bytes: int = 0
 
     def __str__(self) -> str:
         out = (
@@ -42,6 +44,8 @@ class StageCost:
             out += f", round_trips={self.round_trips}"
         if self.cache_hits or self.cache_misses:
             out += f", cache={self.cache_hits}/{self.cache_hits + self.cache_misses}"
+        if self.rebalance_bytes:
+            out += f", rebalance={self.rebalance_bytes}B"
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -60,6 +64,7 @@ class ExecutionMetrics:
     comm_bytes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    rebalance_bytes: int = 0
     stages: List[StageCost] = field(default_factory=list)
     workers: int = 1
     storage_nodes: int = 1
@@ -74,6 +79,7 @@ class ExecutionMetrics:
         self.data_values += stage.values
         self.cache_hits += stage.cache_hits
         self.cache_misses += stage.cache_misses
+        self.rebalance_bytes += stage.rebalance_bytes
 
     @property
     def sim_time_s(self) -> float:
@@ -95,6 +101,7 @@ class ExecutionMetrics:
         self.comm_bytes += other.comm_bytes
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.rebalance_bytes += other.rebalance_bytes
         self.stages.extend(other.stages)
 
     def summary(self) -> str:
@@ -131,4 +138,5 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.comm_bytes = sum(m.comm_bytes for m in metrics) // n
     out.cache_hits = sum(m.cache_hits for m in metrics) // n
     out.cache_misses = sum(m.cache_misses for m in metrics) // n
+    out.rebalance_bytes = sum(m.rebalance_bytes for m in metrics) // n
     return out

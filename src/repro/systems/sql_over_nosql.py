@@ -69,6 +69,11 @@ class SQLOverNoSQL:
     cache is partitioned per worker — each worker caches the keys it
     owns — and only serves the batched point-read path
     (``batch_size > 1``); the per-key blind scan streams past it.
+
+    ``replication_factor`` keeps every KV pair on that many storage
+    nodes (1 = the paper's unreplicated cluster): writes fan out to all
+    replicas, reads pick the least-loaded live replica, and the cluster
+    keeps serving through ``fail_node``/``recover_node`` churn.
     """
 
     def __init__(
@@ -78,10 +83,13 @@ class SQLOverNoSQL:
         storage_nodes: int = 4,
         batch_size: int = 1,
         cache_capacity_bytes: int = 0,
+        replication_factor: int = 1,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
-        self.cluster = KVCluster(storage_nodes)
+        self.cluster = KVCluster(
+            storage_nodes, replication_factor=replication_factor
+        )
         # per-key gets by default — the conventional stack the paper
         # measures; raise to model a multi-get-capable client
         self.batch_size = batch_size
@@ -139,10 +147,15 @@ class ZidianSystem:
         keep_taav: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_capacity_bytes: int = 0,
+        replication_factor: int = 1,
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
-        self.cluster = KVCluster(storage_nodes)
+        # R-way replicated DHT (1 = unreplicated, the paper's cluster);
+        # fail_node/recover_node on the cluster model churn under load
+        self.cluster = KVCluster(
+            storage_nodes, replication_factor=replication_factor
+        )
         # probe keys coalesced per multi-get round (1 = per-key probes)
         self.batch_size = batch_size
         # client-side read-through block cache, partitioned per worker

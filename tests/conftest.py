@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.baav import BaaVSchema, BaaVStore, kv_schema
@@ -65,6 +67,18 @@ def paper_baav_schema(paper_schemas):
             kv_schema("ps_by_sup", partsupp, ["suppkey"]),
         ]
     )
+
+
+@pytest.fixture()
+def rng():
+    """The deterministic RNG every randomized test must draw from.
+
+    Tier-1 runs are reproducible by construction: tests never call the
+    global ``random`` module or an unseeded ``random.Random()`` — they
+    take this fixture (fresh per test, fixed seed) or pin an explicit
+    seed, exactly like the workload generators and benchmarks do.
+    """
+    return random.Random(0x51D1A9)
 
 
 @pytest.fixture()

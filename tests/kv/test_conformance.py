@@ -1,0 +1,208 @@
+"""Cross-backend conformance matrix: one contract, every engine.
+
+Every storage engine a :class:`~repro.kv.node.StorageNode` can mount
+must behave identically through the node API — get / multi_get / put /
+multi_put / delete / scan / counters — and through the raw store
+contract (sorted iteration, ``next()`` cursors, prefix scans). This
+module runs the whole contract parametrized over the engines, replacing
+the ad-hoc per-backend copies that used to live in ``test_memstore.py``
+and ``test_lsm.py`` (engine-specific behavior — flushes, compaction,
+bloom filters, merged snapshots — stays in ``test_lsm.py``).
+
+Adding an engine = adding one ``ENGINES`` entry; the matrix does the
+rest.
+"""
+
+import pytest
+
+from repro.kv.lsm import LSMStore
+from repro.kv.memstore import MemStore
+from repro.kv.node import StorageNode
+
+#: engine name -> raw-store factory exercising that engine's write paths
+#: (the LSM limits force flushes and compactions mid-contract)
+ENGINES = {
+    "mem": lambda: MemStore(),
+    "lsm": lambda: LSMStore(memtable_limit=4, max_runs=2),
+}
+
+
+@pytest.fixture(params=sorted(ENGINES))
+def engine(request):
+    return request.param
+
+
+@pytest.fixture()
+def store(engine):
+    return ENGINES[engine]()
+
+
+@pytest.fixture()
+def node(engine):
+    return StorageNode(0, engine=engine)
+
+
+class TestStoreContract:
+    """The raw byte-store contract, identical across engines."""
+
+    def test_put_get(self, store):
+        store.put(b"k1", b"v1")
+        assert store.get(b"k1") == b"v1"
+        assert store.get(b"nope") is None
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert store.get(b"k") is None
+        assert len(store) == 0
+
+    def test_contains(self, store):
+        store.put(b"k", b"v")
+        assert b"k" in store and b"x" not in store
+
+    def test_keys_sorted(self, store):
+        for key in (b"c", b"a", b"e", b"b", b"d"):
+            store.put(key, key.upper())
+        assert store.keys() == [b"a", b"b", b"c", b"d", b"e"]
+        assert [v for _, v in store.scan()] == [b"A", b"B", b"C", b"D", b"E"]
+
+    def test_multi_get_positional(self, store):
+        store.multi_put([(b"a", b"1"), (b"b", b"2")])
+        assert store.multi_get([b"b", b"x", b"a", b"b"]) == [
+            b"2", None, b"1", b"2",
+        ]
+
+    def test_multi_put_later_duplicate_wins(self, store):
+        store.multi_put([(b"k", b"old"), (b"k", b"new")])
+        assert store.get(b"k") == b"new"
+
+    def test_next_key_iteration(self, store):
+        for key in (b"b", b"a", b"c", b"d"):
+            store.put(key, b"v")
+        seen = []
+        cursor = store.next_key(None)
+        while cursor is not None:
+            seen.append(cursor)
+            cursor = store.next_key(cursor)
+        assert seen == [b"a", b"b", b"c", b"d"]
+
+    def test_next_key_empty(self, store):
+        assert store.next_key() is None
+
+    def test_next_key_after_last(self, store):
+        store.put(b"a", b"v")
+        assert store.next_key(b"a") is None
+
+    def test_next_key_sees_new_writes(self, store):
+        store.put(b"a", b"v")
+        assert store.next_key(None) == b"a"
+        store.put(b"b", b"v")
+        assert store.next_key(b"a") == b"b"
+
+    def test_scan_prefix(self, store):
+        store.put(b"ns1:a", b"1")
+        store.put(b"ns1:b", b"2")
+        store.put(b"ns2:a", b"3")
+        assert [k for k, _ in store.scan(b"ns1:")] == [b"ns1:a", b"ns1:b"]
+
+    def test_delete_then_rewrite(self, store):
+        for i in range(12):
+            store.put(f"k{i:02d}".encode(), b"v1")
+        for i in range(0, 12, 2):
+            store.delete(f"k{i:02d}".encode())
+        for i in range(0, 12, 2):
+            store.put(f"k{i:02d}".encode(), b"v2")
+        assert len(store) == 12
+        for i in range(12):
+            want = b"v2" if i % 2 == 0 else b"v1"
+            assert store.get(f"k{i:02d}".encode()) == want
+
+    def test_size_bytes(self, store):
+        store.put(b"ab", b"xyz")
+        assert store.size_bytes() == 5
+
+    def test_clear(self, store):
+        for i in range(10):
+            store.put(f"k{i}".encode(), b"v")
+        store.clear()
+        assert len(store) == 0
+        assert store.keys() == []
+
+
+class TestNodeContract:
+    """The StorageNode API + counter semantics, identical across engines."""
+
+    def test_get_counts_hit_and_miss(self, node):
+        node.put(b"k", b"value", n_values=3)
+        assert node.get(b"k", n_values=3) == b"value"
+        assert node.get(b"missing") is None
+        counters = node.counters
+        assert counters.gets == 2
+        assert counters.hits == 1
+        assert counters.values_read == 3
+        assert counters.bytes_out == 5
+        assert counters.round_trips == 3  # put + 2 gets
+
+    def test_put_counts(self, node):
+        node.put(b"k", b"value", n_values=2)
+        counters = node.counters
+        assert counters.puts == 1
+        assert counters.values_written == 2
+        assert counters.bytes_in == 5
+        assert counters.round_trips == 1
+
+    def test_multi_get_one_round_trip(self, node):
+        node.multi_put([(f"k{i}".encode(), b"v") for i in range(8)])
+        node.counters.reset()
+        values = node.multi_get(
+            [b"k1", b"absent", b"k3"], n_values_each=2
+        )
+        assert values == [b"v", None, b"v"]
+        counters = node.counters
+        assert counters.gets == 3
+        assert counters.hits == 2
+        assert counters.values_read == 4
+        assert counters.round_trips == 1
+
+    def test_multi_put_one_round_trip(self, node):
+        node.multi_put(
+            [(b"a", b"xx"), (b"b", b"yy")], n_values_each=3
+        )
+        counters = node.counters
+        assert counters.puts == 2
+        assert counters.values_written == 6
+        assert counters.bytes_in == 4
+        assert counters.round_trips == 1
+
+    def test_empty_batches_cost_nothing(self, node):
+        assert node.multi_get([]) == []
+        node.multi_put([])
+        assert node.counters.round_trips == 0
+
+    def test_delete_counted_even_on_miss(self, node):
+        node.put(b"k", b"v")
+        node.counters.reset()
+        assert node.delete(b"k")
+        assert not node.delete(b"k")
+        assert node.counters.deletes == 2
+        assert node.counters.round_trips == 2
+
+    def test_peek_and_scan_uncounted(self, node):
+        node.put(b"k", b"v")
+        node.counters.reset()
+        assert node.peek(b"k") == b"v"
+        assert list(node.scan()) == [(b"k", b"v")]
+        counters = node.counters
+        assert counters.gets == 0
+        assert counters.round_trips == 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            StorageNode(0, engine="papyrus")

@@ -1,7 +1,5 @@
 """Tests for the LSM storage engine (memtable / runs / bloom / compaction)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -31,26 +29,8 @@ class TestBloomFilter:
 
 
 class TestLSMBasics:
-    def test_put_get(self):
-        store = LSMStore()
-        store.put(b"k", b"v")
-        assert store.get(b"k") == b"v"
-        assert store.get(b"missing") is None
-
-    def test_overwrite_in_memtable(self):
-        store = LSMStore()
-        store.put(b"k", b"v1")
-        store.put(b"k", b"v2")
-        assert store.get(b"k") == b"v2"
-        assert len(store) == 1
-
-    def test_delete(self):
-        store = LSMStore()
-        store.put(b"k", b"v")
-        assert store.delete(b"k")
-        assert not store.delete(b"k")
-        assert store.get(b"k") is None
-        assert len(store) == 0
+    """Engine-specific behavior only — the generic store/node contract
+    is covered for every engine by ``test_conformance.py``."""
 
     def test_flush_on_threshold(self):
         store = LSMStore(memtable_limit=10)
@@ -89,31 +69,6 @@ class TestLSMBasics:
         assert all(store.get(f"k{i}".encode()) is None for i in range(8))
         assert len(store) == 20
 
-    def test_scan_and_keys_sorted(self):
-        store = LSMStore(memtable_limit=4)
-        for key in (b"c", b"a", b"e", b"b", b"d"):
-            store.put(key, key.upper())
-        assert store.keys() == [b"a", b"b", b"c", b"d", b"e"]
-        assert [v for _, v in store.scan()] == [b"A", b"B", b"C", b"D", b"E"]
-
-    def test_scan_prefix(self):
-        store = LSMStore(memtable_limit=3)
-        store.put(b"ns1:a", b"1")
-        store.put(b"ns1:b", b"2")
-        store.put(b"ns2:a", b"3")
-        assert [k for k, _ in store.scan(b"ns1:")] == [b"ns1:a", b"ns1:b"]
-
-    def test_next_key_iteration(self):
-        store = LSMStore(memtable_limit=3)
-        for key in (b"b", b"a", b"c", b"d"):
-            store.put(key, b"v")
-        seen = []
-        cursor = store.next_key(None)
-        while cursor is not None:
-            seen.append(cursor)
-            cursor = store.next_key(cursor)
-        assert seen == [b"a", b"b", b"c", b"d"]
-
     def test_bloom_skips_counted(self):
         store = LSMStore(memtable_limit=8)
         for i in range(32):
@@ -122,13 +77,6 @@ class TestLSMBasics:
         for i in range(50):
             store.get(f"absent{i}".encode())
         assert store.stats.bloom_skips > 0
-
-    def test_clear(self):
-        store = LSMStore(memtable_limit=3)
-        for i in range(10):
-            store.put(f"k{i}".encode(), b"v")
-        store.clear()
-        assert len(store) == 0 and store.keys() == []
 
     def test_write_path_does_not_pollute_read_stats(self):
         """Regression: put/delete probed runs through the counted lookup,

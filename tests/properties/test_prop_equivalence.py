@@ -5,7 +5,6 @@ executed three ways — reference in-memory, baseline SQL-over-NoSQL, and
 Zidian KBA plans — must agree as bags (Theorem 6 correctness).
 """
 
-import random as _random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

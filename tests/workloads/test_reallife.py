@@ -1,7 +1,5 @@
 """MOT and AIRCA workload tests: shape, skew, templates, classification."""
 
-import random
-
 import pytest
 
 from repro.baav import BaaVStore
