@@ -74,15 +74,25 @@ class Zidian:
         degree_bound: int = scanfree.DEFAULT_DEGREE_BOUND,
         allow_taav_fallback: bool = True,
         use_stats: bool = True,
+        index_catalog=None,
     ) -> None:
         self.schema = schema
         self.baav_schema = baav_schema
         self.store = store
         self.degree_bound = degree_bound
+        #: live secondary-index catalog (repro.index.IndexManager):
+        #: consulted at decide/plan time, so indexes created or dropped
+        #: after construction are seen immediately. Index probes fetch
+        #: TaaV tuples, so without the TaaV fallback the generator
+        #: cannot use an index — the verdict must not claim it either.
+        self.index_catalog = (
+            index_catalog if allow_taav_fallback else None
+        )
         self.generator = PlanGenerator(
             baav_schema,
             allow_taav_fallback=allow_taav_fallback,
             use_stats=use_stats,
+            index_catalog=index_catalog,
         )
 
     # -- M1 ------------------------------------------------------------------
@@ -105,7 +115,10 @@ class Zidian:
             analysis, self.baav_schema, minimized
         )
         sf_report = scanfree.is_scan_free(
-            analysis, self.baav_schema, minimized
+            analysis,
+            self.baav_schema,
+            minimized,
+            index_catalog=self.index_catalog,
         )
         bounded = None
         if self.store is not None:
@@ -171,6 +184,12 @@ class Zidian:
             lines.append("witnesses:")
             for alias, entry in sorted(decision.scan_free.witnesses.items()):
                 lines.append(f"  {alias}: clo({entry.schema.name})")
+        if decision.scan_free.index_covered:
+            lines.append("indexes  :")
+            for alias, desc in sorted(
+                decision.scan_free.index_covered.items()
+            ):
+                lines.append(f"  {alias}: {desc}")
         if decision.scan_free.missing:
             lines.append(
                 f"uncovered: {sorted(decision.scan_free.missing)}"

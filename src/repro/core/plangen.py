@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.errors import NotPreservedError, PlanError
+from repro.index.selection import choose_for_alias
 from repro.kba import plan as kp
 from repro.sql import algebra, ast
 from repro.sql.planner import BoundQuery, build_plan
@@ -48,10 +49,15 @@ class ZidianPlan:
     ra_plan: algebra.PlanNode
     replace_node: algebra.PlanNode
     bound: BoundQuery
-    #: alias -> access mode: "chain" (scan-free ∝), "scan_kv", "taav"
+    #: alias -> access mode: "chain" (scan-free ∝), "index" (secondary-
+    #: index probe, also scan-free), "scan_kv", "taav"
     access: Dict[str, str] = field(default_factory=dict)
     scan_free: bool = False
     uses_stats: bool = False
+
+    #: access modes whose data touch is bounded by the result, not the
+    #: relation — the scan-free access paths
+    BOUNDED_MODES = frozenset({"chain", "index"})
 
     def kv_schemas_used(self) -> List[str]:
         return kp.kv_schemas_used(self.root)
@@ -72,10 +78,16 @@ class PlanGenerator:
         baav: BaaVSchema,
         allow_taav_fallback: bool = True,
         use_stats: bool = True,
+        index_catalog=None,
     ) -> None:
         self.baav = baav
         self.allow_taav_fallback = allow_taav_fallback
         self.use_stats = use_stats
+        #: optional secondary-index catalog (repro.index.IndexManager):
+        #: aliases the ∝ chain cannot cover are probed through an index
+        #: instead of scanned when a usable one exists. Index probes
+        #: fetch TaaV tuples, so they require the TaaV fallback store.
+        self.index_catalog = index_catalog if allow_taav_fallback else None
 
     # -- public entry -------------------------------------------------------
 
@@ -89,9 +101,9 @@ class PlanGenerator:
         covered = state.stable_coverage()
         root, access = self._build_core(analysis, state, covered)
 
-        scan_free = all(mode == "chain" for mode in access.values()) and bool(
-            access
-        )
+        scan_free = all(
+            mode in ZidianPlan.BOUNDED_MODES for mode in access.values()
+        ) and bool(access)
         uses_stats = False
 
         if groupby is not None:
@@ -167,8 +179,18 @@ class PlanGenerator:
     def _scan_subplan(
         self, analysis: SPCAnalysis, alias: str
     ) -> Tuple[kp.KBANode, Set[str], str]:
-        """Fetch an uncovered alias by scanning (§6.2 step 3)."""
+        """Fetch an uncovered alias: index probe when a usable secondary
+        index exists, else by scanning (§6.2 step 3)."""
         relation = analysis.atoms[alias]
+
+        probe = self._index_subplan(analysis, alias, relation)
+        if probe is not None:
+            plan, attrs = probe
+            plan, attrs = _apply_alias_predicates(
+                analysis, alias, plan, attrs
+            )
+            return plan, attrs, "index"
+
         need = {
             a.split(".", 1)[1] for a in analysis.x_attrs(alias)
         }
@@ -215,6 +237,37 @@ class PlanGenerator:
 
         plan, attrs = _apply_alias_predicates(analysis, alias, plan, attrs)
         return plan, attrs, mode
+
+    def _index_subplan(
+        self, analysis: SPCAnalysis, alias: str, relation: str
+    ) -> Optional[Tuple[kp.KBANode, Set[str]]]:
+        """IndexProbe → multi_get for an alias with a usable index.
+
+        Chosen over ScanKV/TaaVScan: the probe touches O(result) data.
+        The probe yields the full TaaV tuple, so every attribute of the
+        alias is materialized.
+        """
+        choice = choose_for_alias(
+            analysis, alias, relation, self.index_catalog
+        )
+        if choice is None:
+            return None
+        plan = kp.IndexProbe(
+            relation,
+            alias,
+            choice.attr,
+            choice.kind,
+            eq_values=choice.eq_values,
+            lo=choice.lo,
+            hi=choice.hi,
+            lo_strict=choice.lo_strict,
+            hi_strict=choice.hi_strict,
+        )
+        attrs = {
+            f"{alias}.{a}"
+            for a in analysis.bound.aliases[alias].attribute_names
+        }
+        return plan, attrs
 
     def _scan_with_extensions(
         self,

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.baav.store import BaaVStore
+from repro.index.selection import choose_for_alias
 from repro.sql.minimize import minimize
 from repro.sql.spc import SPCAnalysis
 
@@ -171,13 +172,16 @@ def compute_vc(
 
 @dataclass
 class ScanFreeReport:
-    """Outcome of the Condition (III) check."""
+    """Outcome of the Condition (III) check (index-extended)."""
 
     scan_free: bool
     #: alias -> witnessing VC entry (when covered)
     witnesses: Dict[str, VCEntry] = field(default_factory=dict)
     #: aliases of min(Q) that are not covered
     missing: List[str] = field(default_factory=list)
+    #: alias -> index access-path description, for aliases the BaaV
+    #: schema leaves uncovered but a secondary index makes bounded
+    index_covered: Dict[str, str] = field(default_factory=dict)
     get: Optional[GetResult] = None
     vc: List[VCEntry] = field(default_factory=list)
     minimal_aliases: FrozenSet[str] = frozenset()
@@ -187,11 +191,21 @@ def is_scan_free(
     analysis: SPCAnalysis,
     baav: BaaVSchema,
     minimized: Optional[SPCAnalysis] = None,
+    index_catalog=None,
 ) -> ScanFreeReport:
-    """Condition (III) over ``min(Q)`` (Theorems 4 and 5).
+    """Condition (III) over ``min(Q)`` (Theorems 4 and 5), extended with
+    secondary indexes.
 
     An alias with an empty ``X`` set (a pure existence check) is never
     scan-free: nothing pins down which blocks to fetch.
+
+    ``index_catalog`` (a :class:`repro.index.IndexManager`, or anything
+    with its catalog surface) widens the verdict: an alias Condition
+    (III) leaves uncovered still counts as scan-free when one of its
+    attributes carries a usable secondary index — an equality-bound
+    attribute with a hash/ordered index, or a range residual over an
+    ordered index. The index probe retrieves whole tuples by primary
+    key, so coverage of the alias's ``X`` attributes is automatic.
     """
     minimal = minimized if minimized is not None else minimize(analysis)
     get = compute_get(minimal, baav)
@@ -207,20 +221,27 @@ def is_scan_free(
         by_alias.setdefault(entry.alias, []).append(entry)
     for alias in minimal.atoms:
         x_attrs = minimal.x_attrs(alias)
-        if not x_attrs:
-            report.scan_free = False
-            report.missing.append(alias)
-            continue
         witness = None
-        for entry in by_alias.get(alias, ()):
-            if x_attrs <= entry.attrs:
-                witness = entry
-                break
-        if witness is None:
+        if x_attrs:
+            for entry in by_alias.get(alias, ()):
+                if x_attrs <= entry.attrs:
+                    witness = entry
+                    break
+        if witness is not None:
+            report.witnesses[alias] = witness
+            continue
+        choice = (
+            choose_for_alias(
+                minimal, alias, minimal.atoms[alias], index_catalog
+            )
+            if index_catalog is not None
+            else None
+        )
+        if choice is not None:
+            report.index_covered[alias] = choice.describe()
+        else:
             report.scan_free = False
             report.missing.append(alias)
-        else:
-            report.witnesses[alias] = witness
     return report
 
 
@@ -248,6 +269,11 @@ def is_bounded(
     degrees: Dict[str, int] = {}
     if not report.scan_free:
         return BoundedReport(False, False, degree_bound, degrees)
+    if report.index_covered:
+        # index probes are result-bounded but not constant-bounded: a
+        # posting list / bucket walk can grow with the data, so an
+        # index-covered query is scan-free without being bounded
+        return BoundedReport(False, True, degree_bound, degrees)
     names: Set[str] = set()
     for entry in report.witnesses.values():
         names.add(entry.schema.name)

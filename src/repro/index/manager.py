@@ -1,0 +1,192 @@
+"""The index manager: catalog, lookups and write-through fan-out.
+
+One :class:`IndexManager` per system instance owns every secondary index
+over that system's cluster. It is three things at once:
+
+* the **catalog** the planners consult (``equality_attrs`` /
+  ``range_attrs`` answer "is there a usable index for this predicate?"
+  without touching storage);
+* the **lookup facade** the executors call (``lookup_eq`` /
+  ``lookup_range`` return primary keys to feed a TaaV ``multi_get``);
+* the **maintenance bus**: ``apply_updates`` fans a relational Δ out to
+  every index of the touched relation, keeping indexes consistent with
+  the base data under inserts/deletes.
+
+All indexes share one :class:`~repro.index.indexes.IndexStats`, so the
+engines can snapshot/diff a single counter set to attribute index
+round-trips and posting reads to plan stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.index.indexes import (
+    HashIndex,
+    IndexStats,
+    OrderedIndex,
+    SecondaryIndex,
+)
+from repro.kv.cluster import KVCluster
+from repro.relational.relation import Relation
+from repro.relational.types import Row
+
+#: accepted index kinds (the ``kind`` arg of ``create_index``)
+KINDS = ("hash", "ordered")
+
+
+class IndexManager:
+    """All secondary indexes of one system, keyed ``(relation, attr, kind)``."""
+
+    def __init__(self, cluster: KVCluster, cache=None) -> None:
+        self.cluster = cluster
+        self.cache = cache
+        self.stats = IndexStats()
+        self._indexes: Dict[Tuple[str, str, str], SecondaryIndex] = {}
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create(
+        self, relation: Relation, attr: str, kind: str = "hash"
+    ) -> SecondaryIndex:
+        """Create and bulk-build an index over ``relation``'s current rows."""
+        if kind not in KINDS:
+            raise ExecutionError(
+                f"unknown index kind {kind!r} (expected one of {KINDS})"
+            )
+        key = (relation.schema.name, attr, kind)
+        if key in self._indexes:
+            raise ExecutionError(
+                f"index on {key[0]}.{attr} ({kind}) already exists"
+            )
+        cls = HashIndex if kind == "hash" else OrderedIndex
+        index = cls(
+            relation.schema,
+            attr,
+            self.cluster,
+            cache=self.cache,
+            stats=self.stats,
+        )
+        index.build(relation.rows)
+        self._indexes[key] = index
+        return index
+
+    def drop(
+        self, relation: str, attr: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Drop matching indexes (all of a relation when ``attr`` is None);
+        returns how many were dropped. Entries leave the cluster too."""
+        doomed = [
+            key
+            for key in self._indexes
+            if key[0] == relation
+            and (attr is None or key[1] == attr)
+            and (kind is None or key[2] == kind)
+        ]
+        for key in doomed:
+            self._indexes.pop(key).drop()
+        return len(doomed)
+
+    def forget(self, relation: str) -> int:
+        """Drop a relation's indexes from the catalog only (their cluster
+        entries were already removed, e.g. by a namespace drop cascade)."""
+        doomed = [key for key in self._indexes if key[0] == relation]
+        for key in doomed:
+            del self._indexes[key]
+        return len(doomed)
+
+    # -- catalog (what the planners consult) --------------------------------
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self):
+        return iter(self._indexes.values())
+
+    def index_for(
+        self, relation: str, attr: str, kind: str
+    ) -> Optional[SecondaryIndex]:
+        return self._indexes.get((relation, attr, kind))
+
+    def equality_attrs(self, relation: str) -> Set[str]:
+        """Attributes of ``relation`` with an equality-capable index
+        (a hash index, or an ordered one — a point is a tiny range)."""
+        return {key[1] for key in self._indexes if key[0] == relation}
+
+    def range_attrs(self, relation: str) -> Set[str]:
+        """Attributes of ``relation`` with a range-capable (ordered) index."""
+        return {
+            key[1]
+            for key in self._indexes
+            if key[0] == relation and key[2] == "ordered"
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{rel}.{attr} [{kind}]"
+            for rel, attr, kind in sorted(self._indexes)
+        ]
+        return "\n".join(lines) if lines else "(no indexes)"
+
+    # -- lookups (what the executors call) ----------------------------------
+
+    def lookup_eq(
+        self, relation: str, attr: str, values: Sequence[object]
+    ) -> List[Row]:
+        """Primary keys matching ``attr IN values`` (hash preferred)."""
+        index = self._indexes.get((relation, attr, "hash"))
+        if index is not None:
+            return index.lookup(values)
+        ordered = self._indexes.get((relation, attr, "ordered"))
+        if ordered is None:
+            raise ExecutionError(
+                f"no index on {relation}.{attr} serves equality"
+            )
+        out: List[Row] = []
+        seen = set()
+        for value in dict.fromkeys(values):
+            if value is None:
+                continue
+            for pk in ordered.lookup_range(lo=value, hi=value):
+                if pk not in seen:
+                    seen.add(pk)
+                    out.append(pk)
+        return out
+
+    def lookup_range(
+        self,
+        relation: str,
+        attr: str,
+        lo: object = None,
+        hi: object = None,
+        lo_strict: bool = False,
+        hi_strict: bool = False,
+    ) -> List[Row]:
+        """Primary keys matching a range predicate on ``attr``."""
+        index = self._indexes.get((relation, attr, "ordered"))
+        if index is None:
+            raise ExecutionError(
+                f"no ordered index on {relation}.{attr} serves ranges"
+            )
+        return index.lookup_range(
+            lo=lo, hi=hi, lo_strict=lo_strict, hi_strict=hi_strict
+        )
+
+    # -- write-through maintenance ------------------------------------------
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> None:
+        """Fan a relational Δ out to every index of ``relation``."""
+        inserts = list(inserts)
+        deletes = list(deletes)
+        if not inserts and not deletes:
+            return
+        for key, index in sorted(self._indexes.items()):
+            if key[0] == relation:
+                index.apply(inserts, deletes)

@@ -42,6 +42,7 @@ class ExecContext:
         taav: Optional[TaaVStore] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         batch_partitions: int = 1,
+        indexes=None,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError("batch_size must be >= 1")
@@ -49,6 +50,8 @@ class ExecContext:
         self.taav = taav
         self.batch_size = batch_size
         self.batch_partitions = max(1, batch_partitions)
+        #: optional repro.index.IndexManager serving IndexProbe leaves
+        self.indexes = indexes
 
     def instance(self, name: str):
         if self.baav is None:
@@ -105,6 +108,47 @@ def _run_taav_scan(node: kp.TaaVScan, ctx: ExecContext, inputs: List[BlockSet]) 
         f"{node.alias}.{a}" for a in relation.schema.attribute_names
     )
     entries = [(row, 1) for row in relation.rows]
+    return BlockSet((), attrs, {(): entries} if entries else {})
+
+
+def _run_index_probe(
+    node: kp.IndexProbe, ctx: ExecContext, inputs: List[BlockSet]
+) -> BlockSet:
+    """Index probe → TaaV multi_get: the scan-free non-key access path.
+
+    The index answers with the matching primary keys (its own gets are
+    counted on the cluster like any read); the tuples are then fetched
+    with the same coalesced per-partition batches an ∝ extend uses.
+    """
+    if ctx.indexes is None:
+        raise ExecutionError("plan has an IndexProbe but no index manager")
+    if ctx.taav is None or node.relation not in ctx.taav:
+        raise ExecutionError(
+            f"TaaV store has no relation {node.relation!r} to probe"
+        )
+    if node.eq_values:
+        pks = ctx.indexes.lookup_eq(
+            node.relation, node.attr, node.eq_values
+        )
+    else:
+        pks = ctx.indexes.lookup_range(
+            node.relation,
+            node.attr,
+            lo=node.lo,
+            hi=node.hi,
+            lo_strict=node.lo_strict,
+            hi_strict=node.hi_strict,
+        )
+    taav = ctx.taav.relation(node.relation)
+    rows: List[Row] = []
+    for batch in _probe_batches(pks, ctx.batch_size, ctx.batch_partitions):
+        for row in taav.multi_get(batch):
+            if row is not None:
+                rows.append(row)
+    attrs = tuple(
+        f"{node.alias}.{a}" for a in taav.schema.attribute_names
+    )
+    entries = [(row, 1) for row in rows]
     return BlockSet((), attrs, {(): entries} if entries else {})
 
 
@@ -446,6 +490,7 @@ _HANDLERS = {
     kp.Constant: _run_constant,
     kp.ScanKV: _run_scan_kv,
     kp.TaaVScan: _run_taav_scan,
+    kp.IndexProbe: _run_index_probe,
     kp.Extend: _run_extend,
     kp.Shift: _run_shift,
     kp.SelectK: _run_select,

@@ -74,6 +74,46 @@ class TaaVScan(KBANode):
 
 
 @dataclass
+class IndexProbe(KBANode):
+    """Fetch an alias through a secondary index: probe the index for the
+    primary keys matching a non-key predicate, then ``multi_get`` the
+    matching tuples from the TaaV store.
+
+    Either an equality probe (``eq_values`` non-empty; hash or ordered
+    index) or a bounded range walk (``lo``/``hi``; ordered index). The
+    probe touches O(result) index entries and tuples, so — like the ∝
+    chain — it is a *bounded* access path, not a scan: plans whose only
+    leaves are constants and index probes count as scan-free.
+    """
+
+    relation: str
+    alias: str
+    attr: str            # indexed attribute (unqualified)
+    kind: str            # "hash" | "ordered"
+    eq_values: Tuple[object, ...] = ()
+    lo: object = None
+    hi: object = None
+    lo_strict: bool = False
+    hi_strict: bool = False
+
+    def _label(self) -> str:
+        from repro.index.selection import describe_predicate
+
+        pred = describe_predicate(
+            self.attr,
+            self.eq_values,
+            self.lo,
+            self.hi,
+            self.lo_strict,
+            self.hi_strict,
+        )
+        return (
+            f"IndexProbe({self.relation} AS {self.alias} "
+            f"via {self.kind} {pred})"
+        )
+
+
+@dataclass
 class Extend(KBANode):
     """``child ∝ R̃``: extend child rows by fetching blocks of ``kv_name``.
 
@@ -243,7 +283,13 @@ def walk(node: KBANode):
 
 
 def is_scan_free(plan: KBANode) -> bool:
-    """A KBA plan is scan-free iff all leaves are constants (§4.2)."""
+    """A KBA plan is scan-free iff every leaf is bounded (§4.2, extended).
+
+    The paper's leaves are constants; an :class:`IndexProbe` is likewise
+    bounded — O(result) index entries plus keyed fetches — so it keeps a
+    plan scan-free, while :class:`ScanKV`/:class:`TaaVScan`/
+    :class:`StatsGroup` leaves do not.
+    """
     return not any(
         isinstance(n, (ScanKV, TaaVScan, StatsGroup)) for n in walk(plan)
     )

@@ -110,6 +110,10 @@ class KVCluster:
         self._tombstone_prefixes: Dict[int, List[bytes]] = {}
         #: client-side block caches subscribed to write invalidations
         self._caches: List = []
+        #: every namespace a write has touched (all writes flow through
+        #: this client, so the registry is complete); lets namespace
+        #: enumeration avoid decode-scanning the whole cluster
+        self._namespaces: Set[str] = set()
         #: summary of the most recent migration (None before any event)
         self.last_rebalance: Optional[RebalanceReport] = None
         for node_id in range(num_nodes):
@@ -355,6 +359,7 @@ class KVCluster:
     def put(self, namespace: str, key_bytes: bytes, value: bytes,
             n_values: int = 1) -> None:
         """Replicated put: written to (and counted on) every live owner."""
+        self._namespaces.add(namespace)
         self._invalidate(namespace, key_bytes)
         full = self.full_key(namespace, key_bytes)
         for node in self._owners(full):
@@ -369,6 +374,8 @@ class KVCluster:
         """Batched put: ONE round trip per owning node, fanned out to all
         R replicas. Later duplicates win (items are applied in order
         within each node's batch)."""
+        if items:
+            self._namespaces.add(namespace)
         by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
         for key_bytes, value in items:
             self._invalidate(namespace, key_bytes)
@@ -457,8 +464,35 @@ class KVCluster:
                 keys.append(key[plen:])
         return keys
 
+    def namespaces(self) -> List[str]:
+        """All namespaces with at least one pair on a live node.
+
+        The write-touched registry narrows the candidates (every write
+        flows through this client), and each candidate is confirmed
+        with a prefix probe that stops at its first pair — no
+        whole-cluster scan. Used by the drop cascade to enumerate
+        dependent ``__idx__`` namespaces.
+        """
+        out: List[str] = []
+        for namespace in sorted(self._namespaces):
+            prefix = encode_value(namespace)
+            if any(
+                True
+                for node in self._live_nodes()
+                for _ in node.store.scan(prefix)
+            ):
+                out.append(namespace)
+        return out
+
     def drop_namespace(self, namespace: str) -> int:
-        """Delete every pair in ``namespace``; return how many (logical)."""
+        """Delete every pair in ``namespace``; return how many (logical).
+
+        Dropping a relation's TaaV namespace (``taav:<rel>``) cascades
+        to its dependent secondary-index namespaces
+        (``__idx__/<rel>/...``): index entries post primary keys into
+        the dropped data, so leaving them behind would orphan the index.
+        The cascaded drops are not counted in the return value.
+        """
         for cache in self._caches:
             cache.invalidate_namespace(namespace)
         prefix = encode_value(namespace)
@@ -470,6 +504,12 @@ class KVCluster:
             dropped.update(doomed)
         for log in self._tombstone_prefixes.values():
             log.append(prefix)
+        self._namespaces.discard(namespace)
+        if namespace.startswith("taav:"):
+            dependent_prefix = f"__idx__/{namespace[len('taav:'):]}/"
+            for dependent in sorted(self._namespaces):
+                if dependent.startswith(dependent_prefix):
+                    self.drop_namespace(dependent)
         return len(dropped)
 
     # -- rebalancing -------------------------------------------------------

@@ -76,6 +76,28 @@ class TaaVRelation:
             self._row_count -= 1
         return removed
 
+    def delete_row(self, row: Row) -> bool:
+        """Delete a full tuple (one occurrence) from the store.
+
+        Keyed relations delete by primary key. Rowid-keyed relations
+        cannot recover their synthetic key from the tuple, so they fall
+        back to locating one matching pair by an (uncounted) payload
+        scan — the delete itself is still counted. Returns whether a
+        pair was removed.
+        """
+        if self._pk_positions is not None:
+            return self.delete_by_key(
+                tuple(row[p] for p in self._pk_positions)
+            )
+        encoded = codec.encode_row(tuple(row))
+        for key_bytes in self.cluster.namespace_keys(self.namespace):
+            if self.cluster.peek(self.namespace, key_bytes) == encoded:
+                removed = self.cluster.delete(self.namespace, key_bytes)
+                if removed:
+                    self._row_count -= 1
+                return removed
+        return False
+
     def get(self, key: Row) -> Optional[Row]:
         """Point get by primary key (read-through the cache when present)."""
         data, _ = read_through(

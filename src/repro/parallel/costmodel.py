@@ -78,6 +78,40 @@ class CostModel:
             cache_misses=cache_misses,
         )
 
+    def index_probe_stage(
+        self,
+        name: str,
+        gets: int,
+        values: int,
+        bytes_out: int,
+        round_trips: Optional[int] = None,
+        index_probes: int = 0,
+        index_postings: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> StageCost:
+        """An index-probe access stage: posting/bucket fetches plus the
+        follow-up keyed ``multi_get`` of the matching tuples.
+
+        Index entries are ordinary KV pairs, so their gets/values/bytes
+        are already inside the counted totals and priced exactly like a
+        :meth:`fetch_stage` — the probe/posting counts are surfaced for
+        the evaluation tables (index round-trips and posting-list
+        sizes), not priced twice.
+        """
+        stage = self.fetch_stage(
+            name,
+            gets=gets,
+            values=values,
+            bytes_out=bytes_out,
+            round_trips=round_trips,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+        stage.index_probes = index_probes
+        stage.index_postings = index_postings
+        return stage
+
     def shuffle_stage(
         self, name: str, shuffle_bytes: int, values: int
     ) -> StageCost:

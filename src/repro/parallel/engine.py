@@ -104,8 +104,35 @@ class _CacheProbe:
         return diff
 
 
+class _IndexStatsProbe:
+    """Snapshot/diff of an index manager's probe/posting counters
+    (manager may be ``None``, in which case every delta is zero)."""
+
+    def __init__(self, indexes) -> None:
+        self.indexes = indexes
+        self._probes, self._postings = self._snapshot()
+
+    def _snapshot(self) -> Tuple[int, int]:
+        if self.indexes is None:
+            return 0, 0
+        return self.indexes.stats.snapshot()
+
+    def delta(self) -> Tuple[int, int]:
+        probes, postings = self._snapshot()
+        diff = (probes - self._probes, postings - self._postings)
+        self._probes, self._postings = probes, postings
+        return diff
+
+
 class BaselineEngine:
-    """Fetch-all SQL-over-NoSQL evaluation over a TaaV store (§7.1)."""
+    """Fetch-all SQL-over-NoSQL evaluation over a TaaV store (§7.1).
+
+    With an index manager attached, a selection directly above a scan
+    leaf is answered through an **index probe → multi_get** access path
+    when a usable secondary index exists — the conventional engine's
+    only escape from fetch-all — and the chosen path per alias is
+    recorded in :attr:`access` for EXPLAIN-style inspection.
+    """
 
     def __init__(
         self,
@@ -115,6 +142,7 @@ class BaselineEngine:
         workers: int,
         batch_size: int = 1,
         cache=None,
+        indexes=None,
     ) -> None:
         self.taav = taav
         self.cluster = cluster
@@ -126,6 +154,10 @@ class BaselineEngine:
         # the client-side block cache the TaaV store reads through (only
         # probed here for per-stage hit/miss attribution)
         self.cache = cache
+        #: optional repro.index.IndexManager enabling index access paths
+        self.indexes = indexes
+        #: alias -> access-path description of the last execute()
+        self.access: Dict[str, str] = {}
         # storage service time spreads over the LIVE nodes only —
         # a failed node serves nothing
         self.model = CostModel(profile, workers, cluster.num_live_nodes)
@@ -142,9 +174,36 @@ class BaselineEngine:
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
         cache_probe = _CacheProbe(self.cache)
+        self.access = {}
         table = self._run(ra_plan, metrics, probe, cache_probe)
         metrics.wall_time_ms = (time.perf_counter() - start) * 1000.0
         return table, metrics
+
+    def describe_access(self, ra_plan: algebra.PlanNode) -> Dict[str, str]:
+        """Access path per alias, without executing (EXPLAIN)."""
+        out: Dict[str, str] = {}
+
+        def walk(node: algebra.PlanNode) -> None:
+            if isinstance(node, algebra.SelectNode) and isinstance(
+                node.child, algebra.ScanNode
+            ):
+                scan = node.child
+                choice = self._choose_index(scan, node.predicate)
+                out[scan.alias] = (
+                    f"{scan.relation}: index probe ({choice.describe()}) "
+                    f"-> multi_get"
+                    if choice is not None
+                    else f"{scan.relation}: taav scan (fetch-all)"
+                )
+                return
+            if isinstance(node, algebra.ScanNode):
+                out[node.alias] = f"{node.relation}: taav scan (fetch-all)"
+                return
+            for child in node.children():
+                walk(child)
+
+        walk(ra_plan)
+        return out
 
     # -- recursive walker -------------------------------------------------------
 
@@ -158,6 +217,12 @@ class BaselineEngine:
         if isinstance(node, algebra.ScanNode):
             return self._scan(node, metrics, probe, cache_probe)
         if isinstance(node, algebra.SelectNode):
+            if isinstance(node.child, algebra.ScanNode):
+                fetched = self._index_scan(
+                    node.child, node.predicate, metrics, probe, cache_probe
+                )
+                if fetched is not None:
+                    return fetched
             child = self._run(node.child, metrics, probe, cache_probe)
             rows = [
                 r
@@ -264,6 +329,86 @@ class BaselineEngine:
             f"baseline engine: unsupported node {type(node).__name__}"
         )
 
+    def _choose_index(self, scan: algebra.ScanNode, predicate):
+        """The index path a selection-over-scan admits, if any."""
+        from repro.index.selection import choose_from_conjuncts
+        from repro.sql import ast
+
+        if self.indexes is None or scan.relation not in self.taav:
+            return None
+        return choose_from_conjuncts(
+            ast.conjuncts(predicate), scan.relation, scan.alias, self.indexes
+        )
+
+    def _index_scan(
+        self,
+        scan: algebra.ScanNode,
+        predicate,
+        metrics: ExecutionMetrics,
+        probe: _CounterProbe,
+        cache_probe: _CacheProbe,
+    ) -> Optional[Table]:
+        """Serve σ(scan) through an index probe; ``None`` when no index
+        applies (the caller falls back to fetch-all + filter)."""
+        choice = self._choose_index(scan, predicate)
+        if choice is None:
+            return None
+        idx_probe = _IndexStatsProbe(self.indexes)
+        if choice.is_equality:
+            pks = self.indexes.lookup_eq(
+                scan.relation, choice.attr, choice.eq_values
+            )
+        else:
+            pks = self.indexes.lookup_range(
+                scan.relation,
+                choice.attr,
+                lo=choice.lo,
+                hi=choice.hi,
+                lo_strict=choice.lo_strict,
+                hi_strict=choice.hi_strict,
+            )
+        taav = self.taav.relation(scan.relation)
+        fetched: List = []
+        step = max(1, self.batch_size)
+        for start in range(0, len(pks), step):
+            for row in taav.multi_get(pks[start:start + step]):
+                if row is not None:
+                    fetched.append(row)
+        attrs = [
+            f"{scan.alias}.{a}" for a in taav.schema.attribute_names
+        ]
+        # the index answered the chosen conjunct exactly; the FULL
+        # predicate is still applied so the other conjuncts hold too
+        rows = [
+            r for r in fetched if predicate.eval(dict(zip(attrs, r)))
+        ]
+        delta = probe.delta()
+        hits, misses = cache_probe.delta()
+        probes, postings = idx_probe.delta()
+        metrics.add_stage(
+            self.model.index_probe_stage(
+                f"index-scan {scan.relation}.{choice.attr}",
+                gets=delta.gets,
+                values=delta.values_read,
+                bytes_out=delta.bytes_out,
+                round_trips=delta.round_trips,
+                index_probes=probes,
+                index_postings=postings,
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+        )
+        metrics.add_stage(
+            self.model.compute_stage(
+                "select", len(fetched) * len(attrs)
+            )
+        )
+        self.access[scan.alias] = (
+            f"{scan.relation}: index probe ({choice.describe()}) "
+            f"-> multi_get"
+        )
+        return Table(attrs, rows)
+
     def _scan(
         self,
         node: algebra.ScanNode,
@@ -271,6 +416,9 @@ class BaselineEngine:
         probe: _CounterProbe,
         cache_probe: _CacheProbe,
     ) -> Table:
+        self.access[node.alias] = (
+            f"{node.relation}: taav scan (fetch-all)"
+        )
         relation = self.taav.relation(node.relation).fetch_all(
             batch_size=self.batch_size
         )
@@ -322,6 +470,7 @@ class ZidianEngine:
         workers: int,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache=None,
+        indexes=None,
     ) -> None:
         self.baav = baav
         self.taav = taav
@@ -332,6 +481,8 @@ class ZidianEngine:
         # the client-side block cache the stores read through (only
         # probed here for per-stage hit/miss attribution)
         self.cache = cache
+        #: optional repro.index.IndexManager serving IndexProbe leaves
+        self.indexes = indexes
         # storage service time spreads over the LIVE nodes only —
         # a failed node serves nothing
         self.model = CostModel(profile, workers, cluster.num_live_nodes)
@@ -341,6 +492,7 @@ class ZidianEngine:
             taav,
             batch_size=batch_size,
             batch_partitions=workers,
+            indexes=indexes,
         )
 
     def execute(
@@ -356,6 +508,7 @@ class ZidianEngine:
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
         cache_probe = _CacheProbe(self.cache)
+        self._idx_probe = _IndexStatsProbe(self.indexes)
         result = self._run(plan.root, metrics, probe, cache_probe)
 
         table = Table(result.attrs, list(result.expand()))
@@ -400,6 +553,21 @@ class ZidianEngine:
                     bytes_out=delta.bytes_out,
                     repartition_bytes=child_bytes,
                     round_trips=delta.round_trips,
+                    cache_hits=cache_hits,
+                    cache_misses=cache_misses,
+                )
+            )
+        elif isinstance(node, kp.IndexProbe):
+            probes, postings = self._idx_probe.delta()
+            metrics.add_stage(
+                self.model.index_probe_stage(
+                    f"index-probe {node.relation}.{node.attr}",
+                    gets=delta.gets,
+                    values=delta.values_read,
+                    bytes_out=delta.bytes_out,
+                    round_trips=delta.round_trips,
+                    index_probes=probes,
+                    index_postings=postings,
                     cache_hits=cache_hits,
                     cache_misses=cache_misses,
                 )

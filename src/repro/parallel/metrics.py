@@ -34,6 +34,10 @@ class StageCost:
     cache_misses: int = 0
     #: bytes migrated between nodes by rebalancing (churn, not queries)
     rebalance_bytes: int = 0
+    #: secondary-index entries probed (posting lists / buckets fetched)
+    index_probes: int = 0
+    #: posting entries read while serving those probes
+    index_postings: int = 0
 
     def __str__(self) -> str:
         out = (
@@ -46,6 +50,10 @@ class StageCost:
             out += f", cache={self.cache_hits}/{self.cache_hits + self.cache_misses}"
         if self.rebalance_bytes:
             out += f", rebalance={self.rebalance_bytes}B"
+        if self.index_probes:
+            out += (
+                f", idx={self.index_probes}p/{self.index_postings}e"
+            )
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -65,6 +73,8 @@ class ExecutionMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     rebalance_bytes: int = 0
+    index_probes: int = 0
+    index_postings: int = 0
     stages: List[StageCost] = field(default_factory=list)
     workers: int = 1
     storage_nodes: int = 1
@@ -80,6 +90,8 @@ class ExecutionMetrics:
         self.cache_hits += stage.cache_hits
         self.cache_misses += stage.cache_misses
         self.rebalance_bytes += stage.rebalance_bytes
+        self.index_probes += stage.index_probes
+        self.index_postings += stage.index_postings
 
     @property
     def sim_time_s(self) -> float:
@@ -102,6 +114,8 @@ class ExecutionMetrics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.rebalance_bytes += other.rebalance_bytes
+        self.index_probes += other.index_probes
+        self.index_postings += other.index_postings
         self.stages.extend(other.stages)
 
     def summary(self) -> str:
@@ -113,6 +127,8 @@ class ExecutionMetrics:
         )
         if self.cache_hits or self.cache_misses:
             out += f" cache={self.cache_hit_rate:.0%}"
+        if self.index_probes:
+            out += f" idx={self.index_probes}p/{self.index_postings}e"
         return out
 
     def breakdown(self) -> str:
@@ -139,4 +155,6 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.cache_hits = sum(m.cache_hits for m in metrics) // n
     out.cache_misses = sum(m.cache_misses for m in metrics) // n
     out.rebalance_bytes = sum(m.rebalance_bytes for m in metrics) // n
+    out.index_probes = sum(m.index_probes for m in metrics) // n
+    out.index_postings = sum(m.index_postings for m in metrics) // n
     return out

@@ -19,6 +19,8 @@ from repro.core.middleware import QueryDecision, Zidian
 from repro.core.qcs import extract_workload_qcs
 from repro.core.t2b import design_schema
 from repro.errors import ExecutionError
+from repro.index.manager import IndexManager
+from repro.kba import plan as kp
 from repro.kv.backends import BackendProfile, profile as get_profile
 from repro.kv.cache import CacheStats, make_cache
 from repro.kv.cluster import KVCluster
@@ -45,10 +47,37 @@ class QueryResult:
     decision: Optional[QueryDecision] = None
     #: per-side decisions of a compound (UNION/EXCEPT ALL) query
     sub_decisions: Optional[List[QueryDecision]] = None
+    #: EXPLAIN-style rendering of the chosen access path per relation
+    #: occurrence (scan vs index probe vs key fetch)
+    plan_summary: Optional[str] = None
 
     @property
     def rows(self) -> List[Row]:
         return self.relation.rows
+
+
+def _parse_index_spec(spec) -> Tuple[str, str, str]:
+    """Normalize one ``indexes=`` entry to ``(relation, attr, kind)``.
+
+    Accepts ``"REL.attr"``, ``"REL.attr:kind"``, ``(rel, attr)`` and
+    ``(rel, attr, kind)``; the default kind is ``"hash"``.
+    """
+    if isinstance(spec, str):
+        name, _, kind = spec.partition(":")
+        relation, _, attr = name.partition(".")
+        if not relation or not attr:
+            raise ExecutionError(
+                f"bad index spec {spec!r} (expected 'REL.attr[:kind]')"
+            )
+        return relation, attr, kind or "hash"
+    spec = tuple(spec)
+    if len(spec) == 2:
+        return spec[0], spec[1], "hash"
+    if len(spec) == 3:
+        return spec  # type: ignore[return-value]
+    raise ExecutionError(
+        f"bad index spec {spec!r} (expected (rel, attr[, kind]))"
+    )
 
 
 def _to_relation(table: Table) -> Relation:
@@ -59,6 +88,52 @@ def _to_relation(table: Table) -> Relation:
         [Attribute(a, AttrType.STR) for a in unique_names(table.attrs)],
     )
     return Relation(schema, table.rows)
+
+
+def _rebuild_indexes(indexes: IndexManager, database, requested) -> None:
+    """(Re)build every index over a freshly loaded database.
+
+    A re-``load()`` must rebuild *all* indexes — the constructor's
+    ``indexes=`` specs and any created online since — or stale postings
+    built over the previous data would keep serving. Indexes over
+    relations the new database lacks are dropped.
+    """
+    existing = [
+        (index.relation.name, index.attr, index.kind) for index in indexes
+    ]
+    for relation, attr, kind in dict.fromkeys(existing + list(requested)):
+        indexes.drop(relation, attr, kind)
+        if relation in database:
+            indexes.create(database.relation(relation), attr, kind)
+
+
+def _zidian_plan_summary(plan) -> str:
+    """Render a KBA plan's access path per alias (EXPLAIN summary)."""
+    scans: dict = {}
+    probes: dict = {}
+    for node in kp.walk(plan.root):
+        if isinstance(node, kp.ScanKV):
+            scans[node.alias] = f"kv scan ({node.kv_name})"
+        elif isinstance(node, kp.StatsGroup):
+            scans[node.alias] = f"stats scan ({node.kv_name})"
+        elif isinstance(node, kp.IndexProbe):
+            probes[node.alias] = (
+                f"index probe ({node.kind} on {node.attr}) -> multi_get"
+            )
+    lines = []
+    for alias in sorted(plan.access):
+        mode = plan.access[alias]
+        relation = plan.bound.aliases[alias].name
+        if mode == "chain":
+            desc = "key fetch (scan-free ∝ chain)"
+        elif mode == "index":
+            desc = probes.get(alias, "index probe -> multi_get")
+        elif mode == "scan_kv":
+            desc = scans.get(alias, "kv scan")
+        else:
+            desc = "taav scan (fetch-all)"
+        lines.append(f"{alias} -> {relation}: {desc}")
+    return "\n".join(lines)
 
 
 class SQLOverNoSQL:
@@ -74,6 +149,12 @@ class SQLOverNoSQL:
     nodes (1 = the paper's unreplicated cluster): writes fan out to all
     replicas, reads pick the least-loaded live replica, and the cluster
     keeps serving through ``fail_node``/``recover_node`` churn.
+
+    ``indexes`` requests secondary indexes built at load time — specs
+    like ``"FLIGHT.tail_id"`` / ``"FLIGHT.arr_delay:ordered"`` or
+    ``(rel, attr[, kind])`` tuples. With an index present, a selective
+    non-key filter runs as an index probe + ``multi_get`` instead of the
+    fetch-all scan; ``create_index``/``drop_index`` manage them online.
     """
 
     def __init__(
@@ -84,6 +165,7 @@ class SQLOverNoSQL:
         batch_size: int = 1,
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
+        indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
@@ -94,6 +176,8 @@ class SQLOverNoSQL:
         # measures; raise to model a multi-get-capable client
         self.batch_size = batch_size
         self.cache = make_cache(cache_capacity_bytes, partitions=workers)
+        self.indexes = IndexManager(self.cluster, cache=self.cache)
+        self._requested_indexes = [_parse_index_spec(s) for s in indexes]
         self.database: Optional[Database] = None
         self.taav: Optional[TaaVStore] = None
 
@@ -106,12 +190,43 @@ class SQLOverNoSQL:
         return self.cache.stats if self.cache is not None else None
 
     def load(self, database: Database) -> None:
-        """Load a database into the TaaV store."""
+        """Load a database into the TaaV store (and build any indexes)."""
         self.database = database
         self.taav = TaaVStore.from_database(
             database, self.cluster, cache=self.cache
         )
+        _rebuild_indexes(self.indexes, database, self._requested_indexes)
         self.cluster.reset_counters()
+
+    def create_index(
+        self, relation: str, attr: str, kind: str = "hash"
+    ):
+        """Create (and bulk-build) a secondary index on a loaded relation."""
+        if self.database is None:
+            raise ExecutionError("load() a database first")
+        return self.indexes.create(
+            self.database.relation(relation), attr, kind
+        )
+
+    def drop_index(
+        self,
+        relation: str,
+        attr: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Drop matching indexes (and their cluster entries)."""
+        return self.indexes.drop(relation, attr, kind)
+
+    def _engine(self) -> BaselineEngine:
+        return BaselineEngine(
+            self.taav,
+            self.cluster,
+            self.profile,
+            self.workers,
+            batch_size=self.batch_size,
+            cache=self.cache,
+            indexes=self.indexes if len(self.indexes) else None,
+        )
 
     def execute(self, sql: str) -> QueryResult:
         if self.database is None or self.taav is None:
@@ -119,16 +234,48 @@ class SQLOverNoSQL:
         bound = bind_any(parse(sql), self.database.schema)
         ra_plan = build_plan_any(bound)
         self.cluster.reset_counters()
-        engine = BaselineEngine(
-            self.taav,
-            self.cluster,
-            self.profile,
-            self.workers,
-            batch_size=self.batch_size,
-            cache=self.cache,
-        )
+        engine = self._engine()
         table, metrics = engine.execute(ra_plan)
-        return QueryResult(_to_relation(table), metrics)
+        summary = "\n".join(
+            f"{alias} -> {desc}"
+            for alias, desc in sorted(engine.access.items())
+        )
+        return QueryResult(
+            _to_relation(table), metrics, plan_summary=summary or None
+        )
+
+    def explain(self, sql: str) -> str:
+        """The access path each relation occurrence would use (EXPLAIN)."""
+        if self.database is None or self.taav is None:
+            raise ExecutionError("load() a database first")
+        bound = bind_any(parse(sql), self.database.schema)
+        ra_plan = build_plan_any(bound)
+        access = self._engine().describe_access(ra_plan)
+        return "\n".join(
+            f"{alias} -> {desc}" for alias, desc in sorted(access.items())
+        )
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> None:
+        """Apply Δ to the database, the TaaV store and every index."""
+        if self.database is None or self.taav is None:
+            raise ExecutionError("load() a database first")
+        inserts = [tuple(r) for r in inserts]
+        deletes = [tuple(r) for r in deletes]
+        base = self.database.relation(relation)
+        for row in deletes:
+            base.rows.remove(row)
+        base.extend(inserts)
+        taav = self.taav.relation(relation)
+        for row in deletes:
+            taav.delete_row(row)
+        for row in inserts:
+            taav.insert(row)
+        self.indexes.apply_updates(relation, inserts, deletes)
 
 
 class ZidianSystem:
@@ -148,6 +295,7 @@ class ZidianSystem:
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
+        indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
@@ -161,6 +309,10 @@ class ZidianSystem:
         # client-side read-through block cache, partitioned per worker
         # (0 = off — paper reproductions measure BaaV's contribution alone)
         self.cache = make_cache(cache_capacity_bytes, partitions=workers)
+        # secondary indexes (index probes fetch TaaV tuples, so they
+        # need keep_taav; enforced in create_index)
+        self.indexes = IndexManager(self.cluster, cache=self.cache)
+        self._requested_indexes = [_parse_index_spec(s) for s in indexes]
         self.degree_bound = degree_bound
         self.compress = compress
         self.split_threshold = split_threshold
@@ -215,6 +367,16 @@ class ZidianSystem:
             keep_stats=self.keep_stats,
             cache=self.cache,
         )
+        if self._requested_indexes or len(self.indexes):
+            if not self.keep_taav:
+                raise ExecutionError(
+                    "secondary indexes need the TaaV store "
+                    "(keep_taav=True): index probes fetch tuples by "
+                    "primary key"
+                )
+            _rebuild_indexes(
+                self.indexes, database, self._requested_indexes
+            )
         self.middleware = Zidian(
             database.schema,
             baav_schema,
@@ -222,9 +384,38 @@ class ZidianSystem:
             degree_bound=self.degree_bound,
             allow_taav_fallback=self.keep_taav,
             use_stats=self.use_stats,
+            index_catalog=self.indexes,
         )
         self.maintainer = Maintainer(self.store)
         self.cluster.reset_counters()
+
+    def create_index(
+        self, relation: str, attr: str, kind: str = "hash"
+    ):
+        """Create (and bulk-build) a secondary index on a loaded relation.
+
+        Index probes resolve primary keys against the TaaV store, so the
+        system must keep it (``keep_taav=True``).
+        """
+        if self.database is None:
+            raise ExecutionError("load() a database first")
+        if not self.keep_taav:
+            raise ExecutionError(
+                "secondary indexes need the TaaV store (keep_taav=True): "
+                "index probes fetch tuples by primary key"
+            )
+        return self.indexes.create(
+            self.database.relation(relation), attr, kind
+        )
+
+    def drop_index(
+        self,
+        relation: str,
+        attr: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Drop matching indexes (and their cluster entries)."""
+        return self.indexes.drop(relation, attr, kind)
 
     def execute(self, sql: str) -> QueryResult:
         if self.middleware is None or self.store is None:
@@ -246,9 +437,21 @@ class ZidianSystem:
             self.workers,
             batch_size=self.batch_size,
             cache=self.cache,
+            indexes=self.indexes if len(self.indexes) else None,
         )
         table, metrics = engine.execute(plan)
-        return QueryResult(_to_relation(table), metrics, decision)
+        return QueryResult(
+            _to_relation(table),
+            metrics,
+            decision,
+            plan_summary=_zidian_plan_summary(plan),
+        )
+
+    def explain(self, sql: str) -> str:
+        """M1 checks, chase trace, index coverage and the KBA plan."""
+        if self.middleware is None:
+            raise ExecutionError("load() a database first")
+        return self.middleware.explain(sql)
 
     def _execute_compound(self, stmt: "ast.CompoundSelect") -> QueryResult:
         """UNION ALL / EXCEPT ALL: evaluate each side over the BaaV store
@@ -300,7 +503,17 @@ class ZidianSystem:
             base.rows.remove(tuple(row))
         base.extend(inserts)
         if self.taav is not None:
+            taav = self.taav.relation(relation)
+            # deletes first: a same-pk update (delete old + insert new)
+            # must not delete the freshly inserted tuple
+            for row in deletes:
+                taav.delete_row(tuple(row))
             for row in inserts:
-                self.taav.relation(relation).insert(tuple(row))
+                taav.insert(tuple(row))
         self.maintainer.insert(relation, inserts)
         self.maintainer.delete(relation, deletes)
+        self.indexes.apply_updates(
+            relation,
+            [tuple(r) for r in inserts],
+            [tuple(r) for r in deletes],
+        )

@@ -64,6 +64,101 @@ class QueryGenerator:
         return out
 
 
+# --------------------------------------------------------------------------
+# selective-predicate workload (secondary-index benchmarks)
+# --------------------------------------------------------------------------
+
+
+def _sql_literal(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return str(value)
+
+
+def selective_workload(
+    database: Database,
+    relation: str,
+    eq_attr: str,
+    range_attr: str,
+    n_queries: int = 12,
+    seed: int = 42,
+    zipf_alpha: float = 1.2,
+    range_width: float = 0.02,
+    select_attrs: Optional[Sequence[str]] = None,
+) -> List[GeneratedQuery]:
+    """Selective non-key filters: Zipf-skewed equality + narrow ranges.
+
+    The paper's fixed templates bind relation *keys*; this workload is
+    the opposite — every query selects on a **non-key** attribute, the
+    class that degenerates to a full scan without a secondary index:
+
+    * equality queries pick ``eq_attr`` values Zipf-skewed by rank over
+      the attribute's distinct domain (hot values dominate, like real
+      carrier/route skew);
+    * range queries slide a window of ``range_width`` of the sorted
+      distinct ``range_attr`` domain (narrow ``BETWEEN`` filters).
+
+    Alternates equality and range queries, ``n_queries`` total.
+    Template names are ``sel_eq``/``sel_range``; ``expected_scan_free``
+    is False — these go scan-free only once an index exists.
+    """
+    rel = database.relation(relation)
+    schema = rel.schema
+    if select_attrs is None:
+        pk = list(schema.primary_key or schema.attribute_names[:1])
+        select_attrs = pk + [
+            a for a in (eq_attr, range_attr) if a not in pk
+        ]
+    columns = ", ".join(f"T.{a}" for a in select_attrs)
+    eq_domain = sorted(
+        v for v in rel.distinct_values(eq_attr) if v is not None
+    )
+    range_domain = sorted(
+        v for v in rel.distinct_values(range_attr) if v is not None
+    )
+    if not eq_domain or not range_domain:
+        raise ValueError(
+            f"{relation}.{eq_attr}/{range_attr} have no indexable values"
+        )
+    # skew by frequency: the most common value gets Zipf rank 0
+    frequency: Dict[object, int] = {}
+    attr_pos = schema.index_of(eq_attr)
+    for row in rel.rows:
+        value = row[attr_pos]
+        if value is not None:
+            frequency[value] = frequency.get(value, 0) + 1
+    by_rank = sorted(eq_domain, key=lambda v: (-frequency[v], v))
+    weights = [
+        1.0 / (rank + 1) ** zipf_alpha for rank in range(len(by_rank))
+    ]
+    window = max(1, round(len(range_domain) * range_width))
+
+    rng = random.Random(seed)
+    out: List[GeneratedQuery] = []
+    for index in range(n_queries):
+        if index % 2 == 0:
+            value = rng.choices(by_rank, weights=weights, k=1)[0]
+            sql = (
+                f"select {columns} from {relation} T "
+                f"where T.{eq_attr} = {_sql_literal(value)}"
+            )
+            template = "sel_eq"
+        else:
+            start = rng.randrange(max(1, len(range_domain) - window))
+            lo = range_domain[start]
+            hi = range_domain[min(start + window, len(range_domain) - 1)]
+            sql = (
+                f"select {columns} from {relation} T "
+                f"where T.{range_attr} between {_sql_literal(lo)} "
+                f"and {_sql_literal(hi)}"
+            )
+            template = "sel_range"
+        out.append(GeneratedQuery(template, sql, False))
+    return out
+
+
 def mot_generator(seed: int = 42) -> QueryGenerator:
     from repro.workloads import mot
 

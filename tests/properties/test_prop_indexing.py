@@ -1,0 +1,195 @@
+"""Property: index-backed execution ≡ scan-based execution.
+
+For random relations, random update batches and random predicates, a
+system answering through secondary indexes must return exactly the rows
+a scan-based twin returns — including after incremental write-through
+maintenance, and under node fail/recover churn at R ≥ 2. The scan twin
+is the oracle: it never consults an index, so any divergence is an
+index bug (stale posting, lost bucket entry, wrong bound handling).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baav import BaaVSchema, kv_schema
+from repro.relational import AttrType, Attribute, Database, DatabaseSchema
+from repro.relational.schema import RelationSchema
+from repro.systems import SQLOverNoSQL, ZidianSystem
+
+SCHEMA = RelationSchema(
+    "R",
+    [
+        Attribute("k", AttrType.INT),
+        Attribute("c", AttrType.INT),
+        Attribute("s", AttrType.INT),
+    ],
+    ["k"],
+)
+
+# small domains force collisions: posting lists grow past one entry and
+# deletes regularly empty them
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 40)),
+    min_size=1,
+    max_size=40,
+).map(
+    lambda pairs: [(k,) + pair for k, pair in enumerate(pairs)]
+)
+
+updates_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 6),     # c of an insert / row selector of a delete
+        st.integers(0, 40),    # s of an insert / unused
+    ),
+    max_size=12,
+)
+
+predicate_strategy = st.one_of(
+    st.tuples(st.just("eq"), st.integers(0, 7), st.integers(0, 0)),
+    st.tuples(
+        st.just("range"), st.integers(-5, 45), st.integers(0, 20)
+    ),
+    st.tuples(
+        st.just("range_strict"), st.integers(-5, 45), st.integers(0, 20)
+    ),
+    st.tuples(st.just("between"), st.integers(-5, 45), st.integers(0, 20)),
+)
+
+
+def database_from(rows) -> Database:
+    db = Database(DatabaseSchema([SCHEMA]))
+    db.load("R", list(rows))
+    return db
+
+
+def sql_for(predicate) -> str:
+    kind, a, b = predicate
+    if kind == "eq":
+        where = f"T.c = {a}"
+    elif kind == "range":
+        where = f"T.s >= {a} and T.s <= {a + b}"
+    elif kind == "range_strict":
+        where = f"T.s > {a} and T.s < {a + b}"
+    else:
+        where = f"T.s between {a} and {a + b}"
+    return f"select T.k, T.c, T.s from R T where {where}"
+
+
+def apply_batch(systems, rows, next_pk, updates):
+    """Apply one random Δ identically to every system; returns rows'.
+
+    Deletes only touch rows that existed before the batch — systems
+    apply the delete list before the insert list.
+    """
+    inserts, deletes = [], []
+    deletable = list(rows)
+    for kind, a, b in updates:
+        if kind == "insert":
+            inserts.append((next_pk, a, b))
+            next_pk += 1
+        elif deletable:
+            deletes.append(deletable.pop(a % len(deletable)))
+    for system in systems:
+        system.apply_updates("R", inserts=inserts, deletes=deletes)
+    return deletable + inserts, next_pk
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=rows_strategy,
+    updates=updates_strategy,
+    predicates=st.lists(predicate_strategy, min_size=1, max_size=4),
+)
+def test_baseline_index_equals_scan(rows, updates, predicates):
+    indexed = SQLOverNoSQL(
+        "hbase",
+        storage_nodes=3,
+        indexes=["R.c", "R.s:ordered"],
+    )
+    indexed.load(database_from(rows))
+    plain = SQLOverNoSQL("hbase", storage_nodes=3)
+    plain.load(database_from(rows))
+
+    for predicate in predicates:
+        sql = sql_for(predicate)
+        assert sorted(indexed.execute(sql).rows) == sorted(
+            plain.execute(sql).rows
+        )
+
+    rows, _ = apply_batch(
+        [indexed, plain], rows, len(rows) + 100, updates
+    )
+    for predicate in predicates:
+        sql = sql_for(predicate)
+        expected = sorted(plain.execute(sql).rows)
+        assert sorted(indexed.execute(sql).rows) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=rows_strategy,
+    updates=updates_strategy,
+    predicate=predicate_strategy,
+    churn=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+)
+def test_index_survives_churn_at_r2(rows, updates, predicate, churn):
+    """fail → query → recover → update → query, replicated twice."""
+    indexed = SQLOverNoSQL(
+        "hbase",
+        storage_nodes=4,
+        replication_factor=2,
+        indexes=["R.c", "R.s:ordered"],
+    )
+    indexed.load(database_from(rows))
+    plain = SQLOverNoSQL(
+        "hbase", storage_nodes=4, replication_factor=2
+    )
+    plain.load(database_from(rows))
+    sql = sql_for(predicate)
+
+    victim_a, victim_b = churn
+    for system in (indexed, plain):
+        system.cluster.fail_node(system.cluster.live_node_ids[victim_a])
+    assert sorted(indexed.execute(sql).rows) == sorted(
+        plain.execute(sql).rows
+    )
+    rows, next_pk = apply_batch(
+        [indexed, plain], rows, len(rows) + 100, updates
+    )
+    for system in (indexed, plain):
+        system.cluster.recover_node(system.cluster.down_node_ids[0])
+        live = system.cluster.live_node_ids
+        system.cluster.fail_node(live[victim_b % len(live)])
+    assert sorted(indexed.execute(sql).rows) == sorted(
+        plain.execute(sql).rows
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=rows_strategy,
+    updates=updates_strategy,
+    predicate=predicate_strategy,
+)
+def test_zidian_index_equals_scan(rows, updates, predicate):
+    """The KBA IndexProbe path agrees with the ScanKV/TaaV path too."""
+    baav = BaaVSchema([kv_schema("r_by_k", SCHEMA, ["k"])])
+    indexed = ZidianSystem(
+        "hbase", storage_nodes=3, indexes=["R.c", "R.s:ordered"]
+    )
+    indexed.load(database_from(rows), baav)
+    plain = ZidianSystem("hbase", storage_nodes=3)
+    plain.load(database_from(rows), baav)
+
+    sql = sql_for(predicate)
+    assert sorted(indexed.execute(sql).rows) == sorted(
+        plain.execute(sql).rows
+    )
+    rows, _ = apply_batch(
+        [indexed, plain], rows, len(rows) + 100, updates
+    )
+    assert sorted(indexed.execute(sql).rows) == sorted(
+        plain.execute(sql).rows
+    )
