@@ -10,8 +10,9 @@ the real execution. Reports are printed and also written under
 from __future__ import annotations
 
 import functools
+import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.parallel.metrics import ExecutionMetrics
@@ -207,3 +208,45 @@ def publish(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def metric(
+    name: str,
+    value: float,
+    unit: str,
+    higher_is_better: bool = True,
+) -> Dict[str, object]:
+    """One machine-readable benchmark metric (see :func:`publish_json`)."""
+    return {
+        "metric": name,
+        "value": float(value),
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+    }
+
+
+def publish_json(
+    name: str,
+    metrics: Sequence[Dict[str, object]],
+    config: Optional[Dict[str, object]] = None,
+) -> str:
+    """Persist headline metrics as ``benchmarks/results/BENCH_<name>.json``.
+
+    The JSON twin of :func:`publish`: CI uploads these as workflow
+    artifacts and ``benchmarks/compare_baselines.py`` diffs them
+    against the committed baselines (fail-soft warn on a >20%
+    regression), so throughput/latency become tracked numbers instead
+    of text nobody diffs. Each metric comes from :func:`metric`;
+    ``config`` records the knobs that produced it.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "name": name,
+        "config": config or {},
+        "metrics": list(metrics),
+    }
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

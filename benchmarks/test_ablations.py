@@ -5,7 +5,6 @@ A3 block split threshold sweep; A4 interleaved vs fetch-all execution of
 the same KBA plan (the §7.2 strategy vs the strawman it replaces).
 """
 
-import pytest
 
 from harness import (
     baav_schema_for,

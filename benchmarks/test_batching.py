@@ -19,7 +19,9 @@ from harness import (
     baav_schema_for,
     dataset,
     fmt,
+    metric,
     publish,
+    publish_json,
     render_table,
 )
 
@@ -113,6 +115,17 @@ def test_kv_workload_batching(once):
     )
     # acceptance: batching beats the per-key baseline on every profile,
     # at identical logical work
+    speedups = [
+        results[backend][layout][0].sim_time_ms
+        / results[backend][layout][1].sim_time_ms
+        for backend in BACKENDS
+        for layout in ("taav", "baav")
+    ]
+    publish_json(
+        "batching_kv",
+        [metric("min_batching_speedup", min(speedups), "x")],
+        config={"batch": BATCH, "reads": N_READS, "dataset": "mot"},
+    )
     for backend in BACKENDS:
         for layout in ("taav", "baav"):
             per_key, batched = results[backend][layout]
@@ -178,6 +191,17 @@ def test_query_batching(once):
              "#rt batched"],
             rows,
         ),
+    )
+    publish_json(
+        "batching_queries",
+        [
+            metric(
+                "min_query_batching_speedup",
+                min(p / b for p, b, _, _, _ in results.values()),
+                "x",
+            )
+        ],
+        config={"batch": BATCH, "templates": ["q7", "q9", "q11"]},
     )
     for backend, (per_key_ms, batched_ms, _, rt, rt_batched) in results.items():
         assert batched_ms < per_key_ms, backend

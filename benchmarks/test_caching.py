@@ -20,13 +20,15 @@ from harness import (
     cache_rate,
     dataset,
     fmt,
+    metric,
     publish,
+    publish_json,
     queries_for,
     render_table,
 )
 
 from repro.baav import BaaVStore
-from repro.kv import BlockCache, KVCluster, TaaVStore, profile
+from repro.kv import BlockCache, KVCluster, profile
 from repro.relational import bag_equal
 from repro.systems import ZidianSystem
 from repro.workloads.kvload import baav_batched_read_workload
@@ -99,6 +101,11 @@ def test_airca_requery_caching(once):
     for backend, (plain_ms, cached_ms, rate) in results.items():
         assert cached_ms < plain_ms, backend
         assert rate > 0.0, backend
+    publish_json(
+        "caching_airca",
+        [metric("max_requery_speedup", max(speedups.values()), "x")],
+        config={"passes": PASSES, "batch": BATCH, "dataset": "airca"},
+    )
     # acceptance: >= 1.5x over batching-alone on at least one profile
     assert max(speedups.values()) >= 1.5, speedups
 
@@ -168,4 +175,9 @@ def test_skewed_kvload_caching(once):
         assert cached.sim_time_ms < batched.sim_time_ms, backend
         assert stats.hits > 0, backend
         speedups.append(batched.sim_time_ms / cached.sim_time_ms)
+    publish_json(
+        "caching_kvload",
+        [metric("max_skewed_read_speedup", max(speedups), "x")],
+        config={"batch": BATCH, "dataset": "mot"},
+    )
     assert max(speedups) >= 1.5, speedups

@@ -13,9 +13,8 @@ rebalance keys/bytes moved and the simulated milliseconds they cost.
 
 import random
 
-import pytest
 
-from harness import dataset, fmt, publish, render_table
+from harness import dataset, fmt, metric, publish, publish_json, render_table
 
 from repro.kv import KVCluster, TaaVStore, profile
 from repro.parallel.costmodel import CostModel
@@ -104,6 +103,20 @@ def test_throughput(once):
         ),
     )
 
+    publish_json(
+        "exp4_throughput",
+        [
+            metric(
+                "baav_read_gain", baav_read.tpms / taav_read.tpms, "x"
+            ),
+            metric(
+                "baav_write_retention",
+                baav_write.tpms / taav_write.tpms,
+                "ratio",
+            ),
+        ],
+        config={"dataset": "mot", "reads": N_READS, "writes": N_WRITES},
+    )
     # paper: reads improve (1.1-1.5x); writes drop but stay comparable
     assert baav_read.tpms > taav_read.tpms
     assert baav_write.tpms < taav_write.tpms

@@ -15,7 +15,7 @@ through the whole churn — and reports the two honest bills:
 
 import random
 
-from harness import dataset, fmt, publish, render_table
+from harness import dataset, fmt, metric, publish, publish_json, render_table
 
 from repro.kv import KVCluster, TaaVStore, profile
 from repro.parallel.costmodel import CostModel
@@ -127,6 +127,20 @@ def test_failover_throughput(once):
             ["event", "keys moved", "MB moved", "transfers", "sim ms"],
             event_rows,
         ),
+    )
+    publish_json(
+        "failover",
+        [
+            metric("healthy_tpms", healthy, "values/ms"),
+            metric("degraded_tpms", degraded, "values/ms"),
+            metric("recovered_tpms", recovered, "values/ms"),
+            metric(
+                "degraded_retention",
+                degraded / healthy,
+                "ratio",
+            ),
+        ],
+        config={"nodes": NODES, "replication": REPLICATION},
     )
     # the degraded phase pays for the lost node, but keeps serving:
     # 3 of 4 nodes ≈ 3/4 the throughput, never a collapse

@@ -10,7 +10,6 @@ Four panels: MOT scan-free (3a), MOT non-scan-free (3b), TPC-H scan-free
   scan-free sub-queries.
 """
 
-import pytest
 
 from harness import (
     baav_schema_for,

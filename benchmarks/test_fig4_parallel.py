@@ -8,7 +8,6 @@ Panels e–h: vary the dataset scale at p = 8; all systems scale with |D|,
 Zidian's communication for bounded queries stays flat.
 """
 
-import pytest
 
 from harness import (
     baav_schema_for,

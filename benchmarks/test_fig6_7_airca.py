@@ -5,7 +5,6 @@ its full version, noting they are "similar to the results on MOT". We
 regenerate them the same way as Figures 3 and 4.
 """
 
-import pytest
 
 from harness import (
     baav_schema_for,

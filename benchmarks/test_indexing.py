@@ -24,7 +24,9 @@ from harness import (
     baav_schema_for,
     dataset,
     fmt,
+    metric,
     publish,
+    publish_json,
     render_table,
 )
 
@@ -135,6 +137,14 @@ def test_airca_selective_filters(once):
         results,
         "FLIGHT, hash(tail_id) + ordered(dep_delay)",
     )
+    publish_json(
+        "indexing_airca",
+        [
+            metric("min_eq_speedup", min(eq_speedups), "x"),
+            metric("min_range_speedup", min(range_speedups), "x"),
+        ],
+        config={"relation": "FLIGHT", "selectivity": 0.02},
+    )
     assert min(eq_speedups) >= EQ_TARGET, eq_speedups
     assert min(range_speedups) >= RANGE_TARGET, range_speedups
 
@@ -217,6 +227,11 @@ def test_zidian_index_probe_over_scan_kv(once):
             ],
             rows,
         ),
+    )
+    publish_json(
+        "indexing_zidian_probe",
+        [metric("min_probe_speedup", min(speedups), "x")],
+        config={"relation": "CSTAT", "attr": "metric_01"},
     )
     assert min(speedups) >= RANGE_TARGET, speedups
 

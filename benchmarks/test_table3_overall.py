@@ -12,7 +12,9 @@ from harness import (
     dataset,
     fmt,
     mean,
+    metric,
     publish,
+    publish_json,
     queries_for,
     render_table,
     run_queries,
@@ -61,6 +63,22 @@ def test_table3_overall(once):
             headers,
             rows,
         ),
+    )
+
+    headline = []
+    for name in ("mot", "airca", "tpch"):
+        per_dataset = []
+        for backend in BACKENDS:
+            runs = results[name][backend]
+            per_dataset.append(
+                mean(r.base.sim_time_ms for r in runs)
+                / mean(r.zidian.sim_time_ms for r in runs)
+            )
+        headline.append(
+            metric(f"{name}_mean_speedup", mean(per_dataset), "x")
+        )
+    publish_json(
+        "table3", headline, config={"workers": WORKERS, "units": SCALE_UNITS}
     )
 
     for name in ("mot", "airca", "tpch"):

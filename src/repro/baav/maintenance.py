@@ -12,7 +12,7 @@ existing key must re-encode the whole (last segment of the) block.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.baav.block import Block
 from repro.baav.store import BaaVStore, KVInstance, _decode_segment, _encode_segment

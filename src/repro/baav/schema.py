@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import SchemaError, UnknownRelationError
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
 
 
 class KVSchema:

@@ -17,7 +17,7 @@ the paper's ``D̃``, with its degree ``deg(D̃)``.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baav.block import Block, BlockStats, split_block
 from repro.baav.schema import BaaVSchema, KVSchema
@@ -226,14 +226,9 @@ class KVInstance:
         node, so scans also top up with ``already_counted=1`` and per-key,
         batched and scan paths all charge identically.
         """
-        extra = block.num_values() - already_counted
-        if extra > 0:
-            nodes = list(self.cluster.nodes.values())
-            share, remainder = divmod(extra, len(nodes))
-            for index, node in enumerate(nodes):
-                node.counters.values_read += share + (
-                    1 if index < remainder else 0
-                )
+        self.cluster.charge_values_read(
+            block.num_values() - already_counted, live_only=False
+        )
 
     def get_stats(self, key: Row) -> Optional[Dict[str, BlockStats]]:
         """Fetch only the per-block statistics (1 get, tiny payload)."""

@@ -14,7 +14,7 @@ relations deliberately share qualified attribute names (they cannot here).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set
 
 from repro.baav.schema import BaaVSchema, KVSchema
 

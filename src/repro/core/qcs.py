@@ -9,7 +9,7 @@ plan). T2B (module M4) turns a workload's QCS into a BaaV schema.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.sql.planner import BoundQuery
 from repro.sql.spc import SPCAnalysis, analyze

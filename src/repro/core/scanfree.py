@@ -21,7 +21,7 @@ Implements the paper's characterization:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.baav.store import BaaVStore

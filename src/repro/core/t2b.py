@@ -16,7 +16,7 @@ BaaV schema such that:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.core.qcs import QCS

@@ -97,3 +97,24 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """A plan failed during execution."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the query: pool and queue are both full.
+
+    Load shedding is the service's back-pressure signal — clients are
+    expected to back off and retry rather than pile onto an already
+    saturated pool (the closed-loop traffic driver does exactly that).
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service (or the session) is draining or closed."""
+
+
+class QueryDeadlineError(ServiceError):
+    """The query's deadline expired before a worker could start it."""

@@ -35,7 +35,7 @@ semantics.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -44,6 +44,7 @@ from repro.errors import ExecutionError
 from repro.kv import codec
 from repro.kv.cache import read_through_many
 from repro.kv.cluster import KVCluster
+from repro.locks import ShardSet
 from repro.relational.schema import RelationSchema
 from repro.relational.types import Row
 
@@ -79,13 +80,8 @@ def _canonical(value: object) -> object:
 
 
 @dataclass
-class IndexStats:
-    """Cumulative counters of one index (or a manager-wide aggregate).
-
-    ``probes``/``postings`` meter the read path (index entries fetched /
-    posting entries decoded); the ``maintenance_*`` family meters the
-    write-through path so write amplification is reportable.
-    """
+class IndexCounters:
+    """One thread's shard of the index statistics (plain accumulators)."""
 
     probes: int = 0
     postings: int = 0
@@ -93,8 +89,69 @@ class IndexStats:
     maintenance_deletes: int = 0
     maintenance_bytes: int = 0
 
+    def add(self, other: "IndexCounters") -> None:
+        self.probes += other.probes
+        self.postings += other.postings
+        self.maintenance_puts += other.maintenance_puts
+        self.maintenance_deletes += other.maintenance_deletes
+        self.maintenance_bytes += other.maintenance_bytes
+
+
+class IndexStats:
+    """Cumulative counters of one index (or a manager-wide aggregate).
+
+    ``probes``/``postings`` meter the read path (index entries fetched /
+    posting entries decoded); the ``maintenance_*`` family meters the
+    write-through path so write amplification is reportable.
+
+    Thread-sharded (PR 5): index code accumulates into :attr:`local`,
+    the calling thread's private :class:`IndexCounters` shard, so
+    concurrent queries never lose increments. The aggregate fields
+    (``stats.probes`` etc.) sum the shards; :meth:`snapshot` reads only
+    the calling thread's shard so per-query metric probes attribute
+    exactly their own index traffic.
+    """
+
+    def __init__(self) -> None:
+        self._shards: ShardSet[IndexCounters] = ShardSet(IndexCounters)
+
+    @property
+    def local(self) -> IndexCounters:
+        """The calling thread's shard — mutate counters through this."""
+        return self._shards.local()
+
+    def _total(self) -> IndexCounters:
+        total = IndexCounters()
+        for shard in self._shards.all():
+            total.add(shard)
+        return total
+
+    @property
+    def probes(self) -> int:
+        return self._total().probes
+
+    @property
+    def postings(self) -> int:
+        return self._total().postings
+
+    @property
+    def maintenance_puts(self) -> int:
+        return self._total().maintenance_puts
+
+    @property
+    def maintenance_deletes(self) -> int:
+        return self._total().maintenance_deletes
+
+    @property
+    def maintenance_bytes(self) -> int:
+        return self._total().maintenance_bytes
+
     def snapshot(self) -> Tuple[int, int]:
-        return self.probes, self.postings
+        """(probes, postings) of the CALLING THREAD's shard only."""
+        local = self._shards.peek()
+        if local is None:
+            return 0, 0
+        return local.probes, local.postings
 
 
 def index_namespace(relation: str, attr: str, kind: str) -> str:
@@ -156,12 +213,12 @@ class SecondaryIndex:
         self.cluster.put(
             self.namespace, key_bytes, payload, n_values=len(entries)
         )
-        self.stats.maintenance_puts += 1
-        self.stats.maintenance_bytes += len(key_bytes) + len(payload)
+        self.stats.local.maintenance_puts += 1
+        self.stats.local.maintenance_bytes += len(key_bytes) + len(payload)
 
     def _delete_entry(self, key_bytes: bytes) -> None:
         self.cluster.delete(self.namespace, key_bytes)
-        self.stats.maintenance_deletes += 1
+        self.stats.local.maintenance_deletes += 1
 
     def _fetch_entries(
         self, key_bytes_list: Sequence[bytes]
@@ -176,7 +233,7 @@ class SecondaryIndex:
             ),
         )
         out: List[List[Tuple[Row, int]]] = []
-        self.stats.probes += len(key_bytes_list)
+        self.stats.local.probes += len(key_bytes_list)
         for data, fetched in pairs:
             if data is None:
                 out.append([])
@@ -188,22 +245,14 @@ class SecondaryIndex:
                 # values_read charges the posting-list size, exactly
                 # like the BaaV segment reads do
                 self._charge_posting_values(len(entries))
-            self.stats.postings += len(entries)
+            self.stats.local.postings += len(entries)
             out.append(entries)
         return out
 
     def _charge_posting_values(self, entries: int) -> None:
-        extra = entries - 1
-        if extra <= 0:
-            return
         # only live nodes served the batch — a crashed node must not
         # accrue reads (it would bias least-loaded replica selection)
-        nodes = self.cluster._live_nodes()
-        share, remainder = divmod(extra, len(nodes))
-        for index, node in enumerate(nodes):
-            node.counters.values_read += share + (
-                1 if index < remainder else 0
-            )
+        self.cluster.charge_values_read(entries - 1, live_only=True)
 
     # -- write-through maintenance ----------------------------------------
 

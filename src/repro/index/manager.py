@@ -19,6 +19,7 @@ round-trips and posting reads to plan stages.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ExecutionError
@@ -44,6 +45,10 @@ class IndexManager:
         self.cache = cache
         self.stats = IndexStats()
         self._indexes: Dict[Tuple[str, str, str], SecondaryIndex] = {}
+        # guards the catalog dict: DDL (create/drop/forget) is rare but
+        # must not mutate it under a concurrent planner/executor read;
+        # reentrant so a drop cascade can re-enter through the cluster
+        self._lock = threading.RLock()
 
     # -- DDL ----------------------------------------------------------------
 
@@ -55,22 +60,23 @@ class IndexManager:
             raise ExecutionError(
                 f"unknown index kind {kind!r} (expected one of {KINDS})"
             )
-        key = (relation.schema.name, attr, kind)
-        if key in self._indexes:
-            raise ExecutionError(
-                f"index on {key[0]}.{attr} ({kind}) already exists"
+        with self._lock:
+            key = (relation.schema.name, attr, kind)
+            if key in self._indexes:
+                raise ExecutionError(
+                    f"index on {key[0]}.{attr} ({kind}) already exists"
+                )
+            cls = HashIndex if kind == "hash" else OrderedIndex
+            index = cls(
+                relation.schema,
+                attr,
+                self.cluster,
+                cache=self.cache,
+                stats=self.stats,
             )
-        cls = HashIndex if kind == "hash" else OrderedIndex
-        index = cls(
-            relation.schema,
-            attr,
-            self.cluster,
-            cache=self.cache,
-            stats=self.stats,
-        )
-        index.build(relation.rows)
-        self._indexes[key] = index
-        return index
+            index.build(relation.rows)
+            self._indexes[key] = index
+            return index
 
     def drop(
         self, relation: str, attr: Optional[str] = None,
@@ -78,56 +84,64 @@ class IndexManager:
     ) -> int:
         """Drop matching indexes (all of a relation when ``attr`` is None);
         returns how many were dropped. Entries leave the cluster too."""
-        doomed = [
-            key
-            for key in self._indexes
-            if key[0] == relation
-            and (attr is None or key[1] == attr)
-            and (kind is None or key[2] == kind)
-        ]
-        for key in doomed:
-            self._indexes.pop(key).drop()
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key in self._indexes
+                if key[0] == relation
+                and (attr is None or key[1] == attr)
+                and (kind is None or key[2] == kind)
+            ]
+            for key in doomed:
+                self._indexes.pop(key).drop()
+            return len(doomed)
 
     def forget(self, relation: str) -> int:
         """Drop a relation's indexes from the catalog only (their cluster
         entries were already removed, e.g. by a namespace drop cascade)."""
-        doomed = [key for key in self._indexes if key[0] == relation]
-        for key in doomed:
-            del self._indexes[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._indexes if key[0] == relation]
+            for key in doomed:
+                del self._indexes[key]
+            return len(doomed)
 
     # -- catalog (what the planners consult) --------------------------------
 
     def __len__(self) -> int:
-        return len(self._indexes)
+        with self._lock:
+            return len(self._indexes)
 
     def __iter__(self):
-        return iter(self._indexes.values())
+        with self._lock:
+            return iter(list(self._indexes.values()))
 
     def index_for(
         self, relation: str, attr: str, kind: str
     ) -> Optional[SecondaryIndex]:
-        return self._indexes.get((relation, attr, kind))
+        with self._lock:
+            return self._indexes.get((relation, attr, kind))
 
     def equality_attrs(self, relation: str) -> Set[str]:
         """Attributes of ``relation`` with an equality-capable index
         (a hash index, or an ordered one — a point is a tiny range)."""
-        return {key[1] for key in self._indexes if key[0] == relation}
+        with self._lock:
+            return {key[1] for key in self._indexes if key[0] == relation}
 
     def range_attrs(self, relation: str) -> Set[str]:
         """Attributes of ``relation`` with a range-capable (ordered) index."""
-        return {
-            key[1]
-            for key in self._indexes
-            if key[0] == relation and key[2] == "ordered"
-        }
+        with self._lock:
+            return {
+                key[1]
+                for key in self._indexes
+                if key[0] == relation and key[2] == "ordered"
+            }
 
     def describe(self) -> str:
-        lines = [
-            f"{rel}.{attr} [{kind}]"
-            for rel, attr, kind in sorted(self._indexes)
-        ]
+        with self._lock:
+            lines = [
+                f"{rel}.{attr} [{kind}]"
+                for rel, attr, kind in sorted(self._indexes)
+            ]
         return "\n".join(lines) if lines else "(no indexes)"
 
     # -- lookups (what the executors call) ----------------------------------
@@ -136,10 +150,11 @@ class IndexManager:
         self, relation: str, attr: str, values: Sequence[object]
     ) -> List[Row]:
         """Primary keys matching ``attr IN values`` (hash preferred)."""
-        index = self._indexes.get((relation, attr, "hash"))
+        with self._lock:
+            index = self._indexes.get((relation, attr, "hash"))
+            ordered = self._indexes.get((relation, attr, "ordered"))
         if index is not None:
             return index.lookup(values)
-        ordered = self._indexes.get((relation, attr, "ordered"))
         if ordered is None:
             raise ExecutionError(
                 f"no index on {relation}.{attr} serves equality"
@@ -165,7 +180,8 @@ class IndexManager:
         hi_strict: bool = False,
     ) -> List[Row]:
         """Primary keys matching a range predicate on ``attr``."""
-        index = self._indexes.get((relation, attr, "ordered"))
+        with self._lock:
+            index = self._indexes.get((relation, attr, "ordered"))
         if index is None:
             raise ExecutionError(
                 f"no ordered index on {relation}.{attr} serves ranges"
@@ -187,6 +203,11 @@ class IndexManager:
         deletes = list(deletes)
         if not inserts and not deletes:
             return
-        for key, index in sorted(self._indexes.items()):
-            if key[0] == relation:
-                index.apply(inserts, deletes)
+        with self._lock:
+            targets = [
+                index
+                for key, index in sorted(self._indexes.items())
+                if key[0] == relation
+            ]
+        for index in targets:
+            index.apply(inserts, deletes)

@@ -14,8 +14,8 @@ a :class:`ScanKV` or :class:`TaaVScan` leaf makes a plan non-scan-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.relational.types import Row
 from repro.sql import ast

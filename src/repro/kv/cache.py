@@ -28,14 +28,32 @@ stay honest and a hit costs zero round trips in the cost model, which is
 exactly the speedup the caching benchmark measures. Blind scans
 (``KVCluster.scan``) bypass the cache entirely — they stream every pair
 anyway and would only evict the hot point-read set.
+
+Concurrency (PR 5)
+------------------
+
+The cache is shared by every query thread, so each :class:`BlockCache`
+guards its LRU map with a mutex (an ``OrderedDict`` cannot survive
+concurrent ``move_to_end``), and its statistics are **thread-sharded**:
+each thread accumulates hits/misses into a private
+:class:`CacheStats` shard, so increments are never lost and
+:attr:`BlockCache.stats` can aggregate a snapshot under the lock whose
+invariants always hold (``hits + misses == lookups``, ``hit_rate <= 1``
+— the bug class the PR-5 regression tests pin down). Per-query metric
+probes read :meth:`thread_stats`, the calling thread's own shard, so a
+query's cache-hit attribution stays exact while other queries share the
+cache.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.locks import ShardSet
 
 
 @dataclass
@@ -95,29 +113,73 @@ class BlockCache:
     always reaches the cluster.
     """
 
+    #: invalidation-record cap before the floor-epoch prune kicks in
+    MAX_INVALIDATION_RECORDS = 4096
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = capacity_bytes
         self._entries: "OrderedDict[_CacheKey, bytes]" = OrderedDict()
-        self.stats = CacheStats()
+        #: serializes LRU-map access across query threads
+        self._lock = threading.RLock()
+        #: per-thread statistic shards (each mutated only by its owner;
+        #: registry survives thread death — idents are never consulted)
+        self._shards: ShardSet[CacheStats] = ShardSet(CacheStats)
+        #: monotonically increasing invalidation clock; a read-through
+        #: fill observed at epoch E is rejected if its key (or the
+        #: key's namespace) was invalidated after E — see
+        #: :meth:`put_if_fresh`
+        self._epoch = 0
+        self._floor_epoch = 0
+        self._invalidated_keys: Dict[_CacheKey, int] = {}
+        self._invalidated_namespaces: Dict[str, int] = {}
+
+    @property
+    def _stats(self) -> CacheStats:
+        """The calling thread's statistics shard."""
+        return self._shards.local()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate statistics — a consistent snapshot, not a live view.
+
+        Taken under the cache lock, so no in-flight lookup can tear it
+        (``hits + misses == lookups`` always holds on the copy).
+        """
+        with self._lock:
+            total = CacheStats()
+            for shard in self._shards.all():
+                total.add(shard)
+            return total
+
+    def thread_stats(self) -> CacheStats:
+        """A copy of the CALLING THREAD's shard (per-query attribution)."""
+        shard = self._shards.peek()
+        total = CacheStats()
+        if shard is not None:
+            total.add(shard)
+        return total
 
     # -- read path --------------------------------------------------------
 
     def get(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
         """Return the cached payload or ``None``; counts a hit or miss."""
-        entry = self._entries.get((namespace, key_bytes))
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end((namespace, key_bytes))
-        self.stats.hits += 1
-        self.stats.bytes_served += len(entry)
-        return entry
+        with self._lock:
+            entry = self._entries.get((namespace, key_bytes))
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end((namespace, key_bytes))
+            stats = self._stats
+            stats.hits += 1
+            stats.bytes_served += len(entry)
+            return entry
 
     def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
         """Uncounted, LRU-neutral read (tests and introspection)."""
-        return self._entries.get((namespace, key_bytes))
+        with self._lock:
+            return self._entries.get((namespace, key_bytes))
 
     # -- fill / invalidate -------------------------------------------------
 
@@ -125,54 +187,129 @@ class BlockCache:
     def _charge(key: _CacheKey, payload: bytes) -> int:
         return len(key[0]) + len(key[1]) + len(payload) + ENTRY_OVERHEAD_BYTES
 
+    def _resident_bytes(self) -> int:
+        """Current resident charge, summed over shards (lock held)."""
+        return sum(s.bytes_cached for s in self._shards.all())
+
     def put(self, namespace: str, key_bytes: bytes, payload: bytes) -> None:
         """Fill on read-miss (and refresh on re-fill); evicts LRU to fit."""
         key = (namespace, key_bytes)
         charge = self._charge(key, payload)
         if charge > self.capacity_bytes:
             return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.stats.bytes_cached -= self._charge(key, old)
-        while (
-            self._entries
-            and self.stats.bytes_cached + charge > self.capacity_bytes
+        with self._lock:
+            stats = self._stats
+            old = self._entries.pop(key, None)
+            if old is not None:
+                stats.bytes_cached -= self._charge(key, old)
+            resident = self._resident_bytes()
+            while self._entries and resident + charge > self.capacity_bytes:
+                evicted_key, evicted = self._entries.popitem(last=False)
+                evicted_charge = self._charge(evicted_key, evicted)
+                stats.bytes_cached -= evicted_charge
+                resident -= evicted_charge
+                stats.evictions += 1
+            self._entries[key] = payload
+            stats.bytes_cached += charge
+            stats.insertions += 1
+
+    # -- stale-fill protection --------------------------------------------
+
+    def read_epoch(self, namespace: str, key_bytes: bytes) -> int:
+        """The invalidation clock, observed BEFORE a read-through fetch.
+
+        Pass the value to :meth:`put_if_fresh` after the fetch: a write
+        that invalidated the key (or its whole namespace) in between
+        advances the clock, and the fill is rejected — otherwise a slow
+        reader could re-install the pre-write payload and serve it
+        stale forever.
+        """
+        with self._lock:
+            return self._epoch
+
+    def put_if_fresh(
+        self, namespace: str, key_bytes: bytes, payload: bytes,
+        epoch: int,
+    ) -> bool:
+        """Fill only if the key was not invalidated since ``epoch``."""
+        with self._lock:
+            if epoch < self._floor_epoch:
+                return False
+            key = (namespace, key_bytes)
+            if self._invalidated_keys.get(key, -1) > epoch:
+                return False
+            if self._invalidated_namespaces.get(namespace, -1) > epoch:
+                return False
+            self.put(namespace, key_bytes, payload)
+            return True
+
+    def _record_invalidation(
+        self, namespace: str, key_bytes: Optional[bytes]
+    ) -> None:
+        """Advance the clock and remember what was invalidated
+        (lock held). Records are pruned by raising the floor epoch —
+        an in-flight fill older than the floor is rejected outright."""
+        self._epoch += 1
+        if key_bytes is None:
+            self._invalidated_namespaces[namespace] = self._epoch
+        else:
+            self._invalidated_keys[(namespace, key_bytes)] = self._epoch
+        if (
+            len(self._invalidated_keys) + len(self._invalidated_namespaces)
+            > self.MAX_INVALIDATION_RECORDS
         ):
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self.stats.bytes_cached -= self._charge(evicted_key, evicted)
-            self.stats.evictions += 1
-        self._entries[key] = payload
-        self.stats.bytes_cached += charge
-        self.stats.insertions += 1
+            self._floor_epoch = self._epoch
+            self._invalidated_keys.clear()
+            self._invalidated_namespaces.clear()
 
     def invalidate(self, namespace: str, key_bytes: bytes) -> bool:
-        """Drop one entry (a write touched it); True if it was cached."""
-        entry = self._entries.pop((namespace, key_bytes), None)
-        if entry is None:
-            return False
-        self.stats.bytes_cached -= self._charge((namespace, key_bytes), entry)
-        self.stats.invalidations += 1
-        return True
+        """Drop one entry (a write touched it); True if it was cached.
+
+        Also recorded on the invalidation clock, so a read-through fill
+        that fetched BEFORE this write cannot re-install the stale
+        payload afterwards (see :meth:`put_if_fresh`).
+        """
+        with self._lock:
+            self._record_invalidation(namespace, key_bytes)
+            entry = self._entries.pop((namespace, key_bytes), None)
+            if entry is None:
+                return False
+            stats = self._stats
+            stats.bytes_cached -= self._charge(
+                (namespace, key_bytes), entry
+            )
+            stats.invalidations += 1
+            return True
 
     def invalidate_namespace(self, namespace: str) -> int:
         """Drop every entry of a namespace (``drop_namespace``)."""
-        doomed = [k for k in self._entries if k[0] == namespace]
-        for key in doomed:
-            entry = self._entries.pop(key)
-            self.stats.bytes_cached -= self._charge(key, entry)
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            self._record_invalidation(namespace, None)
+            doomed = [k for k in self._entries if k[0] == namespace]
+            stats = self._stats
+            for key in doomed:
+                entry = self._entries.pop(key)
+                stats.bytes_cached -= self._charge(key, entry)
+            stats.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats.bytes_cached = 0
+        with self._lock:
+            self._entries.clear()
+            self._epoch += 1
+            self._floor_epoch = self._epoch
+            self._invalidated_keys.clear()
+            self._invalidated_namespaces.clear()
+            for shard in self._shards.all():
+                shard.bytes_cached = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"BlockCache(entries={len(self._entries)}, "
+            f"BlockCache(entries={len(self)}, "
             f"{self.stats.bytes_cached}/{self.capacity_bytes}B)"
         )
 
@@ -209,6 +346,19 @@ class PartitionedBlockCache:
     def put(self, namespace: str, key_bytes: bytes, payload: bytes) -> None:
         self._route(namespace, key_bytes).put(namespace, key_bytes, payload)
 
+    def read_epoch(self, namespace: str, key_bytes: bytes) -> int:
+        return self._route(namespace, key_bytes).read_epoch(
+            namespace, key_bytes
+        )
+
+    def put_if_fresh(
+        self, namespace: str, key_bytes: bytes, payload: bytes,
+        epoch: int,
+    ) -> bool:
+        return self._route(namespace, key_bytes).put_if_fresh(
+            namespace, key_bytes, payload, epoch
+        )
+
     def invalidate(self, namespace: str, key_bytes: bytes) -> bool:
         return self._route(namespace, key_bytes).invalidate(
             namespace, key_bytes
@@ -225,10 +375,17 @@ class PartitionedBlockCache:
 
     @property
     def stats(self) -> CacheStats:
-        """Aggregate statistics over all worker partitions."""
+        """Aggregate statistics over all worker partitions (a snapshot)."""
         total = CacheStats()
         for cache in self.partitions:
             total.add(cache.stats)
+        return total
+
+    def thread_stats(self) -> CacheStats:
+        """The calling thread's shards summed over partitions."""
+        total = CacheStats()
+        for cache in self.partitions:
+            total.add(cache.thread_stats())
         return total
 
     def __len__(self) -> int:
@@ -274,13 +431,16 @@ def read_through(
     (TaaV tuples, BaaV segments, stats sidecars) goes through here or
     :func:`read_through_many`, so cache semantics live in one place.
     """
+    epoch = 0
     if cache is not None:
         data = cache.get(namespace, key_bytes)
         if data is not None:
             return data, False
+        epoch = cache.read_epoch(namespace, key_bytes)
     data = fetch_one(key_bytes)
     if data is not None and cache is not None:
-        cache.put(namespace, key_bytes, data)
+        # guarded fill: a write that raced the fetch wins
+        cache.put_if_fresh(namespace, key_bytes, data, epoch)
     return data, True
 
 
@@ -295,17 +455,20 @@ def read_through_many(
     if cache is None:
         return [(data, True) for data in fetch_many(list(keys))]
     out: List[Tuple[Optional[bytes], bool]] = [(None, False)] * len(keys)
-    missing: List[Tuple[int, bytes]] = []
+    missing: List[Tuple[int, bytes, int]] = []
     for index, key_bytes in enumerate(keys):
         data = cache.get(namespace, key_bytes)
         if data is not None:
             out[index] = (data, False)
         else:
-            missing.append((index, key_bytes))
+            missing.append(
+                (index, key_bytes, cache.read_epoch(namespace, key_bytes))
+            )
     if missing:
-        fetched = fetch_many([key_bytes for _, key_bytes in missing])
-        for (index, key_bytes), data in zip(missing, fetched):
+        fetched = fetch_many([key_bytes for _, key_bytes, _ in missing])
+        for (index, key_bytes, epoch), data in zip(missing, fetched):
             out[index] = (data, True)
             if data is not None:
-                cache.put(namespace, key_bytes, data)
+                # guarded fill: a write that raced the fetch wins
+                cache.put_if_fresh(namespace, key_bytes, data, epoch)
     return out

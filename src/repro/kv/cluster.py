@@ -40,11 +40,36 @@ owner of a key holds its current value, and no live non-owner holds
 it**. Reads may therefore hit any live owner, and blind scans visit each
 logical pair exactly once by yielding it only from its primary (first
 live) owner.
+
+Concurrency (PR 5)
+------------------
+
+The cluster is safe to share between the query service's worker threads.
+A writer-preferring :class:`~repro.locks.RWLock` splits operations in
+two classes:
+
+* **shared** (read lock): ``get`` / ``multi_get`` / ``peek`` / ``scan``
+  / ``namespace_keys`` / ``namespaces`` / counters — and also ``put`` /
+  ``multi_put`` / ``delete``, whose per-key effects are serialized by
+  each :class:`StorageNode`'s own mutex. Many queries (and the ordinary
+  write stream) proceed concurrently.
+* **exclusive** (write lock): membership churn (``add_node`` /
+  ``remove_node`` / ``fail_node`` / ``recover_node`` and the rebalance
+  sweeps they trigger), ``drop_namespace`` and ``register_cache`` —
+  anything that rewires placement or sweeps multiple nodes atomically.
+
+Shared-path scans materialize their pairs per node under the node mutex
+and *then* stream them to the caller, so no cluster lock is ever held
+across a ``yield``. Counters are thread-sharded (see
+:mod:`repro.kv.node`), so shared-path metering is lock-free and
+lost-update-free, and :meth:`KVCluster.get_stats` can hand out a
+snapshot whose invariants (``hits <= gets``) always hold.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -60,6 +85,7 @@ from repro.errors import ClusterUnavailableError
 from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
+from repro.locks import RWLock
 
 
 @dataclass
@@ -77,6 +103,27 @@ class RebalanceReport:
             f"in {self.round_trips} transfers, "
             f"dropped {self.keys_dropped}"
         )
+
+
+@dataclass
+class ClusterStats:
+    """A consistent point-in-time snapshot of the cluster's accounting.
+
+    Taken under the cluster lock from the thread-sharded counters, so
+    cross-field invariants hold (``hits <= gets``, replica counts match
+    membership) — unlike reading live counters mid-write, which could
+    observe a torn state. All counter objects are copies; mutating them
+    affects nothing.
+    """
+
+    totals: NodeCounters = field(default_factory=NodeCounters)
+    per_node: Dict[int, NodeCounters] = field(default_factory=dict)
+    num_nodes: int = 0
+    num_live_nodes: int = 0
+    replication_factor: int = 1
+    #: aggregate of every registered client-side block cache (None when
+    #: no cache is registered); snapshot-consistent per cache
+    cache: Optional[object] = None
 
 
 class KVCluster:
@@ -116,6 +163,12 @@ class KVCluster:
         self._namespaces: Set[str] = set()
         #: summary of the most recent migration (None before any event)
         self.last_rebalance: Optional[RebalanceReport] = None
+        #: shared/exclusive lock (see "Concurrency" in the module docs):
+        #: reads and ordinary writes share it, membership events and
+        #: namespace drops hold it exclusively
+        self._lock = RWLock()
+        #: guards the namespace registry (touched on the shared path)
+        self._meta_lock = threading.Lock()
         for node_id in range(num_nodes):
             self._add_node(node_id)
 
@@ -131,8 +184,11 @@ class KVCluster:
         migration never changes a key's logical value, so rebalancing
         needs no invalidations — the bus stays write-driven. Idempotent.
         """
-        if cache is not None and all(c is not cache for c in self._caches):
-            self._caches.append(cache)
+        with self._lock.write():
+            if cache is not None and all(
+                c is not cache for c in self._caches
+            ):
+                self._caches.append(cache)
 
     def _invalidate(self, namespace: str, key_bytes: bytes) -> None:
         for cache in self._caches:
@@ -172,10 +228,11 @@ class KVCluster:
         list changed are moved — the consistent-hashing guarantee — and
         the copies are charged to the rebalance counters.
         """
-        new_id = max(self.nodes) + 1
-        node = self._add_node(new_id)
-        self.last_rebalance = self._rebalance()
-        return node
+        with self._lock.write():
+            new_id = max(self.nodes) + 1
+            node = self._add_node(new_id)
+            self.last_rebalance = self._rebalance()
+            return node
 
     def remove_node(self, node_id: int) -> None:
         """Decommission a node, migrating its data to the new owners.
@@ -183,23 +240,24 @@ class KVCluster:
         Removing a **down** node discards whatever only it held (a crash
         followed by replacement); removing the last node is refused.
         """
-        if node_id not in self.nodes:
-            raise ValueError(f"node {node_id} not in the cluster")
-        if len(self.nodes) == 1:
-            raise ValueError("cannot remove the last node")
-        self.ring.remove_node(node_id)
-        if node_id in self._down:
-            # crashed node replaced: its disk never comes back
-            self._down.discard(node_id)
-            self._tombstone_keys.pop(node_id, None)
-            self._tombstone_prefixes.pop(node_id, None)
-            del self.nodes[node_id]
+        with self._lock.write():
+            if node_id not in self.nodes:
+                raise ValueError(f"node {node_id} not in the cluster")
+            if len(self.nodes) == 1:
+                raise ValueError("cannot remove the last node")
+            self.ring.remove_node(node_id)
+            if node_id in self._down:
+                # crashed node replaced: its disk never comes back
+                self._down.discard(node_id)
+                self._tombstone_keys.pop(node_id, None)
+                self._tombstone_prefixes.pop(node_id, None)
+                del self.nodes[node_id]
+                self.last_rebalance = self._rebalance()
+                return
+            # live decommission: the leaving node is a valid source; the
+            # sweep copies its ranges to the new owners, then empties it
             self.last_rebalance = self._rebalance()
-            return
-        # live decommission: the leaving node is a valid source; the
-        # sweep copies its ranges to the new owners, then empties it
-        self.last_rebalance = self._rebalance()
-        del self.nodes[node_id]
+            del self.nodes[node_id]
 
     def fail_node(self, node_id: int) -> None:
         """Crash a node: unreachable, but its disk survives for recovery.
@@ -209,14 +267,15 @@ class KVCluster:
         and writes keep succeeding as long as fewer than
         ``replication_factor`` owners of a key are down.
         """
-        if node_id not in self.nodes:
-            raise ValueError(f"node {node_id} not in the cluster")
-        if node_id in self._down:
-            raise ValueError(f"node {node_id} is already down")
-        self._down.add(node_id)
-        self._tombstone_keys[node_id] = set()
-        self._tombstone_prefixes[node_id] = []
-        self.last_rebalance = self._rebalance()
+        with self._lock.write():
+            if node_id not in self.nodes:
+                raise ValueError(f"node {node_id} not in the cluster")
+            if node_id in self._down:
+                raise ValueError(f"node {node_id} is already down")
+            self._down.add(node_id)
+            self._tombstone_keys[node_id] = set()
+            self._tombstone_prefixes[node_id] = []
+            self.last_rebalance = self._rebalance()
 
     def recover_node(self, node_id: int) -> None:
         """Bring a crashed node back and re-sync it with the cluster.
@@ -227,18 +286,19 @@ class KVCluster:
         overwriting any stale values, and drops the failover copies the
         stand-in nodes no longer own.
         """
-        if node_id not in self.nodes:
-            raise ValueError(f"node {node_id} not in the cluster")
-        if node_id not in self._down:
-            raise ValueError(f"node {node_id} is not down")
-        store = self.nodes[node_id].store
-        for prefix in self._tombstone_prefixes.pop(node_id, []):
-            for key in [k for k, _ in store.scan(prefix)]:
+        with self._lock.write():
+            if node_id not in self.nodes:
+                raise ValueError(f"node {node_id} not in the cluster")
+            if node_id not in self._down:
+                raise ValueError(f"node {node_id} is not down")
+            store = self.nodes[node_id].store
+            for prefix in self._tombstone_prefixes.pop(node_id, []):
+                for key in [k for k, _ in store.scan(prefix)]:
+                    store.delete(key)
+            for key in self._tombstone_keys.pop(node_id, set()):
                 store.delete(key)
-        for key in self._tombstone_keys.pop(node_id, set()):
-            store.delete(key)
-        self._down.discard(node_id)
-        self.last_rebalance = self._rebalance(stale_id=node_id)
+            self._down.discard(node_id)
+            self.last_rebalance = self._rebalance(stale_id=node_id)
 
     # -- placement --------------------------------------------------------
 
@@ -262,18 +322,17 @@ class KVCluster:
             )
         return [self.nodes[node_id] for node_id in owners]
 
+    @staticmethod
+    def _node_load(node: StorageNode) -> int:
+        """A node's cumulative read load across every serving thread."""
+        return node.read_load
+
     def _read_replica(self, full_key: bytes) -> StorageNode:
         """The cheapest live owner: least-loaded, ties to the lowest id."""
         owners = self._owners(full_key)
         if len(owners) == 1:
             return owners[0]
-        return min(
-            owners,
-            key=lambda n: (
-                n.counters.gets + n.counters.values_read,
-                n.node_id,
-            ),
-        )
+        return min(owners, key=lambda n: (self._node_load(n), n.node_id))
 
     def _is_primary(self, full_key: bytes, node_id: int) -> bool:
         """Is ``node_id`` the first live owner of ``full_key``?"""
@@ -298,8 +357,9 @@ class KVCluster:
     def get(self, namespace: str, key_bytes: bytes,
             n_values: int = 1) -> Optional[bytes]:
         """Point get; counts one get on the replica that served it."""
-        full = self.full_key(namespace, key_bytes)
-        return self._read_replica(full).get(full, n_values=n_values)
+        with self._lock.read():
+            full = self.full_key(namespace, key_bytes)
+            return self._read_replica(full).get(full, n_values=n_values)
 
     def multi_get(
         self,
@@ -317,53 +377,59 @@ class KVCluster:
         Results are positional — ``out[i]`` answers ``keys[i]`` — so
         callers keep their ordering guarantees regardless of placement.
         """
-        results: List[Optional[bytes]] = [None] * len(keys)
-        by_node: Dict[int, List[bytes]] = {}
-        positions: Dict[Tuple[int, bytes], List[int]] = {}
-        replicated = self.replication_factor > 1 or bool(self._down)
-        loads: Dict[int, float] = {}
-        if replicated:
-            loads = {
-                node.node_id: float(
-                    node.counters.gets + node.counters.values_read
-                )
-                for node in self._live_nodes()
-            }
-        for index, key_bytes in enumerate(keys):
-            full = self.full_key(namespace, key_bytes)
+        with self._lock.read():
+            results: List[Optional[bytes]] = [None] * len(keys)
+            by_node: Dict[int, List[bytes]] = {}
+            positions: Dict[Tuple[int, bytes], List[int]] = {}
+            replicated = self.replication_factor > 1 or bool(self._down)
+            loads: Dict[int, float] = {}
             if replicated:
-                owner_ids = self._live_owner_ids(full)
-                if not owner_ids:
-                    raise ClusterUnavailableError(
-                        "no live replica for key (all owners are down)"
+                loads = {
+                    node.node_id: float(self._node_load(node))
+                    for node in self._live_nodes()
+                }
+            for index, key_bytes in enumerate(keys):
+                full = self.full_key(namespace, key_bytes)
+                if replicated:
+                    owner_ids = self._live_owner_ids(full)
+                    if not owner_ids:
+                        raise ClusterUnavailableError(
+                            "no live replica for key (all owners are down)"
+                        )
+                    node_id = min(
+                        owner_ids, key=lambda nid: (loads[nid], nid)
                     )
-                node_id = min(
-                    owner_ids, key=lambda nid: (loads[nid], nid)
+                    loads[node_id] += 1.0
+                else:
+                    node_id = self.ring.node_for(full)
+                slot = positions.setdefault((node_id, full), [])
+                if not slot:
+                    by_node.setdefault(node_id, []).append(full)
+                slot.append(index)
+            for node_id, node_keys in by_node.items():
+                values = self.nodes[node_id].multi_get(
+                    node_keys, n_values_each=n_values_each
                 )
-                loads[node_id] += 1.0
-            else:
-                node_id = self.ring.node_for(full)
-            slot = positions.setdefault((node_id, full), [])
-            if not slot:
-                by_node.setdefault(node_id, []).append(full)
-            slot.append(index)
-        for node_id, node_keys in by_node.items():
-            values = self.nodes[node_id].multi_get(
-                node_keys, n_values_each=n_values_each
-            )
-            for full, value in zip(node_keys, values):
-                for index in positions[(node_id, full)]:
-                    results[index] = value
-        return results
+                for full, value in zip(node_keys, values):
+                    for index in positions[(node_id, full)]:
+                        results[index] = value
+            return results
 
     def put(self, namespace: str, key_bytes: bytes, value: bytes,
             n_values: int = 1) -> None:
-        """Replicated put: written to (and counted on) every live owner."""
-        self._namespaces.add(namespace)
-        self._invalidate(namespace, key_bytes)
-        full = self.full_key(namespace, key_bytes)
-        for node in self._owners(full):
-            node.put(full, value, n_values=n_values)
+        """Replicated put: written to (and counted on) every live owner.
+
+        Shared-path write: placement is stable under the read lock
+        (membership events are exclusive) and the per-node mutex
+        serializes same-node store mutations.
+        """
+        with self._lock.read():
+            with self._meta_lock:
+                self._namespaces.add(namespace)
+            self._invalidate(namespace, key_bytes)
+            full = self.full_key(namespace, key_bytes)
+            for node in self._owners(full):
+                node.put(full, value, n_values=n_values)
 
     def multi_put(
         self,
@@ -374,39 +440,43 @@ class KVCluster:
         """Batched put: ONE round trip per owning node, fanned out to all
         R replicas. Later duplicates win (items are applied in order
         within each node's batch)."""
-        if items:
-            self._namespaces.add(namespace)
-        by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
-        for key_bytes, value in items:
-            self._invalidate(namespace, key_bytes)
-            full = self.full_key(namespace, key_bytes)
-            owners = self._live_owner_ids(full)
-            if not owners:
-                raise ClusterUnavailableError(
-                    "no live replica for key (all owners are down)"
+        with self._lock.read():
+            if items:
+                with self._meta_lock:
+                    self._namespaces.add(namespace)
+            by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
+            for key_bytes, value in items:
+                self._invalidate(namespace, key_bytes)
+                full = self.full_key(namespace, key_bytes)
+                owners = self._live_owner_ids(full)
+                if not owners:
+                    raise ClusterUnavailableError(
+                        "no live replica for key (all owners are down)"
+                    )
+                for node_id in owners:
+                    by_node.setdefault(node_id, []).append((full, value))
+            for node_id, node_items in by_node.items():
+                self.nodes[node_id].multi_put(
+                    node_items, n_values_each=n_values_each
                 )
-            for node_id in owners:
-                by_node.setdefault(node_id, []).append((full, value))
-        for node_id, node_items in by_node.items():
-            self.nodes[node_id].multi_put(
-                node_items, n_values_each=n_values_each
-            )
 
     def delete(self, namespace: str, key_bytes: bytes) -> bool:
         """Replicated delete; logged as a tombstone for every down node."""
-        self._invalidate(namespace, key_bytes)
-        full = self.full_key(namespace, key_bytes)
-        removed = False
-        for node in self._owners(full):
-            removed = node.delete(full) or removed
-        for log in self._tombstone_keys.values():
-            log.add(full)
-        return removed
+        with self._lock.read():
+            self._invalidate(namespace, key_bytes)
+            full = self.full_key(namespace, key_bytes)
+            removed = False
+            for node in self._owners(full):
+                removed = node.delete(full) or removed
+            for log in self._tombstone_keys.values():
+                log.add(full)
+            return removed
 
     def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
         """Uncounted read (maintenance bookkeeping)."""
-        full = self.full_key(namespace, key_bytes)
-        return self._owners(full)[0].peek(full)
+        with self._lock.read():
+            full = self.full_key(namespace, key_bytes)
+            return self._owners(full)[0].peek(full)
 
     def scan(
         self,
@@ -432,37 +502,44 @@ class KVCluster:
         """
         prefix = encode_value(namespace)
         plen = len(prefix)
-        dedup = self.replication_factor > 1
-        for node in self._live_nodes():
-            for key, value in node.store.scan(prefix):
-                if dedup and not self._is_primary(key, node.node_id):
-                    continue
-                stripped = key[plen:]
-                if count_as_gets:
-                    # the blind scan issues one full get (and thus one
-                    # round trip) per pair — the cost BaaV removes
-                    counters = node.counters
-                    counters.gets += 1
-                    counters.round_trips += 1
-                    counters.hits += 1
-                    counters.bytes_out += len(value)
-                    counters.values_read += (
-                        values_of(stripped, value) if values_of else 1
-                    )
-                yield stripped, value
+        # materialize the snapshot under the read lock (per-node scans
+        # take the node mutex, so concurrent puts cannot mutate a store
+        # mid-iteration), then stream it without holding any lock
+        with self._lock.read():
+            dedup = self.replication_factor > 1
+            snapshot: List[Tuple[StorageNode, bytes, bytes]] = []
+            for node in self._live_nodes():
+                for key, value in node.snapshot_scan(prefix):
+                    if dedup and not self._is_primary(key, node.node_id):
+                        continue
+                    snapshot.append((node, key[plen:], value))
+        for node, stripped, value in snapshot:
+            if count_as_gets:
+                # the blind scan issues one full get (and thus one
+                # round trip) per pair — the cost BaaV removes
+                counters = node.counters
+                counters.gets += 1
+                counters.round_trips += 1
+                counters.hits += 1
+                counters.bytes_out += len(value)
+                values = values_of(stripped, value) if values_of else 1
+                counters.values_read += values
+                node.add_read_load(1 + values)
+            yield stripped, value
 
     def namespace_keys(self, namespace: str) -> List[bytes]:
         """All (stripped) key bytes of a namespace, uncounted, distinct."""
         prefix = encode_value(namespace)
         plen = len(prefix)
-        dedup = self.replication_factor > 1
-        keys: List[bytes] = []
-        for node in self._live_nodes():
-            for key, _ in node.store.scan(prefix):
-                if dedup and not self._is_primary(key, node.node_id):
-                    continue
-                keys.append(key[plen:])
-        return keys
+        with self._lock.read():
+            dedup = self.replication_factor > 1
+            keys: List[bytes] = []
+            for node in self._live_nodes():
+                for key, _ in node.snapshot_scan(prefix):
+                    if dedup and not self._is_primary(key, node.node_id):
+                        continue
+                    keys.append(key[plen:])
+            return keys
 
     def namespaces(self) -> List[str]:
         """All namespaces with at least one pair on a live node.
@@ -473,16 +550,17 @@ class KVCluster:
         whole-cluster scan. Used by the drop cascade to enumerate
         dependent ``__idx__`` namespaces.
         """
-        out: List[str] = []
-        for namespace in sorted(self._namespaces):
-            prefix = encode_value(namespace)
-            if any(
-                True
-                for node in self._live_nodes()
-                for _ in node.store.scan(prefix)
-            ):
-                out.append(namespace)
-        return out
+        with self._meta_lock:
+            candidates = sorted(self._namespaces)
+        with self._lock.read():
+            out: List[str] = []
+            for namespace in candidates:
+                prefix = encode_value(namespace)
+                if any(
+                    node.has_prefix(prefix) for node in self._live_nodes()
+                ):
+                    out.append(namespace)
+            return out
 
     def drop_namespace(self, namespace: str) -> int:
         """Delete every pair in ``namespace``; return how many (logical).
@@ -493,24 +571,27 @@ class KVCluster:
         the dropped data, so leaving them behind would orphan the index.
         The cascaded drops are not counted in the return value.
         """
-        for cache in self._caches:
-            cache.invalidate_namespace(namespace)
-        prefix = encode_value(namespace)
-        dropped: Set[bytes] = set()
-        for node in self._live_nodes():
-            doomed = [key for key, _ in node.store.scan(prefix)]
-            for key in doomed:
-                node.store.delete(key)
-            dropped.update(doomed)
-        for log in self._tombstone_prefixes.values():
-            log.append(prefix)
-        self._namespaces.discard(namespace)
-        if namespace.startswith("taav:"):
-            dependent_prefix = f"__idx__/{namespace[len('taav:'):]}/"
-            for dependent in sorted(self._namespaces):
-                if dependent.startswith(dependent_prefix):
-                    self.drop_namespace(dependent)
-        return len(dropped)
+        with self._lock.write():
+            for cache in self._caches:
+                cache.invalidate_namespace(namespace)
+            prefix = encode_value(namespace)
+            dropped: Set[bytes] = set()
+            for node in self._live_nodes():
+                doomed = [key for key, _ in node.store.scan(prefix)]
+                for key in doomed:
+                    node.store.delete(key)
+                dropped.update(doomed)
+            for log in self._tombstone_prefixes.values():
+                log.append(prefix)
+            with self._meta_lock:
+                self._namespaces.discard(namespace)
+                remaining = sorted(self._namespaces)
+            if namespace.startswith("taav:"):
+                dependent_prefix = f"__idx__/{namespace[len('taav:'):]}/"
+                for dependent in remaining:
+                    if dependent.startswith(dependent_prefix):
+                        self.drop_namespace(dependent)
+            return len(dropped)
 
     # -- rebalancing -------------------------------------------------------
 
@@ -569,33 +650,120 @@ class KVCluster:
 
     # -- counters ----------------------------------------------------------
 
-    def reset_counters(self) -> None:
-        for node in self.nodes.values():
-            node.counters.reset()
+    def charge_values_read(self, extra: int, live_only: bool = True) -> None:
+        """Spread ``extra`` logical values over the nodes' read counters.
+
+        Decode-aware callers (BaaV block top-ups, index posting-list
+        reads) know the logical value count only after decoding, when
+        the serving node is no longer identifiable; the remainder is
+        spread evenly so totals stay exact and per-node counts
+        approximate. Runs under the read lock — membership churn is
+        exclusive, so the node set cannot change mid-iteration.
+        """
+        if extra <= 0:
+            return
+        with self._lock.read():
+            nodes = (
+                self._live_nodes() if live_only
+                else list(self.nodes.values())
+            )
+            share, remainder = divmod(extra, len(nodes))
+            for index, node in enumerate(nodes):
+                charge = share + (1 if index < remainder else 0)
+                node.counters.values_read += charge
+                node.add_read_load(charge)
+
+    def reset_counters(self, thread_only: bool = False) -> None:
+        """Zero the node counters.
+
+        ``thread_only=True`` resets just the calling thread's shards —
+        what a query execution does before metering itself, so
+        concurrent queries on other threads keep their counts.
+        """
+        with self._lock.read():
+            for node in self.nodes.values():
+                node.reset_counters(thread_only=thread_only)
 
     def total_counters(self) -> NodeCounters:
-        total = NodeCounters()
-        for node in self.nodes.values():
-            total.add(node.counters)
-        return total
+        """Aggregate counters over all nodes and all serving threads."""
+        with self._lock.read():
+            total = NodeCounters()
+            for node in self.nodes.values():
+                total.add(node.counters_total())
+            return total
+
+    def thread_counters(self) -> NodeCounters:
+        """Aggregate counters of the CALLING THREAD only.
+
+        This is what per-query metric probes diff: a query executes on
+        one thread, so its own shards meter exactly its I/O even while
+        other queries hammer the same nodes.
+        """
+        with self._lock.read():
+            total = NodeCounters()
+            for node in self.nodes.values():
+                shard = node.thread_counters()
+                if shard is not None:
+                    total.add(shard)
+            return total
 
     def counters_per_node(self) -> Dict[int, NodeCounters]:
-        return {node_id: node.counters for node_id, node in self.nodes.items()}
+        with self._lock.read():
+            return {
+                node_id: node.counters_total()
+                for node_id, node in self.nodes.items()
+            }
 
     def max_node_counters(self) -> NodeCounters:
         """Counters of the busiest node (for max-per-stage cost models)."""
-        busiest = NodeCounters()
-        best = -1.0
-        for node in self.nodes.values():
-            weight = node.counters.gets + node.counters.values_read
-            if weight > best:
-                best = weight
-                busiest = node.counters
-        return busiest
+        with self._lock.read():
+            busiest = NodeCounters()
+            best = -1.0
+            for node in self.nodes.values():
+                counters = node.counters_total()
+                weight = counters.gets + counters.values_read
+                if weight > best:
+                    best = weight
+                    busiest = counters
+            return busiest
+
+    def get_stats(self) -> ClusterStats:
+        """A snapshot-consistent view of the cluster's accounting.
+
+        Taken under the cluster lock: membership cannot change
+        mid-snapshot and every per-node aggregate is a copy, so the
+        cross-counter invariants hold (``hits <= gets``, cache
+        ``hits + misses == lookups``) — the live-counter read this
+        replaces could tear them.
+        """
+        with self._lock.read():
+            per_node = {
+                node_id: node.counters_total()
+                for node_id, node in self.nodes.items()
+            }
+            totals = NodeCounters()
+            for counters in per_node.values():
+                totals.add(counters)
+            cache_total = None
+            for cache in self._caches:
+                stats = cache.stats  # itself a consistent snapshot
+                if cache_total is None:
+                    cache_total = stats
+                else:
+                    cache_total.add(stats)
+            return ClusterStats(
+                totals=totals,
+                per_node=per_node,
+                num_nodes=len(self.nodes),
+                num_live_nodes=len(self.nodes) - len(self._down),
+                replication_factor=self.replication_factor,
+                cache=cache_total,
+            )
 
     def size_bytes(self) -> int:
         """Physical bytes across all nodes (replicas counted R times)."""
-        return sum(node.store.size_bytes() for node in self.nodes.values())
+        with self._lock.read():
+            return sum(node.size_bytes() for node in self.nodes.values())
 
     def __repr__(self) -> str:
         down = f", down={sorted(self._down)}" if self._down else ""

@@ -18,7 +18,7 @@ which real wide-column stores (HBase, Cassandra partitioners) rely on.
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import CodecError
 from repro.relational.types import Row

@@ -22,8 +22,8 @@ trade-off that motivates the backends' cost profiles.
 from __future__ import annotations
 
 import hashlib
-from bisect import bisect_left, insort
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 _TOMBSTONE = object()

@@ -3,15 +3,35 @@
 Counters are the raw material of the evaluation metrics (#get, #data,
 comm): every get/put/scan on a node is tallied here and later folded into
 :class:`repro.parallel.metrics.ExecutionMetrics`.
+
+Concurrency (PR 5)
+------------------
+
+The query service executes many queries at once over one shared cluster,
+so a node must stay correct under concurrent callers:
+
+* **stores** (the memstore / LSM engine and its internal bookkeeping:
+  sorted-key refresh, flush/compaction, read-path statistics) are
+  guarded by a per-node mutex — operations on *different* nodes never
+  contend, operations on the same node are serialized;
+* **counters** are *thread-sharded*: each thread accumulates into its
+  private :class:`NodeCounters` shard (reached via the :attr:`counters`
+  property), so hot-path increments take no lock and are never lost.
+  :meth:`counters_total` sums the shards for the cluster-wide
+  aggregates, and :meth:`thread_counters` exposes the calling thread's
+  shard so a query running on one thread can snapshot/diff exactly its
+  own I/O while other queries run (per-stage metric attribution).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
+from repro.locks import ShardSet
 
 
 @dataclass
@@ -72,6 +92,11 @@ class NodeCounters:
         self.rebalance_bytes_moved += other.rebalance_bytes_moved
         self.rebalance_round_trips += other.rebalance_round_trips
 
+    def copy(self) -> "NodeCounters":
+        out = NodeCounters()
+        out.add(self)
+        return out
+
 
 class StorageNode:
     """One node of the KV cluster.
@@ -81,7 +106,7 @@ class StorageNode:
     the HBase/Cassandra write path — see :mod:`repro.kv.lsm`).
     """
 
-    __slots__ = ("node_id", "store", "counters")
+    __slots__ = ("node_id", "store", "_shards", "_op_lock", "_read_load")
 
     def __init__(self, node_id: int, engine: str = "mem") -> None:
         self.node_id = node_id
@@ -91,7 +116,66 @@ class StorageNode:
             self.store = LSMStore()
         else:
             raise ValueError(f"unknown storage engine {engine!r}")
-        self.counters = NodeCounters()
+        #: per-thread counter shards; each shard is mutated only by its
+        #: owning thread (see module docstring)
+        self._shards: ShardSet[NodeCounters] = ShardSet(NodeCounters)
+        #: serializes store access (engine internals are not reentrant)
+        self._op_lock = threading.Lock()
+        #: cached gets+values_read across all shards — the O(1) load
+        #: signal replica selection reads on every point get (benign
+        #: ``+=`` races only wobble a tie-break heuristic)
+        self._read_load = 0
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def counters(self) -> NodeCounters:
+        """The calling thread's counter shard (create on first use).
+
+        Single-threaded callers see the familiar cumulative counters;
+        under the query service each thread meters its own I/O.
+        """
+        return self._shards.local()
+
+    def counters_total(self) -> NodeCounters:
+        """Sum of every thread's shard — the node's aggregate counters.
+
+        Shards of finished threads stay registered, so the aggregate
+        keeps their history (thread idents are recycled; the registry
+        is not keyed by them).
+        """
+        total = NodeCounters()
+        for shard in self._shards.all():
+            total.add(shard)
+        return total
+
+    def thread_counters(self) -> Optional[NodeCounters]:
+        """The calling thread's shard, or ``None`` if it never counted."""
+        return self._shards.peek()
+
+    @property
+    def read_load(self) -> int:
+        """Cumulative read weight (gets + values_read) for balancing."""
+        return self._read_load
+
+    def add_read_load(self, delta: int) -> None:
+        """Keep the cached load in step with out-of-band read charges
+        (cluster-level scan counting, decode-aware value top-ups)."""
+        self._read_load += delta
+
+    def reset_counters(self, thread_only: bool = False) -> None:
+        """Zero the counters (all shards, or just the calling thread's)."""
+        if thread_only:
+            shard = self._shards.peek()
+            if shard is not None:
+                self._read_load -= shard.gets + shard.values_read
+                shard.reset()
+            return
+        for shard in self._shards.all():
+            shard.reset()
+        self._read_load = 0
+
+    # -- KV operations -----------------------------------------------------
 
     def get(self, key: bytes, n_values: int = 1) -> Optional[bytes]:
         """Serve a get; ``n_values`` is the logical value count returned.
@@ -100,13 +184,18 @@ class StorageNode:
         tuples x 3 attributes) pass it so ``values_read`` counts logical
         values, the paper's ``#data`` unit.
         """
-        value = self.store.get(key)
-        self.counters.gets += 1
-        self.counters.round_trips += 1
+        with self._op_lock:
+            value = self.store.get(key)
+        counters = self.counters
+        counters.gets += 1
+        counters.round_trips += 1
+        load = 1
         if value is not None:
-            self.counters.hits += 1
-            self.counters.values_read += n_values
-            self.counters.bytes_out += len(value)
+            counters.hits += 1
+            counters.values_read += n_values
+            counters.bytes_out += len(value)
+            load += n_values
+        self._read_load += load
         return value
 
     def multi_get(
@@ -118,30 +207,37 @@ class StorageNode:
         single round trip — the amortization the batched pipeline buys.
         Results are positional: ``out[i]`` answers ``keys[i]``.
         """
-        values = self.store.multi_get(keys)
+        with self._op_lock:
+            values = self.store.multi_get(keys)
         counters = self.counters
         counters.gets += len(keys)
         if keys:
             counters.round_trips += 1
+        load = len(keys)
         for value in values:
             if value is not None:
                 counters.hits += 1
                 counters.values_read += n_values_each
                 counters.bytes_out += len(value)
+                load += n_values_each
+        self._read_load += load
         return values
 
     def put(self, key: bytes, value: bytes, n_values: int = 1) -> None:
-        self.store.put(key, value)
-        self.counters.puts += 1
-        self.counters.round_trips += 1
-        self.counters.values_written += n_values
-        self.counters.bytes_in += len(value)
+        with self._op_lock:
+            self.store.put(key, value)
+        counters = self.counters
+        counters.puts += 1
+        counters.round_trips += 1
+        counters.values_written += n_values
+        counters.bytes_in += len(value)
 
     def multi_put(
         self, items: Sequence[Tuple[bytes, bytes]], n_values_each: int = 1
     ) -> None:
         """Apply a coalesced batch of puts in ONE round trip."""
-        self.store.multi_put(items)
+        with self._op_lock:
+            self.store.multi_put(items)
         counters = self.counters
         counters.puts += len(items)
         if items:
@@ -157,18 +253,43 @@ class StorageNode:
         count misses too) and every delete is one client↔node round trip
         — a miss still crosses the network.
         """
-        removed = self.store.delete(key)
-        self.counters.deletes += 1
-        self.counters.round_trips += 1
+        with self._op_lock:
+            removed = self.store.delete(key)
+        counters = self.counters
+        counters.deletes += 1
+        counters.round_trips += 1
         return removed
 
     def peek(self, key: bytes) -> Optional[bytes]:
         """Read without counting (used for read-modify-write bookkeeping)."""
-        return self.store.get(key)
+        with self._op_lock:
+            return self.store.get(key)
 
     def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
         """Uncounted raw iteration; cluster-level scans do the counting."""
         return self.store.scan(prefix)
+
+    def snapshot_scan(self, prefix: bytes = b"") -> List[Tuple[bytes, bytes]]:
+        """Materialized, mutex-guarded scan — safe vs concurrent writers.
+
+        The cluster's shared-path scans use this so a concurrent put on
+        the same node cannot mutate the store (or its sorted-key cache)
+        mid-iteration; counting stays with the caller.
+        """
+        with self._op_lock:
+            return list(self.store.scan(prefix))
+
+    def has_prefix(self, prefix: bytes = b"") -> bool:
+        """Does any stored key carry ``prefix``? (mutex-guarded probe)"""
+        with self._op_lock:
+            for _ in self.store.scan(prefix):
+                return True
+            return False
+
+    def size_bytes(self) -> int:
+        """Stored payload bytes (mutex-guarded vs concurrent writers)."""
+        with self._op_lock:
+            return self.store.size_bytes()
 
     def __repr__(self) -> str:
         return f"StorageNode(id={self.node_id}, keys={len(self.store)})"

@@ -35,7 +35,7 @@ from repro.kv.node import NodeCounters
 from repro.kv.taav import TaaVStore
 from repro.parallel.costmodel import CostModel
 from repro.parallel.partitioner import blockset_skew
-from repro.parallel.metrics import ExecutionMetrics, StageCost
+from repro.parallel.metrics import ExecutionMetrics
 from repro.relational.database import Database
 from repro.relational.types import row_size
 from repro.sql import algebra
@@ -57,14 +57,20 @@ def _table_values(table: Table) -> int:
 
 
 class _CounterProbe:
-    """Snapshot/diff of a cluster's aggregate counters."""
+    """Snapshot/diff of the CALLING THREAD's cluster counters.
+
+    A query executes on one thread, and the node counters are
+    thread-sharded, so diffing the thread's own shards attributes
+    exactly this query's I/O to its stages — even while the query
+    service runs other queries on other threads against the same nodes.
+    """
 
     def __init__(self, cluster: KVCluster) -> None:
         self.cluster = cluster
         self._last = self._snapshot()
 
     def _snapshot(self) -> NodeCounters:
-        return self.cluster.total_counters()
+        return self.cluster.thread_counters()
 
     def delta(self) -> NodeCounters:
         now = self._snapshot()
@@ -84,8 +90,8 @@ class _CounterProbe:
 
 
 class _CacheProbe:
-    """Snapshot/diff of a block cache's hit/miss counters (cache may be
-    ``None``, in which case every delta is zero)."""
+    """Snapshot/diff of the calling thread's block-cache hit/miss shard
+    (cache may be ``None``, in which case every delta is zero)."""
 
     def __init__(self, cache) -> None:
         self.cache = cache
@@ -94,7 +100,7 @@ class _CacheProbe:
     def _snapshot(self) -> Tuple[int, int]:
         if self.cache is None:
             return 0, 0
-        stats = self.cache.stats
+        stats = self.cache.thread_stats()
         return stats.hits, stats.misses
 
     def delta(self) -> Tuple[int, int]:

@@ -8,7 +8,7 @@ Table 2 — plus a per-stage breakdown for debugging and the ablations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 
 @dataclass

@@ -12,7 +12,7 @@ flag where the paper's guarantee would degrade on real deployments.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.kba.blockset import BlockSet
 from repro.relational.types import Row, row_size

@@ -10,7 +10,7 @@ re-association error.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, List, Tuple
+from typing import Iterable
 
 from repro.relational.relation import Relation
 from repro.relational.types import Row

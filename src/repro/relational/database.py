@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import SchemaError, UnknownRelationError
+from repro.errors import UnknownRelationError
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.types import Row

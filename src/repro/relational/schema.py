@@ -7,8 +7,8 @@ are declared over these relation schemas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
 
 from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
 from repro.relational.types import AttrType

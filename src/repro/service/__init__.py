@@ -1,0 +1,29 @@
+"""Concurrent query service over the SQL-over-NoSQL systems (PR 5).
+
+Public surface:
+
+* :class:`QueryService` — multi-session, admission-controlled service
+  wrapping a loaded system behind a bounded worker pool;
+* :class:`Session` / :class:`QueryTicket` — per-client handles and
+  asynchronous query futures;
+* :class:`ServiceStats` — snapshot-consistent service accounting;
+* the service errors live in :mod:`repro.errors`
+  (``ServiceOverloadedError``, ``ServiceClosedError``,
+  ``QueryDeadlineError``).
+"""
+
+from repro.service.service import (
+    DEFAULT_MAX_QUEUED,
+    QueryService,
+    QueryTicket,
+    ServiceStats,
+    Session,
+)
+
+__all__ = [
+    "DEFAULT_MAX_QUEUED",
+    "QueryService",
+    "QueryTicket",
+    "ServiceStats",
+    "Session",
+]

@@ -1,0 +1,530 @@
+"""The concurrent query service: sessions, admission control, deadlines.
+
+:class:`QueryService` turns a single-client system facade
+(:class:`~repro.systems.sql_over_nosql.SQLOverNoSQL` or
+:class:`~repro.systems.sql_over_nosql.ZidianSystem`) into a multi-client
+**service**: many sessions issue queries at once against one shared
+storage stack. This is the missing dimension of the paper's claim —
+scan-free plans bound *per-query* KV work, and the service is what lets
+many such bounded queries proceed together.
+
+Architecture
+------------
+
+* **Sessions** (:class:`Session`) are per-client handles opened with
+  :meth:`QueryService.open_session`. They carry per-session accounting
+  and are the unit the traffic driver paces its closed loop on.
+* **Execution** runs on a bounded thread pool of ``max_workers``
+  threads. :meth:`Session.submit` is the asynchronous path (returns a
+  :class:`QueryTicket`); :meth:`Session.execute` runs synchronously on
+  the *calling* thread (the caller is its own worker), which is what
+  the virtual-time traffic driver and simple scripts use.
+* **Admission control**: at most ``max_workers`` queries run and at
+  most ``max_queued`` wait. Beyond that the service *sheds load* —
+  :class:`~repro.errors.ServiceOverloadedError` — instead of building
+  an unbounded queue; clients back off and retry.
+* **Deadlines / cancellation**: a per-query deadline bounds how long a
+  query may wait for a worker
+  (:class:`~repro.errors.QueryDeadlineError` when it expires first);
+  a queued ticket can be cancelled outright.
+* **Reads share, updates exclude**: queries run under the read side of
+  a :class:`~repro.locks.RWLock`, ``apply_updates`` (and online index
+  DDL) under the write side. Updates are therefore atomic across the
+  relational store, the TaaV/BaaV stores and every secondary index —
+  no query observes a half-applied Δ, which is what makes the
+  concurrent history linearizable (the property tests replay it
+  against a single-threaded oracle).
+* **Drain / shutdown**: :meth:`drain` stops admitting and waits for
+  the in-flight work; :meth:`close` drains and tears the pool down.
+
+The layers underneath have their own locking story (cluster membership,
+per-node store mutexes, cache LRU, index catalog — see
+``docs/ARCHITECTURE.md``), so even the *shared* read path is safe: the
+service lock only adds the read/update atomicity queries expect.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional
+
+from repro.errors import (
+    QueryDeadlineError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.locks import RWLock
+
+#: default bound on queries waiting for a worker before load shedding
+DEFAULT_MAX_QUEUED = 16
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time snapshot of the service's admission accounting.
+
+    Returned by :meth:`QueryService.stats` as a copy taken under the
+    admission lock, so the fields are mutually consistent
+    (``submitted == completed + failed + expired + cancelled +
+    in_flight + queued`` at the moment of the snapshot).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    updates_applied: int = 0
+    in_flight: int = 0
+    queued: int = 0
+    peak_in_flight: int = 0
+    peak_queued: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"submitted={self.submitted} completed={self.completed} "
+            f"failed={self.failed} shed={self.shed} "
+            f"expired={self.expired} cancelled={self.cancelled} "
+            f"updates={self.updates_applied} "
+            f"peak={self.peak_in_flight}r/{self.peak_queued}q"
+        )
+
+
+class QueryTicket:
+    """A submitted query: a future plus its admission bookkeeping."""
+
+    def __init__(
+        self,
+        session: "Session",
+        sql: str,
+        deadline_at: Optional[float],
+        bucket: str,
+    ) -> None:
+        self.session = session
+        self.sql = sql
+        #: ``time.monotonic()`` instant the queue wait must end by
+        self.deadline_at = deadline_at
+        #: which admission bucket the ticket currently occupies
+        #: ("queued" until a worker picks it up, then "in_flight")
+        self.bucket = bucket
+        self.future: Optional[Future] = None
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the :class:`QueryResult`; re-raises query errors."""
+        assert self.future is not None
+        return self.future.result(timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; running queries are not interrupted."""
+        assert self.future is not None
+        return self.future.cancel()
+
+    def done(self) -> bool:
+        assert self.future is not None
+        return self.future.done()
+
+
+class Session:
+    """One client's handle on the service (open → queries → close)."""
+
+    def __init__(
+        self, service: "QueryService", session_id: int, client: str
+    ) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.client = client
+        self.closed = False
+        #: per-session tallies (maintained under the service's lock)
+        self.queries = 0
+        self.updates = 0
+        self.errors = 0
+
+    # -- query paths ------------------------------------------------------
+
+    def execute(self, sql: str, deadline_ms: Optional[float] = None):
+        """Run ``sql`` synchronously on the calling thread."""
+        return self.service.execute(self, sql, deadline_ms=deadline_ms)
+
+    def submit(
+        self, sql: str, deadline_ms: Optional[float] = None
+    ) -> QueryTicket:
+        """Queue ``sql`` on the worker pool; returns a ticket."""
+        return self.service.submit(self, sql, deadline_ms=deadline_ms)
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable = (),
+        deletes: Iterable = (),
+    ) -> None:
+        """Apply a relational Δ exclusively (no query sees it half-done)."""
+        self.service.apply_updates(self, relation, inserts, deletes)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self.service._close_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"Session(id={self.session_id}, client={self.client!r}, "
+            f"{state}, queries={self.queries})"
+        )
+
+
+class QueryService:
+    """A bounded, admission-controlled, multi-session query service.
+
+    ``system`` is a loaded :class:`SQLOverNoSQL` or
+    :class:`ZidianSystem` (anything with ``execute(sql)`` and
+    ``apply_updates``). ``max_workers`` defaults to the system's
+    intra-query worker knob — one pool thread per modeled worker.
+    """
+
+    def __init__(
+        self,
+        system,
+        max_workers: Optional[int] = None,
+        max_queued: int = DEFAULT_MAX_QUEUED,
+        default_deadline_ms: Optional[float] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = getattr(system, "workers", 4)
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        self.system = system
+        self.max_workers = max_workers
+        self.max_queued = max_queued
+        self.default_deadline_ms = default_deadline_ms
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="query-svc"
+        )
+        #: reads share / updates exclude (service-level atomicity)
+        self._rw = RWLock()
+        #: admission accounting + drain signaling
+        self._gate = threading.Condition()
+        self._stats = ServiceStats()
+        self._draining = False
+        self._closed = False
+        self._sessions: Dict[int, Session] = {}
+        self._next_session_id = 1
+
+    # -- sessions ---------------------------------------------------------
+
+    def open_session(self, client: str = "") -> Session:
+        with self._gate:
+            if self._closed or self._draining:
+                raise ServiceClosedError(
+                    "service is draining; no new sessions"
+                )
+            session = Session(self, self._next_session_id, client)
+            self._next_session_id += 1
+            self._sessions[session.session_id] = session
+            self._stats.sessions_opened += 1
+            return session
+
+    def _close_session(self, session: Session) -> None:
+        with self._gate:
+            if not session.closed:
+                session.closed = True
+                self._sessions.pop(session.session_id, None)
+                self._stats.sessions_closed += 1
+
+    @property
+    def active_sessions(self) -> int:
+        with self._gate:
+            return len(self._sessions)
+
+    # -- admission --------------------------------------------------------
+
+    def _deadline_at(
+        self, deadline_ms: Optional[float]
+    ) -> Optional[float]:
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
+
+    def _check_open(self, session: Session) -> None:
+        """Gate must be held."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if self._draining:
+            raise ServiceClosedError("service is draining")
+        if session.closed:
+            raise ServiceClosedError(
+                f"session {session.session_id} is closed"
+            )
+
+    def submit(
+        self,
+        session: Session,
+        sql: str,
+        deadline_ms: Optional[float] = None,
+    ) -> QueryTicket:
+        """Asynchronous admission: run on the pool, or shed.
+
+        Admits straight to a worker while fewer than ``max_workers``
+        queries are in flight, queues up to ``max_queued`` beyond that,
+        sheds (:class:`ServiceOverloadedError`) past both bounds.
+        """
+        deadline_at = self._deadline_at(deadline_ms)
+        with self._gate:
+            self._check_open(session)
+            if (
+                self._stats.in_flight >= self.max_workers
+                and self._stats.queued >= self.max_queued
+            ):
+                self._stats.shed += 1
+                raise ServiceOverloadedError(
+                    f"{self._stats.in_flight} in flight and "
+                    f"{self._stats.queued} queued (bounds: "
+                    f"{self.max_workers}+{self.max_queued})"
+                )
+            if self._stats.in_flight < self.max_workers:
+                bucket = "in_flight"
+                self._stats.in_flight += 1
+            else:
+                bucket = "queued"
+                self._stats.queued += 1
+            self._stats.submitted += 1
+            session.queries += 1
+            self._note_peaks()
+            ticket = QueryTicket(session, sql, deadline_at, bucket)
+        try:
+            ticket.future = self._pool.submit(self._run, ticket)
+        except RuntimeError as exc:
+            # the pool shut down between admission and scheduling:
+            # reclaim the slot or drain() would wait on it forever
+            with self._gate:
+                if ticket.bucket == "queued":
+                    self._stats.queued -= 1
+                else:
+                    self._stats.in_flight -= 1
+                self._stats.submitted -= 1
+                session.queries -= 1
+                self._gate.notify_all()
+            raise ServiceClosedError("service is closed") from exc
+        ticket.future.add_done_callback(
+            lambda future: self._on_done(ticket, future)
+        )
+        return ticket
+
+    def execute(
+        self,
+        session: Session,
+        sql: str,
+        deadline_ms: Optional[float] = None,
+    ):
+        """Synchronous path: the calling thread is its own worker.
+
+        Counted in flight like pooled queries; sheds only past
+        ``max_workers + max_queued`` concurrent callers (a synchronous
+        caller brings its own thread, so there is nothing to queue).
+        """
+        deadline_at = self._deadline_at(deadline_ms)
+        with self._gate:
+            self._check_open(session)
+            if self._stats.in_flight >= self.max_workers + self.max_queued:
+                self._stats.shed += 1
+                raise ServiceOverloadedError(
+                    f"{self._stats.in_flight} queries in flight "
+                    f"(bound: {self.max_workers}+{self.max_queued})"
+                )
+            self._stats.in_flight += 1
+            self._stats.submitted += 1
+            session.queries += 1
+            self._note_peaks()
+        return self._execute_accounted(session, sql, deadline_at)
+
+    def _note_peaks(self) -> None:
+        stats = self._stats
+        stats.peak_in_flight = max(stats.peak_in_flight, stats.in_flight)
+        stats.peak_queued = max(stats.peak_queued, stats.queued)
+
+    # -- execution --------------------------------------------------------
+
+    def _execute_accounted(
+        self, session: Session, sql: str, deadline_at: Optional[float]
+    ):
+        """Run one admitted query and settle its accounting.
+
+        The single accounting path shared by the synchronous caller
+        and the pool workers: the query is already counted in flight;
+        this settles it as completed/expired/failed and frees the slot.
+        """
+        try:
+            if deadline_at is not None and time.monotonic() > deadline_at:
+                raise QueryDeadlineError(
+                    f"deadline expired before execution of {sql!r}"
+                )
+            with self._rw.read():
+                result = self.system.execute(sql)
+            with self._gate:
+                self._stats.completed += 1
+            return result
+        except QueryDeadlineError:
+            with self._gate:
+                self._stats.expired += 1
+                session.errors += 1
+            raise
+        except Exception:
+            with self._gate:
+                self._stats.failed += 1
+                session.errors += 1
+            raise
+        finally:
+            with self._gate:
+                self._stats.in_flight -= 1
+                self._gate.notify_all()
+
+    def _run(self, ticket: QueryTicket):
+        """Pool-thread body: promote from the queue, then execute."""
+        with self._gate:
+            if ticket.bucket == "queued":
+                self._stats.queued -= 1
+                self._stats.in_flight += 1
+                ticket.bucket = "in_flight"
+        return self._execute_accounted(
+            ticket.session, ticket.sql, ticket.deadline_at
+        )
+
+    def _on_done(self, ticket: QueryTicket, future: Future) -> None:
+        """Reclaim the admission slot of a ticket cancelled in-queue."""
+        if not future.cancelled():
+            return
+        with self._gate:
+            if ticket.bucket == "queued":
+                self._stats.queued -= 1
+            else:
+                self._stats.in_flight -= 1
+            self._stats.cancelled += 1
+            self._gate.notify_all()
+
+    # -- writes (exclusive) ----------------------------------------------
+
+    def apply_updates(
+        self,
+        session: Session,
+        relation: str,
+        inserts: Iterable = (),
+        deletes: Iterable = (),
+    ) -> None:
+        """Apply a relational Δ under the write lock (atomic vs queries).
+
+        Runs on the calling thread: writers are their own workers, and
+        the exclusive lock already serializes them, so queueing writes
+        behind the pool would only add latency.
+        """
+        with self._gate:
+            self._check_open(session)
+        with self._rw.write():
+            self.system.apply_updates(
+                relation, inserts=inserts, deletes=deletes
+            )
+        with self._gate:
+            self._stats.updates_applied += 1
+            session.updates += 1
+
+    def create_index(
+        self, session: Session, relation: str, attr: str,
+        kind: str = "hash",
+    ):
+        """Online index DDL, exclusive like updates."""
+        with self._gate:
+            self._check_open(session)
+        with self._rw.write():
+            return self.system.create_index(relation, attr, kind)
+
+    def drop_index(
+        self,
+        session: Session,
+        relation: str,
+        attr: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        with self._gate:
+            self._check_open(session)
+        with self._rw.write():
+            return self.system.drop_index(relation, attr, kind)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the admission counters."""
+        with self._gate:
+            return replace(self._stats)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight/queued work to finish.
+
+        Returns ``True`` once the service is idle, ``False`` on
+        timeout (work still running). Idempotent.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._gate:
+            self._draining = True
+            while self._stats.in_flight or self._stats.queued:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._gate.wait(timeout=remaining)
+            return True
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then shut the pool down. Further queries are refused."""
+        drained = self.drain(timeout=timeout)
+        with self._gate:
+            self._closed = True
+            for session in list(self._sessions.values()):
+                session.closed = True
+            self._sessions.clear()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        return drained
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._gate:
+            return (
+                f"QueryService(workers={self.max_workers}, "
+                f"max_queued={self.max_queued}, "
+                f"sessions={len(self._sessions)}, "
+                f"in_flight={self._stats.in_flight})"
+            )
+
+
+__all__ = [
+    "DEFAULT_MAX_QUEUED",
+    "QueryService",
+    "QueryTicket",
+    "ServiceStats",
+    "Session",
+    "CancelledError",
+]

@@ -9,8 +9,8 @@ into KBA plans (:mod:`repro.core.plangen`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.errors import PlanError
 from repro.sql import ast

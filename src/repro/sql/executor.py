@@ -9,7 +9,7 @@ tested for bag-equivalence against it.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.relational.database import Database

@@ -21,8 +21,7 @@ Queries whose WHERE clause is not purely conjunctive are returned as-is
 
 from __future__ import annotations
 
-import copy
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.sql.spc import SPCAnalysis, Term, _NO_CONST
 

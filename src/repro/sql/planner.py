@@ -9,7 +9,7 @@ equality graph, then group-by / having / order / limit / projection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SQLAnalysisError, UnsupportedSQLError

@@ -35,7 +35,7 @@ from repro.relational.types import AttrType, Row
 from repro.sql.executor import Table
 from repro.sql import ast
 from repro.sql.parser import parse
-from repro.sql.planner import bind, bind_any, build_plan, build_plan_any
+from repro.sql.planner import bind, bind_any, build_plan_any
 
 
 @dataclass
@@ -233,7 +233,9 @@ class SQLOverNoSQL:
             raise ExecutionError("load() a database first")
         bound = bind_any(parse(sql), self.database.schema)
         ra_plan = build_plan_any(bound)
-        self.cluster.reset_counters()
+        # per-thread reset: concurrent queries on other service threads
+        # keep their own shards (single-threaded behavior is unchanged)
+        self.cluster.reset_counters(thread_only=True)
         engine = self._engine()
         table, metrics = engine.execute(ra_plan)
         summary = "\n".join(
@@ -428,7 +430,9 @@ class ZidianSystem:
     def _execute_stmt(self, stmt) -> QueryResult:
         bound = bind(stmt, self.database.schema)
         plan, decision = self.middleware.plan(bound)
-        self.cluster.reset_counters()
+        # per-thread reset: concurrent queries on other service threads
+        # keep their own shards (single-threaded behavior is unchanged)
+        self.cluster.reset_counters(thread_only=True)
         engine = ZidianEngine(
             self.store,
             self.taav,

@@ -6,10 +6,24 @@ from repro.workloads.generator import (
     airca_generator,
     mot_generator,
 )
+from repro.workloads.traffic import (
+    QueryClass,
+    TrafficDriver,
+    TrafficReport,
+    UpdateStream,
+    airca_delay_writer,
+    airca_traffic_mix,
+)
 
 __all__ = [
     "GeneratedQuery",
+    "QueryClass",
     "QueryGenerator",
+    "TrafficDriver",
+    "TrafficReport",
+    "UpdateStream",
+    "airca_delay_writer",
     "airca_generator",
+    "airca_traffic_mix",
     "mot_generator",
 ]

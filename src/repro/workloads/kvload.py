@@ -13,15 +13,14 @@ values involving multiple gets under TaaV").
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from repro.baav.maintenance import Maintainer
 from repro.baav.store import BaaVStore, KVInstance
 from repro.kv.backends import BackendProfile
 from repro.kv.cluster import KVCluster
-from repro.kv.taav import TaaVRelation, TaaVStore
+from repro.kv.taav import TaaVRelation
 from repro.relational.types import Row
 
 

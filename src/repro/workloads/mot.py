@@ -16,7 +16,7 @@ equivalent with the properties the paper's evaluation relies on:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.relational.database import Database

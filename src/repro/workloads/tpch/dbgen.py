@@ -11,7 +11,7 @@ Exp-1 leans on (BaaV degrees are either ~1 or ~|R| on TPC-H).
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.relational.database import Database
 from repro.relational.types import Row

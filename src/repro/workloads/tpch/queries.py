@@ -21,7 +21,7 @@ predicates into constant bindings — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.baav.schema import BaaVSchema, KVSchema
 from repro.workloads.tpch import schema as ts

@@ -1,6 +1,5 @@
 """Tests for clo(R̃, R̃) and Condition (I) — Theorem 1, Example 4."""
 
-import pytest
 
 from repro.baav import BaaVSchema, KVSchema, kv_schema
 from repro.core import closure, closures, is_data_preserving

@@ -15,9 +15,7 @@ from repro.kba import (
     is_scan_free,
     walk,
 )
-from repro.kv import KVCluster, TaaVStore
 from repro.errors import NotPreservedError
-from repro.relational import bag_equal
 from repro.sql import execute as ra_execute, plan_sql
 from repro.sql.executor import Table, run as ra_run
 

@@ -1,9 +1,7 @@
 """Unit tests for plan-generation internals: top splitting, substitution."""
 
-import pytest
 
 from repro.core.plangen import _split_top, substitute_table
-from repro.errors import PlanError
 from repro.sql import algebra, plan_sql
 from repro.sql.executor import Table, run as ra_run
 

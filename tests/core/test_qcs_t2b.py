@@ -1,9 +1,7 @@
 """Tests for QCS extraction and the T2B schema designer (§8.1, M4)."""
 
-import pytest
 
 from repro.core import QCS, design_schema, extract_qcs, extract_workload_qcs
-from repro.core.preservation import is_data_preserving
 from repro.core.scanfree import is_scan_free
 from repro.sql import analyze, bind, parse
 

@@ -1,11 +1,9 @@
 """Tests for GET / VC / Condition (III) — Theorems 4–5, Example 6."""
 
-import pytest
 
 from repro.baav import BaaVSchema, BaaVStore, KVSchema, kv_schema
 from repro.core import compute_get, compute_vc, is_bounded, is_scan_free
-from repro.kv import KVCluster
-from repro.sql import analyze, bind, minimize, parse
+from repro.sql import analyze, bind, parse
 
 
 def get_analysis(schema, sql):

@@ -3,7 +3,7 @@ bad plans."""
 
 import pytest
 
-from repro.baav import BaaVSchema, BaaVStore, kv_schema
+from repro.baav import BaaVStore
 from repro.errors import (
     BaaVError,
     CodecError,
@@ -13,7 +13,7 @@ from repro.errors import (
 )
 from repro.kba import Constant, ExecContext, Extend, ScanKV, TaaVScan, execute
 from repro.kv import KVCluster, codec
-from repro.relational import AttrType, Database, RelationSchema
+from repro.relational import Database
 
 
 @pytest.fixture()

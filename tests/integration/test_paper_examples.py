@@ -1,10 +1,9 @@
 """Integration tests tracing the paper's running examples end to end."""
 
-import pytest
 
-from repro.baav import BaaVSchema, BaaVStore, KVSchema, kv_schema
+from repro.baav import BaaVSchema, BaaVStore, kv_schema
 from repro.core import Zidian
-from repro.kba import Constant, Extend, GroupK, walk
+from repro.kba import Extend, GroupK, walk
 from repro.kv import KVCluster
 from repro.relational import bag_equal
 from repro.sql import execute as ra_execute, plan_sql

@@ -1,6 +1,5 @@
 """Tests for the LSM storage engine (memtable / runs / bloom / compaction)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

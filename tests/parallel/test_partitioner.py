@@ -1,6 +1,5 @@
 """Tests for hash partitioning and the skew observability (§7.2)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

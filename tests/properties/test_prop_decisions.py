@@ -8,7 +8,6 @@ Soundness properties that must hold for *any* schema/query combination:
 * result-preserving decisions imply correct answers (Theorem 6(1)).
 """
 
-import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -15,7 +15,6 @@ from repro.kba import (
     Shift,
     execute,
 )
-from repro.kba.blockset import BlockSet
 from repro.kv import KVCluster
 from repro.relational import AttrType, Database, RelationSchema
 

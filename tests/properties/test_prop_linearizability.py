@@ -1,0 +1,156 @@
+"""Property: concurrent service histories linearize against an oracle.
+
+A single writer session applies a sequence of Δ batches while reader
+threads stream aggregate queries through the :class:`QueryService`.
+Because updates run under the service's exclusive lock, every read must
+observe the state after some *prefix* of the write sequence — never a
+torn half-batch — and each reader's successive reads must observe
+non-decreasing prefixes (reads happen after their predecessors
+returned). The oracle replays the same batches single-threaded and
+enumerates the legal states; hypothesis drives batch shapes and the
+replication factor.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import AttrType, Database, RelationSchema
+from repro.service import QueryService
+from repro.systems import SQLOverNoSQL
+
+REC = RelationSchema.of(
+    "REC", {"k": AttrType.INT, "v": AttrType.INT}, ["k"]
+)
+
+COUNT_SUM_SQL = "select count(*) as n, sum(R.v) as s from REC R"
+
+
+def build_database(initial_rows):
+    return Database.from_dict([REC], {"REC": list(initial_rows)})
+
+
+def oracle_states(initial_rows, batches):
+    """(count, sum) after every write prefix, keyed by count.
+
+    Batch *i* inserts rows tagged ``v = i + 1`` (and optionally deletes
+    one earlier row), so successive states have distinct counts+sums
+    and a read maps back to exactly one prefix.
+    """
+    rows = list(initial_rows)
+    states = {}
+
+    def record(prefix):
+        n = len(rows)
+        s = sum(v for _, v in rows) if rows else None
+        states[(n, s)] = prefix
+
+    record(0)
+    for prefix, (inserts, deletes) in enumerate(batches, start=1):
+        for row in deletes:
+            rows.remove(row)
+        rows.extend(inserts)
+        record(prefix)
+    return states
+
+
+@st.composite
+def write_workloads(draw):
+    """Initial rows plus insert/delete batches with unique keys/tags."""
+    n_initial = draw(st.integers(min_value=1, max_value=4))
+    initial = [(k, 0) for k in range(n_initial)]
+    n_batches = draw(st.integers(min_value=2, max_value=4))
+    next_key = n_initial
+    live = list(initial)
+    batches = []
+    for index in range(n_batches):
+        size = draw(st.integers(min_value=1, max_value=3))
+        inserts = []
+        for _ in range(size):
+            # v encodes the batch index: states of different prefixes
+            # differ in both count and sum
+            inserts.append((next_key, (index + 1) * 100 + next_key))
+            next_key += 1
+        deletes = []
+        if live and draw(st.booleans()):
+            deletes.append(live[draw(
+                st.integers(min_value=0, max_value=len(live) - 1)
+            )])
+        for row in deletes:
+            live.remove(row)
+        live.extend(inserts)
+        batches.append((inserts, deletes))
+    return initial, batches
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workload=write_workloads(),
+    replication_factor=st.sampled_from([1, 2]),
+)
+def test_concurrent_history_linearizes(workload, replication_factor):
+    initial, batches = workload
+    states = oracle_states(initial, batches)
+    database = build_database(initial)
+    system = SQLOverNoSQL(
+        workers=2,
+        storage_nodes=2,
+        batch_size=4,
+        replication_factor=replication_factor,
+    )
+    system.load(database)
+
+    observations = {0: [], 1: []}
+    failures = []
+    writer_done = threading.Event()
+
+    with QueryService(system, max_workers=3, max_queued=8) as service:
+
+        def reader(reader_id: int) -> None:
+            try:
+                with service.open_session(f"r{reader_id}") as session:
+                    while True:
+                        rows = session.submit(COUNT_SUM_SQL).result(
+                            timeout=30.0
+                        ).rows
+                        observations[reader_id].append(rows[0])
+                        if writer_done.is_set():
+                            break
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in observations
+        ]
+        for thread in threads:
+            thread.start()
+        with service.open_session("writer") as writer:
+            for inserts, deletes in batches:
+                writer.apply_updates(
+                    "REC", inserts=inserts, deletes=deletes
+                )
+        writer_done.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+    assert failures == []
+    final_prefix = len(batches)
+    for reader_id, seen in observations.items():
+        assert seen, f"reader {reader_id} observed nothing"
+        prefixes = []
+        for n, s in seen:
+            assert (n, s) in states, (
+                f"reader {reader_id} observed torn state (n={n}, s={s}); "
+                f"legal states: {sorted(states)}"
+            )
+            prefixes.append(states[(n, s)])
+        assert prefixes == sorted(prefixes), (
+            f"reader {reader_id} went back in time: {prefixes}"
+        )
+    # the writer finished before the readers' last round: the final
+    # state must have been observed, and it matches the oracle
+    final_rows = system.execute(COUNT_SUM_SQL).rows
+    assert states[final_rows[0]] == final_prefix

@@ -1,7 +1,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational import AttrType, Database, Relation, RelationSchema
+from repro.relational import AttrType, Relation, RelationSchema
 from repro.relational.compare import bag_equal, normalize_row, rows_bag_equal
 
 

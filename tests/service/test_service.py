@@ -1,0 +1,240 @@
+"""Unit tests of the query service: sessions, admission, deadlines.
+
+The admission tests drive the service over a stub system whose
+execution blocks on an event, so pool occupancy is fully controlled and
+deterministic; the integration tests run the real systems underneath.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    QueryDeadlineError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service import QueryService
+from repro.systems import SQLOverNoSQL
+
+
+class StubSystem:
+    """A fake system: queries echo their SQL, ``BLOCK`` waits on a gate."""
+
+    workers = 2
+
+    def __init__(self) -> None:
+        self.gate = threading.Event()
+        self.started = threading.Semaphore(0)
+        self.executed = []
+        self.updates = []
+        self._lock = threading.Lock()
+
+    def execute(self, sql: str):
+        self.started.release()
+        if sql == "BLOCK":
+            assert self.gate.wait(timeout=10.0), "stub gate never opened"
+        with self._lock:
+            self.executed.append(sql)
+        return f"result:{sql}"
+
+    def apply_updates(self, relation, inserts=(), deletes=()):
+        with self._lock:
+            self.updates.append((relation, list(inserts), list(deletes)))
+
+
+@pytest.fixture()
+def stub_service():
+    stub = StubSystem()
+    service = QueryService(stub, max_workers=2, max_queued=1)
+    yield stub, service
+    stub.gate.set()
+    service.close(timeout=5.0)
+
+
+class TestSessions:
+    def test_open_execute_close(self, stub_service):
+        stub, service = stub_service
+        with service.open_session(client="alice") as session:
+            assert session.execute("Q1") == "result:Q1"
+            assert session.queries == 1
+        assert session.closed
+        with pytest.raises(ServiceClosedError):
+            session.execute("Q2")
+
+    def test_session_ids_are_distinct(self, stub_service):
+        _, service = stub_service
+        first = service.open_session()
+        second = service.open_session()
+        assert first.session_id != second.session_id
+        assert service.active_sessions == 2
+        first.close()
+        assert service.active_sessions == 1
+
+    def test_apply_updates_records_session(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        session.apply_updates("REL", inserts=[(1, 2)])
+        assert stub.updates == [("REL", [(1, 2)], [])]
+        assert session.updates == 1
+        assert service.stats().updates_applied == 1
+
+
+class TestAdmission:
+    def test_workers_then_queue_then_shed(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        running = [session.submit("BLOCK"), session.submit("BLOCK")]
+        # both admitted straight to the two workers
+        assert service.stats().in_flight == 2
+        queued = session.submit("Q-queued")
+        assert service.stats().queued == 1
+        with pytest.raises(ServiceOverloadedError):
+            session.submit("Q-shed")
+        stats = service.stats()
+        assert stats.shed == 1
+        assert stats.peak_in_flight == 2
+        assert stats.peak_queued == 1
+        stub.gate.set()
+        assert queued.result(timeout=5.0) == "result:Q-queued"
+        for ticket in running:
+            assert ticket.result(timeout=5.0) == "result:BLOCK"
+        assert service.stats().completed == 3
+
+    def test_slot_reopens_after_completion(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        tickets = [session.submit("BLOCK") for _ in range(2)]
+        session.submit("Q3")
+        with pytest.raises(ServiceOverloadedError):
+            session.submit("Q4")
+        stub.gate.set()
+        for ticket in tickets:
+            ticket.result(timeout=5.0)
+        # capacity is back: this admission must succeed
+        assert session.submit("Q5").result(timeout=5.0) == "result:Q5"
+
+    def test_sync_execute_counts_in_flight(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        assert session.execute("Q") == "result:Q"
+        stats = service.stats()
+        assert stats.submitted == 1
+        assert stats.completed == 1
+        assert stats.in_flight == 0
+
+
+class TestDeadlinesAndCancel:
+    def test_queued_query_expires(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        blockers = [session.submit("BLOCK") for _ in range(2)]
+        for _ in range(2):
+            assert stub.started.acquire(timeout=5.0)
+        late = session.submit("Q-late", deadline_ms=0.0)
+        time.sleep(0.01)
+        stub.gate.set()
+        with pytest.raises(QueryDeadlineError):
+            late.result(timeout=5.0)
+        assert service.stats().expired == 1
+        for ticket in blockers:
+            ticket.result(timeout=5.0)
+
+    def test_cancel_queued_ticket(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        blockers = [session.submit("BLOCK") for _ in range(2)]
+        for _ in range(2):
+            assert stub.started.acquire(timeout=5.0)
+        queued = session.submit("Q-cancel")
+        assert queued.cancel()
+        # the queue slot is reclaimed: a new submission is admitted
+        replacement = session.submit("Q-next")
+        stub.gate.set()
+        assert replacement.result(timeout=5.0) == "result:Q-next"
+        for ticket in blockers:
+            ticket.result(timeout=5.0)
+        stats = service.stats()
+        assert stats.cancelled == 1
+        assert "Q-cancel" not in stub.executed
+
+    def test_running_query_cannot_be_cancelled(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        ticket = session.submit("BLOCK")
+        assert stub.started.acquire(timeout=5.0)
+        assert not ticket.cancel()
+        stub.gate.set()
+        assert ticket.result(timeout=5.0) == "result:BLOCK"
+
+
+class TestDrainAndClose:
+    def test_drain_waits_for_in_flight(self, stub_service):
+        stub, service = stub_service
+        session = service.open_session()
+        ticket = session.submit("BLOCK")
+        assert stub.started.acquire(timeout=5.0)
+        assert not service.drain(timeout=0.05)
+        with pytest.raises(ServiceClosedError):
+            session.submit("Q-after-drain")
+        stub.gate.set()
+        assert service.drain(timeout=5.0)
+        ticket.result(timeout=5.0)
+
+    def test_close_refuses_everything(self, stub_service):
+        _, service = stub_service
+        session = service.open_session()
+        service.close(timeout=5.0)
+        with pytest.raises(ServiceClosedError):
+            session.execute("Q")
+        with pytest.raises(ServiceClosedError):
+            service.open_session()
+
+    def test_failed_query_counts_and_raises(self, stub_service):
+        stub, service = stub_service
+
+        def boom(sql):
+            raise RuntimeError("kaput")
+
+        stub.execute = boom
+        session = service.open_session()
+        with pytest.raises(RuntimeError):
+            session.submit("Q").result(timeout=5.0)
+        stats = service.stats()
+        assert stats.failed == 1
+        assert session.errors == 1
+
+
+class TestRealSystem:
+    """The service over a real loaded system: same answers, same Δs."""
+
+    def test_execute_matches_direct_system(self, paper_db):
+        system = SQLOverNoSQL(workers=2, storage_nodes=2, batch_size=4)
+        system.load(paper_db)
+        direct = system.execute(
+            "select S.suppkey from SUPPLIER S where S.nationkey = 10"
+        )
+        with QueryService(system, max_workers=2) as service:
+            with service.open_session() as session:
+                ticket = session.submit(
+                    "select S.suppkey from SUPPLIER S "
+                    "where S.nationkey = 10"
+                )
+                result = ticket.result(timeout=10.0)
+        assert sorted(result.rows) == sorted(direct.rows)
+        assert result.metrics.n_get == direct.metrics.n_get
+
+    def test_update_visible_to_next_query(self, paper_db):
+        system = SQLOverNoSQL(workers=2, storage_nodes=2, batch_size=4)
+        system.load(paper_db)
+        with QueryService(system, max_workers=2) as service:
+            with service.open_session() as session:
+                session.apply_updates("SUPPLIER", inserts=[(9, 10)])
+                result = session.execute(
+                    "select S.suppkey from SUPPLIER S "
+                    "where S.nationkey = 10"
+                )
+        assert (9,) in result.rows

@@ -1,0 +1,233 @@
+"""Thread-safety stress tests (``pytest -m stress``).
+
+Real OS threads hammer the shared stack — mixed reads and writes
+through the service at R=2, raw cluster traffic under membership churn
+— and every run must end with exact answers and consistent accounting.
+CI repeats this module three times under ``PYTHONHASHSEED=0`` to shake
+out flaky interleavings.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+import pytest
+
+from repro.service import QueryService
+from repro.systems import SQLOverNoSQL
+from repro.workloads.airca import generate_airca
+from repro.workloads.traffic import (
+    TrafficDriver,
+    airca_delay_writer,
+    airca_traffic_mix,
+)
+
+pytestmark = pytest.mark.stress
+
+
+@pytest.fixture(scope="module")
+def airca_db():
+    return generate_airca(scale=0.2, seed=31)
+
+
+def build_system(db, replication_factor=2):
+    system = SQLOverNoSQL(
+        workers=2,
+        storage_nodes=3,
+        batch_size=16,
+        replication_factor=replication_factor,
+        indexes=["FLIGHT.tail_id", "FLIGHT.arr_delay:ordered"],
+    )
+    system.load(db)
+    return system
+
+
+class TestMixedTrafficR2:
+    def test_no_lost_or_duplicated_writes(self, airca_db):
+        """Concurrent clients + a writer stream at R=2: every inserted
+        row survives exactly once, on every read path."""
+        system = build_system(airca_db)
+        baseline_ids = [row[0] for row in airca_db.relation("DELAY").rows]
+        writer, inserted = airca_delay_writer(airca_db, think_ms=0.0)
+        with QueryService(system, max_workers=4, max_queued=4) as service:
+            driver = TrafficDriver(
+                service,
+                airca_traffic_mix(airca_db),
+                clients=6,
+                think_ms=0.0,
+                update_stream=writer,
+                seed=97,
+            )
+            report = driver.run_threads(queries_per_client=6, updates=12)
+            stats = service.stats()
+            assert stats.failed == 0
+            assert report.completed == 6 * 6
+            assert report.updates_applied == 12
+            # relational truth: exactly-once
+            ids = [row[0] for row in airca_db.relation("DELAY").rows]
+            duplicated = [
+                k for k, n in collections.Counter(ids).items() if n > 1
+            ]
+            assert duplicated == []
+            assert set(inserted) <= set(ids)
+            assert len(ids) == len(baseline_ids) + 12
+            # storage truth: the scan path agrees with the relation
+            with service.open_session() as session:
+                result = session.execute(
+                    "select count(*) as n from DELAY D"
+                )
+            assert result.rows == [(len(ids),)]
+
+    def test_index_path_agrees_after_concurrent_updates(self, airca_db):
+        """The secondary index stays consistent with the scan path under
+        a concurrent read/write mix."""
+        system = build_system(airca_db)
+        writer, _ = airca_delay_writer(airca_db, think_ms=0.0)
+        with QueryService(system, max_workers=4, max_queued=4) as service:
+            driver = TrafficDriver(
+                service,
+                airca_traffic_mix(airca_db),
+                clients=4,
+                think_ms=0.0,
+                update_stream=writer,
+                seed=11,
+            )
+            driver.run_threads(queries_per_client=5, updates=8)
+            tails = sorted(
+                {row[4] for row in airca_db.relation("FLIGHT").rows}
+            )[:5]
+            with service.open_session() as session:
+                for tail in tails:
+                    indexed = session.execute(
+                        "select F.flight_id from FLIGHT F "
+                        f"where F.tail_id = {tail}"
+                    )
+                    expected = sorted(
+                        (row[0],)
+                        for row in airca_db.relation("FLIGHT").rows
+                        if row[4] == tail
+                    )
+                    assert sorted(indexed.rows) == expected
+
+
+class TestConcurrentReadCorrectness:
+    def test_every_thread_sees_exact_answers(self, airca_db):
+        """N threads fire the same keyed queries; all answers must be
+        byte-identical to the single-threaded truth."""
+        system = build_system(airca_db)
+        flights = airca_db.relation("FLIGHT").rows
+        picks = [row[0] for row in flights[:8]]
+        truth = {}
+        for fid in picks:
+            truth[fid] = sorted(
+                system.execute(
+                    "select F.arr_delay, F.distance from FLIGHT F "
+                    f"where F.flight_id = {fid}"
+                ).rows
+            )
+        errors = []
+        with QueryService(system, max_workers=4, max_queued=8) as service:
+
+            def reader(worker: int) -> None:
+                try:
+                    with service.open_session(f"t{worker}") as session:
+                        for fid in picks:
+                            rows = sorted(
+                                session.submit(
+                                    "select F.arr_delay, F.distance "
+                                    "from FLIGHT F "
+                                    f"where F.flight_id = {fid}"
+                                ).result(timeout=30.0).rows
+                            )
+                            if rows != truth[fid]:
+                                errors.append((worker, fid, rows))
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append((worker, "exception", repr(exc)))
+
+            threads = [
+                threading.Thread(target=reader, args=(i,), daemon=True)
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+    def test_per_query_metrics_are_isolated(self, airca_db):
+        """Concurrent queries must not bleed into each other's #get
+        accounting (the thread-sharded counter guarantee)."""
+        system = build_system(airca_db, replication_factor=1)
+        fid = airca_db.relation("FLIGHT").rows[0][0]
+        sql = (
+            "select F.arr_delay from FLIGHT F "
+            f"where F.flight_id = {fid}"
+        )
+        solo = system.execute(sql).metrics.n_get
+        observed = []
+        lock = threading.Lock()
+        with QueryService(system, max_workers=4, max_queued=16) as service:
+
+            def reader() -> None:
+                with service.open_session() as session:
+                    for _ in range(5):
+                        metrics = session.submit(sql).result(
+                            timeout=30.0
+                        ).metrics
+                        with lock:
+                            observed.append(metrics.n_get)
+
+            threads = [
+                threading.Thread(target=reader, daemon=True)
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert observed and all(n == solo for n in observed)
+
+
+class TestChurnUnderTraffic:
+    def test_failover_during_reads_r2(self):
+        """fail/recover churn while readers hammer the cluster: every
+        read returns the true value (R=2 tolerates one node down)."""
+        from repro.kv.cluster import KVCluster
+
+        cluster = KVCluster(num_nodes=4, replication_factor=2)
+        truth = {}
+        for i in range(200):
+            key = f"k{i}".encode()
+            value = f"v{i}".encode()
+            truth[key] = value
+            cluster.put("ns", key, value)
+        stop = threading.Event()
+        errors = []
+
+        def reader(worker: int) -> None:
+            keys = list(truth)
+            while not stop.is_set():
+                for key in keys[worker::3]:
+                    got = cluster.get("ns", key)
+                    if got != truth[key]:
+                        errors.append((key, got))
+                        return
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(4):
+                for node_id in (0, 2):
+                    cluster.fail_node(node_id)
+                    cluster.recover_node(node_id)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert errors == []
+        assert not any(thread.is_alive() for thread in threads)

@@ -1,6 +1,5 @@
 """Tests for min(Q) — SPC minimization (§5.2, Example 5)."""
 
-import pytest
 
 from repro.sql import analyze, bind, minimize, parse
 

@@ -1,6 +1,5 @@
 """Tests for the SPC structure extraction (terms, X-attrs, residuals)."""
 
-import pytest
 
 from repro.sql import analyze, bind, parse
 

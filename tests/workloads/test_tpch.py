@@ -1,6 +1,5 @@
 """TPC-H workload tests: generator invariants and query classification."""
 
-import pytest
 
 from repro.core import Zidian, is_data_preserving
 from repro.sql import execute, plan_sql

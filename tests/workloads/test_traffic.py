@@ -1,0 +1,126 @@
+"""Unit tests of the closed-loop traffic driver (virtual-time mode)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service import QueryService
+from repro.systems import SQLOverNoSQL
+from repro.workloads.airca import generate_airca
+from repro.workloads.traffic import (
+    QueryClass,
+    TrafficDriver,
+    airca_delay_writer,
+    airca_traffic_mix,
+    percentile,
+    zipf_sampler,
+)
+
+
+class TestSamplers:
+    def test_zipf_sampler_is_skewed_and_bounded(self):
+        sample = zipf_sampler(10, alpha=1.3)
+        rng = random.Random(7)
+        draws = [sample(rng) for _ in range(500)]
+        assert all(0 <= d < 10 for d in draws)
+        # rank 0 must dominate rank 9 under Zipf
+        assert draws.count(0) > draws.count(9) * 2
+
+    def test_zipf_sampler_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            zipf_sampler(0)
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 100.0
+        assert 49.0 <= percentile(values, 0.5) <= 51.0
+        assert percentile([], 0.99) == 0.0
+
+
+@pytest.fixture(scope="module")
+def loaded_service():
+    db = generate_airca(scale=0.15, seed=31)
+    system = SQLOverNoSQL(
+        workers=2,
+        storage_nodes=2,
+        batch_size=16,
+        indexes=["FLIGHT.tail_id", "FLIGHT.arr_delay:ordered"],
+    )
+    system.load(db)
+    service = QueryService(system, max_workers=2, max_queued=4)
+    yield db, service
+    service.close(timeout=10.0)
+
+
+class TestVirtualLoop:
+    def test_closed_loop_completes_budget(self, loaded_service):
+        db, service = loaded_service
+        driver = TrafficDriver(
+            service,
+            airca_traffic_mix(db),
+            clients=4,
+            think_ms=0.1,
+            seed=3,
+        )
+        report = driver.run(queries_per_client=4)
+        assert report.mode == "virtual"
+        assert report.completed == 4 * 4
+        assert report.duration_ms > 0
+        assert report.throughput_qps > 0
+        # latencies are ordered percentiles over the same sample
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert set(report.per_class) <= {"point", "index", "range", "scan"}
+        assert sum(c.completed for c in report.per_class.values()) == 16
+        assert report.summary().startswith("[virtual]")
+
+    def test_writer_stream_applies_updates(self, loaded_service):
+        db, service = loaded_service
+        writer, inserted = airca_delay_writer(db, think_ms=0.1)
+        before = len(db.relation("DELAY").rows)
+        driver = TrafficDriver(
+            service,
+            airca_traffic_mix(db, point=1.0, index=0.0, range_=0.0,
+                              scan=0.0),
+            clients=2,
+            think_ms=0.1,
+            update_stream=writer,
+            seed=9,
+        )
+        report = driver.run(queries_per_client=3, updates=4)
+        assert report.updates_applied == 4
+        assert len(inserted) == 4
+        assert len(db.relation("DELAY").rows) == before + 4
+        assert report.update_p99_ms > 0
+
+    def test_single_worker_queues_but_completes(self, loaded_service):
+        db, service = loaded_service
+        # a 1-worker service with 4 clients must queue (or shed) yet
+        # every client finishes its budget
+        with QueryService(service.system, max_workers=1,
+                          max_queued=2) as narrow:
+            driver = TrafficDriver(
+                narrow,
+                airca_traffic_mix(db, point=1.0, index=0.0, range_=0.0,
+                                  scan=0.0),
+                clients=4,
+                think_ms=0.05,
+                seed=11,
+            )
+            report = driver.run(queries_per_client=3)
+        assert report.completed == 12
+        # with one worker and saturating clients, waiting must appear
+        assert report.p99_ms > report.per_class["point"].mean_service_ms
+
+    def test_driver_validates_inputs(self, loaded_service):
+        _, service = loaded_service
+        with pytest.raises(ValueError):
+            TrafficDriver(service, [], clients=2)
+        with pytest.raises(ValueError):
+            TrafficDriver(
+                service,
+                [QueryClass("x", 1.0, lambda rng: "select 1")],
+                clients=0,
+            )
