@@ -83,6 +83,29 @@ class CodecError(KVError):
     """A value could not be encoded to or decoded from bytes."""
 
 
+class WireProtocolError(KVError):
+    """A wire frame violates the node protocol (truncated length
+    prefix, oversized declared length, unknown opcode, trailing or
+    missing payload bytes). Raised by the codec on both sides; a node
+    server answers with a protocol-error frame instead of dying."""
+
+
+class RemoteOpError(KVError):
+    """A node server executed the request and reported an application
+    error (the remote exception's message travels back in the frame)."""
+
+
+class NodePeerError(KVError):
+    """A node process is unreachable: connect refused, connection reset
+    mid-request, or the peer closed without answering. The cluster maps
+    this to failover (mark the peer down, re-replicate, retry) and only
+    surfaces :class:`ClusterUnavailableError` when no replica is left."""
+
+    def __init__(self, node_id: int, message: str) -> None:
+        super().__init__(f"node {node_id}: {message}")
+        self.node_id = node_id
+
+
 class BaaVError(ReproError):
     """Base class for BaaV model errors."""
 

@@ -7,11 +7,13 @@ from repro.kv.cache import (
     PartitionedBlockCache,
     make_cache,
 )
-from repro.kv.cluster import KVCluster, RebalanceReport
+from repro.kv.cluster import ClusterStats, KVCluster, RebalanceReport, TRANSPORTS
 from repro.kv.hashring import HashRing
 from repro.kv.lsm import BloomFilter, LSMStore
 from repro.kv.memstore import MemStore
 from repro.kv.node import NodeCounters, StorageNode
+from repro.kv.remote import NodeClient, NodeProcess, RemoteNode, RemoteStore
+from repro.kv.server import NodeServer
 from repro.kv.taav import TaaVRelation, TaaVStore
 
 __all__ = [
@@ -19,11 +21,15 @@ __all__ = [
     "BlockCache",
     "CacheStats",
     "CASSANDRA",
+    "ClusterStats",
     "HBASE",
     "HashRing",
     "KUDU",
     "BloomFilter",
     "KVCluster",
+    "NodeClient",
+    "NodeProcess",
+    "NodeServer",
     "PartitionedBlockCache",
     "make_cache",
     "LSMStore",
@@ -31,8 +37,11 @@ __all__ = [
     "NodeCounters",
     "PROFILES",
     "RebalanceReport",
+    "RemoteNode",
+    "RemoteStore",
     "StorageNode",
     "TaaVRelation",
     "TaaVStore",
+    "TRANSPORTS",
     "profile",
 ]

@@ -64,11 +64,39 @@ across a ``yield``. Counters are thread-sharded (see
 :mod:`repro.kv.node`), so shared-path metering is lock-free and
 lost-update-free, and :meth:`KVCluster.get_stats` can hand out a
 snapshot whose invariants (``hits <= gets``) always hold.
+
+Transport (PR 6)
+----------------
+
+``transport="local"`` (the default) keeps nodes as in-process objects —
+the paper's cost model, exactly as before. ``transport="socket"`` makes
+the cluster **shared-nothing**: each node is its own OS process
+(:class:`~repro.kv.remote.RemoteNode` → forked :mod:`repro.kv.server`)
+reached over length-prefixed binary frames (:mod:`repro.kv.wire`). The
+``REPRO_KV_TRANSPORT`` environment variable overrides the default so an
+unmodified test suite runs over real processes.
+
+Counters stay **client-side** (a remote node inherits every counting
+method from :class:`StorageNode`), so accounting is identical across
+transports. A dead node process surfaces as
+:class:`~repro.errors.NodePeerError` inside an operation; the cluster
+treats that as a crash detection — mark the peer down, re-replicate its
+ranges from the survivors, retry the operation — and raises
+:class:`~repro.errors.ClusterUnavailableError` only when no replica is
+left. ``fail_node`` keeps **partition** semantics on both transports
+(the process survives, so recovery restores its store);
+``fail_node(kill=True)`` or an external ``SIGKILL`` models a real
+crash, and recovery then respawns an empty process and re-syncs it.
+Clusters holding processes should be ``close()``d (or used as context
+managers); a garbage-collected cluster reaps its children via a
+finalizer either way.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -81,11 +109,30 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ClusterUnavailableError
+from repro.errors import ClusterUnavailableError, NodePeerError
 from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
+from repro.kv.remote import RemoteNode
 from repro.locks import RWLock
+
+#: environment override for the default transport, so an unmodified test
+#: suite can be pointed at real node processes (the CI socket matrix
+#: sets ``REPRO_KV_TRANSPORT=socket``)
+TRANSPORT_ENV = "REPRO_KV_TRANSPORT"
+TRANSPORTS = ("local", "socket")
+
+
+def _close_nodes(nodes: Dict[int, StorageNode]) -> None:
+    """GC/exit safety net: terminate any node processes still running
+    when a cluster is dropped without :meth:`KVCluster.close`."""
+    for node in nodes.values():
+        close = getattr(node, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:
+                pass
 
 
 @dataclass
@@ -121,6 +168,8 @@ class ClusterStats:
     num_nodes: int = 0
     num_live_nodes: int = 0
     replication_factor: int = 1
+    #: ``"local"`` or ``"socket"`` — which transport served the ops
+    transport: str = "local"
     #: aggregate of every registered client-side block cache (None when
     #: no cache is registered); snapshot-consistent per cache
     cache: Optional[object] = None
@@ -135,6 +184,7 @@ class KVCluster:
         ring_replicas: int = 64,
         engine: str = "mem",
         replication_factor: int = 1,
+        transport: Optional[str] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -145,6 +195,16 @@ class KVCluster:
                 f"replication_factor {replication_factor} exceeds "
                 f"num_nodes {num_nodes}"
             )
+        if transport is None:
+            transport = os.environ.get(TRANSPORT_ENV, "local")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of "
+                f"{list(TRANSPORTS)}"
+            )
+        #: ``"local"`` = in-process node objects; ``"socket"`` = one OS
+        #: process per node behind the wire protocol (see repro.kv.wire)
+        self.transport = transport
         self.engine = engine
         self.replication_factor = replication_factor
         self.nodes: Dict[int, StorageNode] = {}
@@ -169,6 +229,11 @@ class KVCluster:
         self._lock = RWLock()
         #: guards the namespace registry (touched on the shared path)
         self._meta_lock = threading.Lock()
+        self._closed = False
+        #: kills any still-running node processes if the cluster is
+        #: garbage-collected without close() — tests create hundreds of
+        #: throwaway clusters and must not leak children
+        self._finalizer = weakref.finalize(self, _close_nodes, self.nodes)
         for node_id in range(num_nodes):
             self._add_node(node_id)
 
@@ -197,10 +262,74 @@ class KVCluster:
     # -- topology --------------------------------------------------------
 
     def _add_node(self, node_id: int) -> StorageNode:
-        node = StorageNode(node_id, engine=self.engine)
+        if self.transport == "socket":
+            node: StorageNode = RemoteNode(node_id, engine=self.engine)
+        else:
+            node = StorageNode(node_id, engine=self.engine)
         self.nodes[node_id] = node
         self.ring.add_node(node_id)
         return node
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the cluster down, terminating any node processes.
+
+        Idempotent; ``transport="local"`` clusters have nothing to
+        reap, so it is always safe to call. Also runs automatically
+        when the cluster is garbage-collected.
+        """
+        with self._lock.write():
+            if self._closed:
+                return
+            self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "KVCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- peer failure handling ---------------------------------------------
+
+    def _peer_failover(self, fn: Callable):
+        """Run ``fn``, absorbing dead-peer errors by failing over.
+
+        A :class:`NodePeerError` (socket transport only: the node
+        process died or its port vanished) marks the peer down,
+        re-replicates its ranges from the survivors, and *retries the
+        operation* against the repaired membership. The loop is
+        bounded: every iteration removes one node from the live set,
+        and with none left the operation raises
+        :class:`ClusterUnavailableError` instead.
+        """
+        while True:
+            try:
+                return fn()
+            except NodePeerError as exc:
+                self._note_peer_down(exc.node_id)
+
+    def _note_peer_down(self, node_id: int) -> None:
+        """Crash-detect ``node_id``: mark it down exactly like
+        :meth:`fail_node` would, reap its process, and restore the
+        replication invariant. Cascading deaths discovered while
+        re-replicating are absorbed in the same sweep."""
+        with self._lock.write():
+            while True:
+                node = self.nodes.get(node_id)
+                if node is None or node_id in self._down:
+                    return
+                self._down.add(node_id)
+                self._tombstone_keys[node_id] = set()
+                self._tombstone_prefixes[node_id] = []
+                if isinstance(node, RemoteNode):
+                    node.close()
+                try:
+                    self.last_rebalance = self._rebalance()
+                    return
+                except NodePeerError as exc:
+                    node_id = exc.node_id
 
     @property
     def num_nodes(self) -> int:
@@ -251,21 +380,33 @@ class KVCluster:
                 self._down.discard(node_id)
                 self._tombstone_keys.pop(node_id, None)
                 self._tombstone_prefixes.pop(node_id, None)
-                del self.nodes[node_id]
+                node = self.nodes.pop(node_id)
+                if isinstance(node, RemoteNode):
+                    node.close()
                 self.last_rebalance = self._rebalance()
                 return
             # live decommission: the leaving node is a valid source; the
             # sweep copies its ranges to the new owners, then empties it
             self.last_rebalance = self._rebalance()
-            del self.nodes[node_id]
+            node = self.nodes.pop(node_id)
+            if isinstance(node, RemoteNode):
+                node.close()
 
-    def fail_node(self, node_id: int) -> None:
+    def fail_node(self, node_id: int, kill: bool = False) -> None:
         """Crash a node: unreachable, but its disk survives for recovery.
 
         The surviving replicas eagerly re-replicate every key range that
         lost a copy onto the next live node of its ring walk, so reads
         and writes keep succeeding as long as fewer than
         ``replication_factor`` owners of a key are down.
+
+        The default is **partition** semantics on both transports: the
+        cluster stops talking to the node but its store survives (a
+        socket node's process keeps running), so local and socket
+        failover/recovery behave — and count — identically.
+        ``kill=True`` additionally terminates a socket node's process
+        (its store dies with it; recovery respawns empty and re-syncs),
+        modeling a real crash rather than a partition.
         """
         with self._lock.write():
             if node_id not in self.nodes:
@@ -275,6 +416,9 @@ class KVCluster:
             self._down.add(node_id)
             self._tombstone_keys[node_id] = set()
             self._tombstone_prefixes[node_id] = []
+            node = self.nodes[node_id]
+            if kill and isinstance(node, RemoteNode):
+                node.close()
             self.last_rebalance = self._rebalance()
 
     def recover_node(self, node_id: int) -> None:
@@ -291,12 +435,28 @@ class KVCluster:
                 raise ValueError(f"node {node_id} not in the cluster")
             if node_id not in self._down:
                 raise ValueError(f"node {node_id} is not down")
-            store = self.nodes[node_id].store
-            for prefix in self._tombstone_prefixes.pop(node_id, []):
-                for key in [k for k, _ in store.scan(prefix)]:
-                    store.delete(key)
-            for key in self._tombstone_keys.pop(node_id, set()):
-                store.delete(key)
+            node = self.nodes[node_id]
+            if isinstance(node, RemoteNode) and not node.process.alive:
+                # the process was killed (fail_node(kill=True) or an
+                # external SIGKILL): respawn a fresh, empty server — the
+                # tombstones are moot and the stale-range sweep below
+                # re-syncs everything the node owns from the survivors
+                node.restart()
+                self._tombstone_prefixes.pop(node_id, None)
+                self._tombstone_keys.pop(node_id, None)
+            else:
+                store = node.store
+                prefixes = self._tombstone_prefixes.pop(node_id, [])
+                store.multi_delete(
+                    [
+                        key
+                        for prefix in prefixes
+                        for key, _ in store.scan(prefix)
+                    ]
+                )
+                keys = self._tombstone_keys.pop(node_id, set())
+                if keys:
+                    store.multi_delete(sorted(keys))
             self._down.discard(node_id)
             self.last_rebalance = self._rebalance(stale_id=node_id)
 
@@ -357,9 +517,11 @@ class KVCluster:
     def get(self, namespace: str, key_bytes: bytes,
             n_values: int = 1) -> Optional[bytes]:
         """Point get; counts one get on the replica that served it."""
-        with self._lock.read():
-            full = self.full_key(namespace, key_bytes)
-            return self._read_replica(full).get(full, n_values=n_values)
+        def op() -> Optional[bytes]:
+            with self._lock.read():
+                full = self.full_key(namespace, key_bytes)
+                return self._read_replica(full).get(full, n_values=n_values)
+        return self._peer_failover(op)
 
     def multi_get(
         self,
@@ -377,43 +539,48 @@ class KVCluster:
         Results are positional — ``out[i]`` answers ``keys[i]`` — so
         callers keep their ordering guarantees regardless of placement.
         """
-        with self._lock.read():
-            results: List[Optional[bytes]] = [None] * len(keys)
-            by_node: Dict[int, List[bytes]] = {}
-            positions: Dict[Tuple[int, bytes], List[int]] = {}
-            replicated = self.replication_factor > 1 or bool(self._down)
-            loads: Dict[int, float] = {}
-            if replicated:
-                loads = {
-                    node.node_id: float(self._node_load(node))
-                    for node in self._live_nodes()
-                }
-            for index, key_bytes in enumerate(keys):
-                full = self.full_key(namespace, key_bytes)
-                if replicated:
-                    owner_ids = self._live_owner_ids(full)
-                    if not owner_ids:
-                        raise ClusterUnavailableError(
-                            "no live replica for key (all owners are down)"
-                        )
-                    node_id = min(
-                        owner_ids, key=lambda nid: (loads[nid], nid)
-                    )
-                    loads[node_id] += 1.0
-                else:
-                    node_id = self.ring.node_for(full)
-                slot = positions.setdefault((node_id, full), [])
-                if not slot:
-                    by_node.setdefault(node_id, []).append(full)
-                slot.append(index)
-            for node_id, node_keys in by_node.items():
-                values = self.nodes[node_id].multi_get(
-                    node_keys, n_values_each=n_values_each
+        def op() -> List[Optional[bytes]]:
+            with self._lock.read():
+                results: List[Optional[bytes]] = [None] * len(keys)
+                by_node: Dict[int, List[bytes]] = {}
+                positions: Dict[Tuple[int, bytes], List[int]] = {}
+                replicated = (
+                    self.replication_factor > 1 or bool(self._down)
                 )
-                for full, value in zip(node_keys, values):
-                    for index in positions[(node_id, full)]:
-                        results[index] = value
-            return results
+                loads: Dict[int, float] = {}
+                if replicated:
+                    loads = {
+                        node.node_id: float(self._node_load(node))
+                        for node in self._live_nodes()
+                    }
+                for index, key_bytes in enumerate(keys):
+                    full = self.full_key(namespace, key_bytes)
+                    if replicated:
+                        owner_ids = self._live_owner_ids(full)
+                        if not owner_ids:
+                            raise ClusterUnavailableError(
+                                "no live replica for key "
+                                "(all owners are down)"
+                            )
+                        node_id = min(
+                            owner_ids, key=lambda nid: (loads[nid], nid)
+                        )
+                        loads[node_id] += 1.0
+                    else:
+                        node_id = self.ring.node_for(full)
+                    slot = positions.setdefault((node_id, full), [])
+                    if not slot:
+                        by_node.setdefault(node_id, []).append(full)
+                    slot.append(index)
+                for node_id, node_keys in by_node.items():
+                    values = self.nodes[node_id].multi_get(
+                        node_keys, n_values_each=n_values_each
+                    )
+                    for full, value in zip(node_keys, values):
+                        for index in positions[(node_id, full)]:
+                            results[index] = value
+                return results
+        return self._peer_failover(op)
 
     def put(self, namespace: str, key_bytes: bytes, value: bytes,
             n_values: int = 1) -> None:
@@ -423,13 +590,15 @@ class KVCluster:
         (membership events are exclusive) and the per-node mutex
         serializes same-node store mutations.
         """
-        with self._lock.read():
-            with self._meta_lock:
-                self._namespaces.add(namespace)
-            self._invalidate(namespace, key_bytes)
-            full = self.full_key(namespace, key_bytes)
-            for node in self._owners(full):
-                node.put(full, value, n_values=n_values)
+        def op() -> None:
+            with self._lock.read():
+                with self._meta_lock:
+                    self._namespaces.add(namespace)
+                self._invalidate(namespace, key_bytes)
+                full = self.full_key(namespace, key_bytes)
+                for node in self._owners(full):
+                    node.put(full, value, n_values=n_values)
+        self._peer_failover(op)
 
     def multi_put(
         self,
@@ -440,43 +609,51 @@ class KVCluster:
         """Batched put: ONE round trip per owning node, fanned out to all
         R replicas. Later duplicates win (items are applied in order
         within each node's batch)."""
-        with self._lock.read():
-            if items:
-                with self._meta_lock:
-                    self._namespaces.add(namespace)
-            by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
-            for key_bytes, value in items:
-                self._invalidate(namespace, key_bytes)
-                full = self.full_key(namespace, key_bytes)
-                owners = self._live_owner_ids(full)
-                if not owners:
-                    raise ClusterUnavailableError(
-                        "no live replica for key (all owners are down)"
+        def op() -> None:
+            with self._lock.read():
+                if items:
+                    with self._meta_lock:
+                        self._namespaces.add(namespace)
+                by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
+                for key_bytes, value in items:
+                    self._invalidate(namespace, key_bytes)
+                    full = self.full_key(namespace, key_bytes)
+                    owners = self._live_owner_ids(full)
+                    if not owners:
+                        raise ClusterUnavailableError(
+                            "no live replica for key (all owners are down)"
+                        )
+                    for node_id in owners:
+                        by_node.setdefault(node_id, []).append(
+                            (full, value)
+                        )
+                for node_id, node_items in by_node.items():
+                    self.nodes[node_id].multi_put(
+                        node_items, n_values_each=n_values_each
                     )
-                for node_id in owners:
-                    by_node.setdefault(node_id, []).append((full, value))
-            for node_id, node_items in by_node.items():
-                self.nodes[node_id].multi_put(
-                    node_items, n_values_each=n_values_each
-                )
+        self._peer_failover(op)
 
     def delete(self, namespace: str, key_bytes: bytes) -> bool:
         """Replicated delete; logged as a tombstone for every down node."""
-        with self._lock.read():
-            self._invalidate(namespace, key_bytes)
-            full = self.full_key(namespace, key_bytes)
-            removed = False
-            for node in self._owners(full):
-                removed = node.delete(full) or removed
-            for log in self._tombstone_keys.values():
-                log.add(full)
-            return removed
+        def op() -> bool:
+            with self._lock.read():
+                self._invalidate(namespace, key_bytes)
+                full = self.full_key(namespace, key_bytes)
+                removed = False
+                for node in self._owners(full):
+                    removed = node.delete(full) or removed
+                for log in self._tombstone_keys.values():
+                    log.add(full)
+                return removed
+        return self._peer_failover(op)
 
     def peek(self, namespace: str, key_bytes: bytes) -> Optional[bytes]:
         """Uncounted read (maintenance bookkeeping)."""
-        with self._lock.read():
-            full = self.full_key(namespace, key_bytes)
-            return self._owners(full)[0].peek(full)
+        def op() -> Optional[bytes]:
+            with self._lock.read():
+                full = self.full_key(namespace, key_bytes)
+                return self._owners(full)[0].peek(full)
+        return self._peer_failover(op)
 
     def scan(
         self,
@@ -502,18 +679,24 @@ class KVCluster:
         """
         prefix = encode_value(namespace)
         plen = len(prefix)
+
         # materialize the snapshot under the read lock (per-node scans
         # take the node mutex, so concurrent puts cannot mutate a store
         # mid-iteration), then stream it without holding any lock
-        with self._lock.read():
-            dedup = self.replication_factor > 1
-            snapshot: List[Tuple[StorageNode, bytes, bytes]] = []
-            for node in self._live_nodes():
-                for key, value in node.snapshot_scan(prefix):
-                    if dedup and not self._is_primary(key, node.node_id):
-                        continue
-                    snapshot.append((node, key[plen:], value))
-        for node, stripped, value in snapshot:
+        def take_snapshot() -> List[Tuple[StorageNode, bytes, bytes]]:
+            with self._lock.read():
+                dedup = self.replication_factor > 1
+                snapshot: List[Tuple[StorageNode, bytes, bytes]] = []
+                for node in self._live_nodes():
+                    for key, value in node.snapshot_scan(prefix):
+                        if dedup and not self._is_primary(
+                            key, node.node_id
+                        ):
+                            continue
+                        snapshot.append((node, key[plen:], value))
+                return snapshot
+
+        for node, stripped, value in self._peer_failover(take_snapshot):
             if count_as_gets:
                 # the blind scan issues one full get (and thus one
                 # round trip) per pair — the cost BaaV removes
@@ -531,15 +714,20 @@ class KVCluster:
         """All (stripped) key bytes of a namespace, uncounted, distinct."""
         prefix = encode_value(namespace)
         plen = len(prefix)
-        with self._lock.read():
-            dedup = self.replication_factor > 1
-            keys: List[bytes] = []
-            for node in self._live_nodes():
-                for key, _ in node.snapshot_scan(prefix):
-                    if dedup and not self._is_primary(key, node.node_id):
-                        continue
-                    keys.append(key[plen:])
-            return keys
+
+        def op() -> List[bytes]:
+            with self._lock.read():
+                dedup = self.replication_factor > 1
+                keys: List[bytes] = []
+                for node in self._live_nodes():
+                    for key, _ in node.snapshot_scan(prefix):
+                        if dedup and not self._is_primary(
+                            key, node.node_id
+                        ):
+                            continue
+                        keys.append(key[plen:])
+                return keys
+        return self._peer_failover(op)
 
     def namespaces(self) -> List[str]:
         """All namespaces with at least one pair on a live node.
@@ -550,17 +738,20 @@ class KVCluster:
         whole-cluster scan. Used by the drop cascade to enumerate
         dependent ``__idx__`` namespaces.
         """
-        with self._meta_lock:
-            candidates = sorted(self._namespaces)
-        with self._lock.read():
-            out: List[str] = []
-            for namespace in candidates:
-                prefix = encode_value(namespace)
-                if any(
-                    node.has_prefix(prefix) for node in self._live_nodes()
-                ):
-                    out.append(namespace)
-            return out
+        def op() -> List[str]:
+            with self._meta_lock:
+                candidates = sorted(self._namespaces)
+            with self._lock.read():
+                out: List[str] = []
+                for namespace in candidates:
+                    prefix = encode_value(namespace)
+                    if any(
+                        node.has_prefix(prefix)
+                        for node in self._live_nodes()
+                    ):
+                        out.append(namespace)
+                return out
+        return self._peer_failover(op)
 
     def drop_namespace(self, namespace: str) -> int:
         """Delete every pair in ``namespace``; return how many (logical).
@@ -571,27 +762,29 @@ class KVCluster:
         the dropped data, so leaving them behind would orphan the index.
         The cascaded drops are not counted in the return value.
         """
-        with self._lock.write():
-            for cache in self._caches:
-                cache.invalidate_namespace(namespace)
-            prefix = encode_value(namespace)
-            dropped: Set[bytes] = set()
-            for node in self._live_nodes():
-                doomed = [key for key, _ in node.store.scan(prefix)]
-                for key in doomed:
-                    node.store.delete(key)
-                dropped.update(doomed)
-            for log in self._tombstone_prefixes.values():
-                log.append(prefix)
-            with self._meta_lock:
-                self._namespaces.discard(namespace)
-                remaining = sorted(self._namespaces)
-            if namespace.startswith("taav:"):
-                dependent_prefix = f"__idx__/{namespace[len('taav:'):]}/"
-                for dependent in remaining:
-                    if dependent.startswith(dependent_prefix):
-                        self.drop_namespace(dependent)
-            return len(dropped)
+        def op() -> int:
+            with self._lock.write():
+                for cache in self._caches:
+                    cache.invalidate_namespace(namespace)
+                prefix = encode_value(namespace)
+                dropped: Set[bytes] = set()
+                for node in self._live_nodes():
+                    # one bulk RPC per node on the socket transport
+                    dropped.update(node.store.drop_prefix(prefix))
+                for log in self._tombstone_prefixes.values():
+                    log.append(prefix)
+                with self._meta_lock:
+                    self._namespaces.discard(namespace)
+                    remaining = sorted(self._namespaces)
+                if namespace.startswith("taav:"):
+                    dependent_prefix = (
+                        f"__idx__/{namespace[len('taav:'):]}/"
+                    )
+                    for dependent in remaining:
+                        if dependent.startswith(dependent_prefix):
+                            self.drop_namespace(dependent)
+                return len(dropped)
+        return self._peer_failover(op)
 
     # -- rebalancing -------------------------------------------------------
 
@@ -611,14 +804,26 @@ class KVCluster:
             return report
         state: Dict[bytes, bytes] = {}
         holders: Dict[bytes, List[int]] = {}
+        #: what the possibly-stale node holds — captured during the
+        #: sweep so staleness checks need no per-key store reads (on
+        #: the socket transport each would be a round trip)
+        stale_contents: Dict[bytes, bytes] = {}
         for node in self._live_nodes():
             node_id = node.node_id
             for key, value in node.store.scan():
                 holders.setdefault(key, []).append(node_id)
-                if node_id != stale_id or key not in state:
+                if node_id == stale_id:
+                    stale_contents[key] = value
+                    if key not in state:
+                        state[key] = value
+                else:
                     state[key] = value
         # (node receiving, node sending) pairs that exchanged a batch
         transfers: Set[Tuple[int, int]] = set()
+        # defer the store mutations into per-node batches, flushed with
+        # one multi_put / multi_delete each (one frame per node remote)
+        pending_puts: Dict[int, List[Tuple[bytes, bytes]]] = {}
+        pending_deletes: Dict[int, List[bytes]] = {}
         for key, value in state.items():
             owner_ids = self._live_owner_ids(key)
             holder_ids = holders[key]
@@ -629,9 +834,11 @@ class KVCluster:
                 node = self.nodes[owner_id]
                 if owner_id not in holder_ids or (
                     owner_id == stale_id
-                    and node.store.get(key) != value
+                    and stale_contents.get(key) != value
                 ):
-                    node.store.put(key, value)
+                    pending_puts.setdefault(owner_id, []).append(
+                        (key, value)
+                    )
                     moved = len(key) + len(value)
                     node.counters.rebalance_keys_moved += 1
                     node.counters.rebalance_bytes_moved += moved
@@ -641,8 +848,12 @@ class KVCluster:
             owner_set = set(owner_ids)
             for holder_id in holder_ids:
                 if holder_id not in owner_set:
-                    self.nodes[holder_id].store.delete(key)
+                    pending_deletes.setdefault(holder_id, []).append(key)
                     report.keys_dropped += 1
+        for node_id, items in pending_puts.items():
+            self.nodes[node_id].store.multi_put(items)
+        for node_id, doomed in pending_deletes.items():
+            self.nodes[node_id].store.multi_delete(doomed)
         for receiver_id, _ in transfers:
             self.nodes[receiver_id].counters.rebalance_round_trips += 1
         report.round_trips = len(transfers)
@@ -757,13 +968,41 @@ class KVCluster:
                 num_nodes=len(self.nodes),
                 num_live_nodes=len(self.nodes) - len(self._down),
                 replication_factor=self.replication_factor,
+                transport=self.transport,
                 cache=cache_total,
             )
 
-    def size_bytes(self) -> int:
-        """Physical bytes across all nodes (replicas counted R times)."""
+    def server_stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-node server-process counters (socket transport only;
+        empty for local clusters). Down nodes are skipped."""
         with self._lock.read():
-            return sum(node.size_bytes() for node in self.nodes.values())
+            out: Dict[int, Dict[str, int]] = {}
+            for node_id, node in self.nodes.items():
+                if node_id in self._down or not isinstance(
+                    node, RemoteNode
+                ):
+                    continue
+                out[node_id] = node.server_stats()
+            return out
+
+    def size_bytes(self) -> int:
+        """Physical bytes across all nodes (replicas counted R times).
+
+        Down nodes count too when their store survives (a partitioned
+        node's disk, any local node): that matches the local-transport
+        semantics. A *killed* node process has no bytes left to count.
+        """
+        def op() -> int:
+            with self._lock.read():
+                return sum(
+                    node.size_bytes()
+                    for node in self.nodes.values()
+                    if not (
+                        isinstance(node, RemoteNode)
+                        and not node.process.alive
+                    )
+                )
+        return self._peer_failover(op)
 
     def __repr__(self) -> str:
         down = f", down={sorted(self._down)}" if self._down else ""
@@ -772,4 +1011,9 @@ class KVCluster:
             if self.replication_factor > 1
             else ""
         )
-        return f"KVCluster(nodes={self.num_nodes}{factor}{down})"
+        wire_ = (
+            f", transport={self.transport}"
+            if self.transport != "local"
+            else ""
+        )
+        return f"KVCluster(nodes={self.num_nodes}{factor}{wire_}{down})"

@@ -26,6 +26,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.kv.memstore import prefix_upper_bound
+
 _TOMBSTONE = object()
 
 
@@ -139,6 +141,14 @@ class LSMStore:
             self._maybe_flush()
         return existed
 
+    def multi_delete(self, keys: Sequence[bytes]) -> int:
+        """Batched delete; returns how many keys were live."""
+        removed = 0
+        for key in keys:
+            if self.delete(key):
+                removed += 1
+        return removed
+
     def _maybe_flush(self) -> None:
         if len(self._memtable) < self._memtable_limit:
             return
@@ -248,11 +258,30 @@ class LSMStore:
             index += 1
         return keys[index] if index < len(keys) else None
 
+    def _prefix_range(self, prefix: bytes) -> Tuple[int, int]:
+        """``[lo, hi)`` slice of the merged view carrying ``prefix``."""
+        keys = self._merged_view()[0]
+        if not prefix:
+            return 0, len(keys)
+        lo = bisect_left(keys, prefix)
+        upper = prefix_upper_bound(prefix)
+        hi = len(keys) if upper is None else bisect_left(keys, upper, lo)
+        return lo, hi
+
     def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
         keys, values = self._merged_view()
-        for key, value in zip(keys, values):
-            if key.startswith(prefix):
-                yield key, value
+        lo, hi = self._prefix_range(prefix)
+        for index in range(lo, hi):
+            yield keys[index], values[index]
+
+    def drop_prefix(self, prefix: bytes = b"") -> List[bytes]:
+        """Delete every live key carrying ``prefix``; return them."""
+        keys = self._merged_view()[0]
+        lo, hi = self._prefix_range(prefix)
+        doomed = keys[lo:hi]
+        for key in doomed:
+            self.delete(key)
+        return doomed
 
     # -- maintenance ---------------------------------------------------------------
 

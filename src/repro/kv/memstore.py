@@ -9,7 +9,19 @@ via next()").
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """The smallest byte string greater than every key with ``prefix``
+    (``None`` when no upper bound exists, i.e. the prefix is empty or
+    all ``0xff``). Lets sorted stores answer prefix scans with two
+    binary searches instead of filtering every key."""
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != 0xFF:
+            return prefix[:i] + bytes((prefix[i] + 1,))
+    return None
 
 
 class MemStore:
@@ -61,6 +73,14 @@ class MemStore:
             return True
         return False
 
+    def multi_delete(self, keys: Sequence[bytes]) -> int:
+        """Batched delete; returns how many keys were present."""
+        removed = 0
+        for key in keys:
+            if self.delete(key):
+                removed += 1
+        return removed
+
     def _refresh(self) -> None:
         if self._dirty or len(self._sorted_keys) != len(self._data):
             self._sorted_keys = sorted(self._data)
@@ -92,12 +112,37 @@ class MemStore:
                 hi = mid
         return keys[lo] if lo < len(keys) else None
 
+    def _prefix_range(self, prefix: bytes) -> Tuple[int, int]:
+        """``[lo, hi)`` slice of the sorted-key cache carrying ``prefix``
+        (two binary searches — O(log n + matches), not a full filter)."""
+        self._refresh()
+        if not prefix:
+            return 0, len(self._sorted_keys)
+        lo = bisect_left(self._sorted_keys, prefix)
+        upper = prefix_upper_bound(prefix)
+        hi = (
+            len(self._sorted_keys)
+            if upper is None
+            else bisect_left(self._sorted_keys, upper, lo)
+        )
+        return lo, hi
+
     def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
         """Yield (key, value) pairs with the given key prefix, in order."""
-        self._refresh()
-        for key in self._sorted_keys:
-            if key.startswith(prefix):
-                yield key, self._data[key]
+        lo, hi = self._prefix_range(prefix)
+        for key in self._sorted_keys[lo:hi]:
+            yield key, self._data[key]
+
+    def drop_prefix(self, prefix: bytes = b"") -> List[bytes]:
+        """Delete every key carrying ``prefix``; return the dropped keys
+        (one bulk operation, so a remote namespace drop is one frame)."""
+        lo, hi = self._prefix_range(prefix)
+        doomed = self._sorted_keys[lo:hi]
+        for key in doomed:
+            del self._data[key]
+        if doomed:
+            self._dirty = True
+        return doomed
 
     def size_bytes(self) -> int:
         """Total stored payload size (keys + values)."""

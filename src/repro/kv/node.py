@@ -108,9 +108,14 @@ class StorageNode:
 
     __slots__ = ("node_id", "store", "_shards", "_op_lock", "_read_load")
 
-    def __init__(self, node_id: int, engine: str = "mem") -> None:
+    def __init__(self, node_id: int, engine: str = "mem",
+                 store: Optional[object] = None) -> None:
         self.node_id = node_id
-        if engine == "mem":
+        if store is not None:
+            # injected engine (e.g. the RemoteStore facade of a node
+            # process) — the caller has already validated it
+            self.store = store
+        elif engine == "mem":
             self.store = MemStore()
         elif engine == "lsm":
             self.store = LSMStore()

@@ -1,0 +1,383 @@
+"""Client side of the socket transport: node processes and their proxies.
+
+Three layers, composed bottom-up:
+
+* :class:`NodeProcess` — forks one :mod:`repro.kv.server` loop into its
+  own OS process. The parent binds the listener on ``127.0.0.1:0``
+  *before* forking (the kernel picks a free ephemeral port, so parallel
+  test runs never race on port numbers) and hands the bound socket to
+  the child; the child inherits it and serves, the parent closes its
+  copy and keeps only the port number.
+* :class:`NodeClient` — a pooled, lock-step framed-RPC client. One
+  request, one response; ``OSError`` / unexpected EOF anywhere maps to
+  :class:`~repro.errors.NodePeerError` (the cluster's failover signal),
+  a ``STATUS_ERROR`` frame to :class:`~repro.errors.RemoteOpError`, and
+  a ``STATUS_PROTOCOL`` frame to :class:`~repro.errors.WireProtocolError`.
+* :class:`RemoteStore` — duck-types the raw-store surface
+  (:class:`~repro.kv.memstore.MemStore` et al.) over the client, so
+  :class:`RemoteNode` can *inherit* every counting method body from
+  :class:`~repro.kv.node.StorageNode` unchanged. Counters therefore
+  live client-side and are byte-identical across transports.
+
+Every spawned process is tracked in a module registry;
+:func:`reap_orphans` (called by the test session teardown) terminates
+anything a crashed or careless caller left behind. Children are daemonic
+besides, so no interpreter exit can hang on them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import weakref
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NodePeerError, RemoteOpError, WireProtocolError
+from repro.kv import wire
+from repro.kv.node import StorageNode
+from repro.kv.server import make_engine, serve_entry
+
+#: live NodeProcess instances, for orphan reaping at session teardown
+_PROCESS_REGISTRY: "weakref.WeakSet[NodeProcess]" = weakref.WeakSet()
+_REGISTRY_LOCK = threading.Lock()
+
+_CONNECT_TIMEOUT = 5.0
+#: generous per-request ceiling — a hung peer must surface as a
+#: NodePeerError, never as a silently stuck test suite
+_REQUEST_TIMEOUT = 120.0
+
+
+def reap_orphans() -> int:
+    """Terminate every still-live node process; returns how many."""
+    with _REGISTRY_LOCK:
+        procs = list(_PROCESS_REGISTRY)
+    reaped = 0
+    for proc in procs:
+        if proc.alive:
+            proc.kill()
+            reaped += 1
+    return reaped
+
+
+class NodeProcess:
+    """One storage-node server running in its own OS process."""
+
+    def __init__(self, node_id: int, engine: str = "mem",
+                 store_args: Optional[dict] = None) -> None:
+        # validate BEFORE spawning so a bad engine name raises the same
+        # ValueError, in the same place, as the in-process node
+        make_engine(engine, store_args)
+        self.node_id = node_id
+        self.engine = engine
+        self.store_args = dict(store_args) if store_args else None
+        self.port: int = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self._spawn()
+        with _REGISTRY_LOCK:
+            _PROCESS_REGISTRY.add(self)
+
+    def _spawn(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(128)
+        self.port = listener.getsockname()[1]
+        ctx = multiprocessing.get_context("fork")
+        self.process = ctx.Process(
+            target=serve_entry,
+            args=(listener, self.engine, self.store_args),
+            daemon=True,
+            name=f"kv-node-{self.node_id}",
+        )
+        self.process.start()
+        listener.close()  # the child keeps its inherited copy
+
+    def respawn(self) -> None:
+        """Start a fresh (empty) server process on a fresh port."""
+        self.kill()
+        self._spawn()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def sigkill(self) -> None:
+        """Hard-kill the process (the fault injector's hammer)."""
+        if self.process is not None and self.process.pid is not None:
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+            self.process.join(timeout=10)
+
+    def kill(self) -> None:
+        """Terminate and join the process (idempotent)."""
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10)
+            if self.process.is_alive():
+                self.sigkill()
+        else:
+            self.process.join(timeout=1)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"NodeProcess(id={self.node_id}, pid={self.pid}, "
+            f"port={self.port}, {state})"
+        )
+
+
+class NodeClient:
+    """Framed-RPC client with a small per-client connection pool.
+
+    Requests are lock-step (send one frame, read one frame), so a
+    connection is exclusive while a request is in flight; concurrent
+    callers either grab a pooled idle connection or open a new one.
+    """
+
+    def __init__(self, node_id: int, port: int, pool_size: int = 4) -> None:
+        self.node_id = node_id
+        self.port = port
+        self._pool: List[socket.socket] = []
+        self._pool_size = pool_size
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- connection management ----------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", self.port), timeout=_CONNECT_TIMEOUT
+            )
+        except OSError as exc:
+            raise NodePeerError(self.node_id, f"connect failed: {exc}")
+        sock.settimeout(_REQUEST_TIMEOUT)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise NodePeerError(self.node_id, "client closed")
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self._pool_size:
+                self._pool.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- the RPC ------------------------------------------------------------
+
+    def request(self, op: int, *args: object) -> bytes:
+        """One request → the OK body, or a mapped exception."""
+        payload = wire.encode_request(op, *args)
+        sock = self._checkout()
+        try:
+            wire.send_frame(sock, payload)
+            response = wire.recv_frame(sock)
+        except WireProtocolError as exc:
+            # stream died mid-frame: unreachable peer, not a codec bug
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise NodePeerError(self.node_id, str(exc))
+        except OSError as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise NodePeerError(self.node_id, f"i/o failed: {exc}")
+        if response is None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise NodePeerError(self.node_id, "peer closed without answering")
+        status, body = wire.decode_response(response)
+        if status == wire.STATUS_OK:
+            self._checkin(sock)
+            return body
+        # error frames leave the connection reusable
+        self._checkin(sock)
+        message = wire.decode_error_message(body)
+        if status == wire.STATUS_ERROR:
+            raise RemoteOpError(message)
+        if status == wire.STATUS_PROTOCOL:
+            raise WireProtocolError(message)
+        raise WireProtocolError(f"unknown response status {status:#x}")
+
+    def ping(self) -> bool:
+        self.request(wire.OP_PING)
+        return True
+
+
+class RemoteStore:
+    """The raw-store surface, served by a node process over sockets.
+
+    Mirrors :class:`~repro.kv.memstore.MemStore` closely enough that
+    :class:`~repro.kv.node.StorageNode` (and the cluster's rebalance
+    path) can use it blind. ``scan`` materializes server-side and
+    returns an iterator over the shipped pairs — one frame per scan.
+    """
+
+    __slots__ = ("client",)
+
+    def __init__(self, client: NodeClient) -> None:
+        self.client = client
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.multi_get([key])[0]
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        return wire.decode_values(
+            self.client.request(wire.OP_MULTI_GET, list(keys))
+        )
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.multi_put([(key, value)])
+
+    def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        self.client.request(wire.OP_MULTI_PUT, list(items))
+
+    def delete(self, key: bytes) -> bool:
+        return wire.decode_bool(self.client.request(wire.OP_DELETE, key))
+
+    def multi_delete(self, keys: Sequence[bytes]) -> int:
+        return wire.decode_u64(
+            self.client.request(wire.OP_MULTI_DELETE, list(keys))
+        )
+
+    def scan(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        return iter(
+            wire.decode_pairs(self.client.request(wire.OP_SCAN, prefix))
+        )
+
+    def keys(self) -> List[bytes]:
+        return wire.decode_keys(self.client.request(wire.OP_KEYS, b""))
+
+    def next_key(self, after: Optional[bytes] = None) -> Optional[bytes]:
+        return wire.decode_opt_key(
+            self.client.request(wire.OP_NEXT_KEY, after)
+        )
+
+    def drop_prefix(self, prefix: bytes = b"") -> List[bytes]:
+        return wire.decode_keys(
+            self.client.request(wire.OP_DROP_PREFIX, prefix)
+        )
+
+    def size_bytes(self) -> int:
+        return wire.decode_u64(self.client.request(wire.OP_SIZE_BYTES))
+
+    def clear(self) -> None:
+        self.client.request(wire.OP_CLEAR)
+
+    def __len__(self) -> int:
+        return wire.decode_u64(self.client.request(wire.OP_COUNT))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.multi_get([key])[0] is not None
+
+
+class _NullLock:
+    """Stand-in for the per-node op mutex: a remote node's server
+    serializes store access itself, so the client holds nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+class RemoteNode(StorageNode):
+    """A :class:`StorageNode` whose store lives in another OS process.
+
+    Inherits every KV method — and with them the exact counter
+    semantics — from the in-process node; only the store is swapped for
+    a :class:`RemoteStore` and the op mutex for a no-op (the server
+    serializes). The per-thread counter shards, read-load signal and
+    stats aggregation are therefore *identical* across transports.
+    """
+
+    __slots__ = ("process", "client")
+
+    def __init__(self, node_id: int, engine: str = "mem",
+                 store_args: Optional[dict] = None) -> None:
+        process = NodeProcess(node_id, engine, store_args)
+        client = NodeClient(node_id, process.port)
+        super().__init__(node_id, engine, store=RemoteStore(client))
+        self.process = process
+        self.client = client
+        self._op_lock = _NullLock()
+
+    # -- transport-specific surface ------------------------------------------
+
+    def has_prefix(self, prefix: bytes = b"") -> bool:
+        """Server-side probe (one tiny frame, not a shipped scan)."""
+        return wire.decode_bool(
+            self.client.request(wire.OP_HAS_PREFIX, prefix)
+        )
+
+    def server_stats(self) -> Dict[str, int]:
+        """The server process's own request/error/connection counters."""
+        return wire.decode_stats(self.client.request(wire.OP_GET_STATS))
+
+    def shutdown(self) -> None:
+        """Graceful stop: SHUTDOWN frame, then reap the process."""
+        try:
+            self.client.request(wire.OP_SHUTDOWN)
+        except (NodePeerError, RemoteOpError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        """Drop the connection pool and terminate the process."""
+        self.client.close()
+        self.process.kill()
+
+    def restart(self) -> None:
+        """Respawn a fresh, EMPTY server process (crash recovery: the
+        store's contents died with the old process) and repoint the
+        client at its new port. Counters are client-side and survive."""
+        self.client.close()
+        self.process.respawn()
+        self.client = NodeClient(self.node_id, self.process.port)
+        self.store = RemoteStore(self.client)
+
+    def __repr__(self) -> str:
+        state = "up" if self.process.alive else "down"
+        return (
+            f"RemoteNode(id={self.node_id}, pid={self.process.pid}, "
+            f"port={self.process.port}, {state})"
+        )

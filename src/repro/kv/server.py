@@ -1,0 +1,209 @@
+"""The storage-node server: one process, one raw store, one socket.
+
+Each remote node of a ``transport="socket"`` cluster is this loop running
+in its own OS process (forked by :class:`repro.kv.remote.NodeProcess`),
+serving the wire protocol of :mod:`repro.kv.wire` over a listening TCP
+socket on ``127.0.0.1``. The process owns a single raw storage engine
+(:class:`~repro.kv.memstore.MemStore` or
+:class:`~repro.kv.lsm.LSMStore`) — the *node-level* bookkeeping
+(per-thread counters, read-load) stays client-side in
+:class:`~repro.kv.remote.RemoteNode`, so counting is byte-identical
+across transports.
+
+Connection handling is thread-per-connection with one store-wide mutex:
+inside a node, operations serialize exactly as the in-process
+``StorageNode._op_lock`` serializes them. Error discipline:
+
+* an application error (the store raised) → ``STATUS_ERROR`` frame,
+  connection keeps serving;
+* a malformed request payload (garbage opcode, truncated body) →
+  ``STATUS_PROTOCOL`` frame, connection keeps serving;
+* a broken *stream* (truncated length prefix, oversized declared
+  length) → best-effort ``STATUS_PROTOCOL`` frame, then the connection
+  closes — the server itself always survives;
+* ``SHUTDOWN`` → acknowledge, then ``os._exit(0)`` (no atexit games in
+  a forked child).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.errors import WireProtocolError
+from repro.kv import wire
+from repro.kv.lsm import LSMStore
+from repro.kv.memstore import MemStore
+
+#: engines a node process can host, by name (validated *before* spawn)
+ENGINE_FACTORIES = {"mem": MemStore, "lsm": LSMStore}
+
+
+def make_engine(engine: str, store_args: Optional[dict] = None):
+    """Build a raw store by engine name; unknown names raise ValueError
+    with the same message contract as :class:`~repro.kv.node.StorageNode`."""
+    try:
+        factory = ENGINE_FACTORIES[engine]
+    except KeyError:
+        raise ValueError(f"unknown storage engine {engine!r}") from None
+    return factory(**(store_args or {}))
+
+
+class NodeServer:
+    """Serve one raw store over an already-bound listening socket."""
+
+    def __init__(self, listener: socket.socket, store) -> None:
+        self.listener = listener
+        self.store = store
+        #: serializes store access across connections, like the
+        #: in-process node's ``_op_lock``
+        self._store_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "app_errors": 0,
+            "protocol_errors": 0,
+            "connections": 0,
+            "pid": os.getpid(),
+        }
+
+    # -- accounting ---------------------------------------------------------
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += by
+
+    # -- request dispatch ---------------------------------------------------
+
+    def _run_op(self, op: int, args: tuple) -> bytes:
+        """Run one decoded request against the store; returns the OK body."""
+        store = self.store
+        if op == wire.OP_PING:
+            return b""
+        if op == wire.OP_MULTI_GET:
+            return wire.encode_values(store.multi_get(args[0]))
+        if op == wire.OP_MULTI_PUT:
+            store.multi_put(args[0])
+            return b""
+        if op == wire.OP_DELETE:
+            return wire.encode_bool(store.delete(args[0]))
+        if op == wire.OP_MULTI_DELETE:
+            return wire.encode_u64(store.multi_delete(args[0]))
+        if op == wire.OP_SCAN:
+            return wire.encode_pairs(list(store.scan(args[0])))
+        if op == wire.OP_KEYS:
+            prefix = args[0]
+            if prefix:
+                keys = [key for key, _ in store.scan(prefix)]
+            else:
+                keys = store.keys()
+            return wire.encode_keys(keys)
+        if op == wire.OP_NEXT_KEY:
+            return wire.encode_opt_key(store.next_key(args[0]))
+        if op == wire.OP_HAS_PREFIX:
+            prefix = args[0]
+            if not prefix:
+                return wire.encode_bool(len(store) > 0)
+            for _ in store.scan(prefix):
+                return wire.encode_bool(True)
+            return wire.encode_bool(False)
+        if op == wire.OP_SIZE_BYTES:
+            return wire.encode_u64(store.size_bytes())
+        if op == wire.OP_COUNT:
+            return wire.encode_u64(len(store))
+        if op == wire.OP_DROP_PREFIX:
+            return wire.encode_keys(store.drop_prefix(args[0]))
+        if op == wire.OP_CLEAR:
+            store.clear()
+            return b""
+        if op == wire.OP_GET_STATS:
+            with self._stats_lock:
+                return wire.encode_stats(dict(self._stats))
+        raise AssertionError(f"unhandled opcode {op:#x}")
+
+    def _handle_request(self, payload: bytes) -> Optional[bytes]:
+        """One request payload → one response payload (``None`` after a
+        SHUTDOWN acknowledgement has been queued by the caller)."""
+        self._bump("requests")
+        try:
+            op, args = wire.decode_request(payload)
+        except WireProtocolError as exc:
+            self._bump("protocol_errors")
+            return wire.encode_error(wire.STATUS_PROTOCOL, str(exc))
+        if op == wire.OP_SHUTDOWN:
+            return None
+        try:
+            if op == wire.OP_GET_STATS:
+                body = self._run_op(op, args)
+            else:
+                with self._store_lock:
+                    body = self._run_op(op, args)
+        except WireProtocolError as exc:
+            self._bump("protocol_errors")
+            return wire.encode_error(wire.STATUS_PROTOCOL, str(exc))
+        except Exception as exc:  # app error: report, keep serving
+            self._bump("app_errors")
+            return wire.encode_error(
+                wire.STATUS_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+        return wire.encode_ok(body)
+
+    # -- connection / accept loops ------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self._bump("connections")
+        try:
+            while True:
+                try:
+                    payload = wire.recv_frame(conn)
+                except WireProtocolError as exc:
+                    # broken framing: answer if the pipe still works,
+                    # then give up on this connection only
+                    self._bump("protocol_errors")
+                    try:
+                        wire.send_frame(
+                            conn,
+                            wire.encode_error(wire.STATUS_PROTOCOL, str(exc)),
+                        )
+                    except OSError:
+                        pass
+                    return
+                if payload is None:
+                    return
+                response = self._handle_request(payload)
+                if response is None:  # SHUTDOWN
+                    try:
+                        wire.send_frame(conn, wire.encode_ok())
+                        conn.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        pass
+                    os._exit(0)
+                wire.send_frame(conn, response)
+        except OSError:
+            pass  # peer vanished; the accept loop keeps running
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        while True:
+            try:
+                conn, _addr = self.listener.accept()
+            except OSError:
+                os._exit(0)  # listener torn down
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+
+def serve_entry(listener: socket.socket, engine: str,
+                store_args: Optional[dict]) -> None:
+    """Child-process entry point (target of the forked ``Process``)."""
+    store = make_engine(engine, store_args)
+    NodeServer(listener, store).serve_forever()

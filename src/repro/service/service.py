@@ -493,8 +493,19 @@ class QueryService:
                 self._gate.wait(timeout=remaining)
             return True
 
-    def close(self, timeout: Optional[float] = None) -> bool:
-        """Drain, then shut the pool down. Further queries are refused."""
+    def close(
+        self,
+        timeout: Optional[float] = None,
+        close_system: bool = False,
+    ) -> bool:
+        """Drain, then shut the pool down. Further queries are refused.
+
+        ``close_system=True`` also closes the underlying system (which
+        reaps its cluster's node processes on the socket transport) —
+        opt-in because the service does not own a system handed to it,
+        and callers may keep querying the system directly after the
+        service is gone.
+        """
         drained = self.drain(timeout=timeout)
         with self._gate:
             self._closed = True
@@ -502,6 +513,10 @@ class QueryService:
                 session.closed = True
             self._sessions.clear()
         self._pool.shutdown(wait=True, cancel_futures=True)
+        if close_system:
+            closer = getattr(self.system, "close", None)
+            if closer is not None:
+                closer()
         return drained
 
     def __enter__(self) -> "QueryService":

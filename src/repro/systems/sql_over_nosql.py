@@ -165,12 +165,17 @@ class SQLOverNoSQL:
         batch_size: int = 1,
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
+        transport: Optional[str] = None,
         indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
+        # transport=None defers to REPRO_KV_TRANSPORT (default "local");
+        # "socket" puts every storage node in its own OS process
         self.cluster = KVCluster(
-            storage_nodes, replication_factor=replication_factor
+            storage_nodes,
+            replication_factor=replication_factor,
+            transport=transport,
         )
         # per-key gets by default — the conventional stack the paper
         # measures; raise to model a multi-get-capable client
@@ -279,6 +284,16 @@ class SQLOverNoSQL:
             taav.insert(row)
         self.indexes.apply_updates(relation, inserts, deletes)
 
+    def close(self) -> None:
+        """Shut the cluster down (reaps node processes; idempotent)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "SQLOverNoSQL":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
 
 class ZidianSystem:
     """A baseline system with Zidian plugged in (§8.2 deployment)."""
@@ -297,14 +312,18 @@ class ZidianSystem:
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
+        transport: Optional[str] = None,
         indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         # R-way replicated DHT (1 = unreplicated, the paper's cluster);
-        # fail_node/recover_node on the cluster model churn under load
+        # fail_node/recover_node on the cluster model churn under load;
+        # transport="socket" puts each node in its own OS process
         self.cluster = KVCluster(
-            storage_nodes, replication_factor=replication_factor
+            storage_nodes,
+            replication_factor=replication_factor,
+            transport=transport,
         )
         # probe keys coalesced per multi-get round (1 = per-key probes)
         self.batch_size = batch_size
@@ -521,3 +540,13 @@ class ZidianSystem:
             [tuple(r) for r in inserts],
             [tuple(r) for r in deletes],
         )
+
+    def close(self) -> None:
+        """Shut the cluster down (reaps node processes; idempotent)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "ZidianSystem":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -86,6 +86,23 @@ def cluster():
     return KVCluster(4)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _reap_node_processes():
+    """Session-wide safety net for the socket transport.
+
+    Node servers run as forked child processes; clusters reap them on
+    ``close()`` / garbage collection, but a test that fails mid-churn
+    (or deliberately SIGKILLs processes) can leave strays. Ports are
+    ephemeral (each listener binds ``127.0.0.1:0``), so parallel test
+    sessions never collide; this teardown guarantees the *processes*
+    don't outlive the session either.
+    """
+    yield
+    from repro.kv.remote import reap_orphans
+
+    reap_orphans()
+
+
 @pytest.fixture()
 def paper_store(paper_db, paper_baav_schema, cluster):
     return BaaVStore.map_database(paper_db, paper_baav_schema, cluster)

@@ -11,6 +11,13 @@ bloom filters, merged snapshots — stays in ``test_lsm.py``).
 
 Adding an engine = adding one ``ENGINES`` entry; the matrix does the
 rest.
+
+The matrix also runs every case against **remote** nodes —
+``mem@socket`` / ``lsm@socket`` spawn a real node server process and
+speak the wire protocol of :mod:`repro.kv.wire` — so the socket
+transport is held to the exact same contract, counters included
+(:class:`~repro.kv.remote.RemoteNode` inherits the counting bodies, and
+these tests prove the composition stays faithful).
 """
 
 import pytest
@@ -18,6 +25,7 @@ import pytest
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
 from repro.kv.node import StorageNode
+from repro.kv.remote import RemoteNode, RemoteStore
 
 #: engine name -> raw-store factory exercising that engine's write paths
 #: (the LSM limits force flushes and compactions mid-contract)
@@ -26,20 +34,44 @@ ENGINES = {
     "lsm": lambda: LSMStore(memtable_limit=4, max_runs=2),
 }
 
+#: picklable engine configs for the remote variants (the node process
+#: builds its store from these; same limits as the local factories)
+REMOTE_ENGINES = {
+    "mem@socket": ("mem", None),
+    "lsm@socket": ("lsm", {"memtable_limit": 4, "max_runs": 2}),
+}
 
-@pytest.fixture(params=sorted(ENGINES))
+ALL_ENGINES = sorted(ENGINES) + sorted(REMOTE_ENGINES)
+
+
+def _make_node(engine):
+    if engine in REMOTE_ENGINES:
+        name, store_args = REMOTE_ENGINES[engine]
+        return RemoteNode(0, engine=name, store_args=store_args)
+    return StorageNode(0, engine=engine)
+
+
+@pytest.fixture(params=ALL_ENGINES)
 def engine(request):
     return request.param
 
 
 @pytest.fixture()
 def store(engine):
-    return ENGINES[engine]()
+    if engine in REMOTE_ENGINES:
+        node = _make_node(engine)
+        yield node.store
+        node.close()
+        return
+    yield ENGINES[engine]()
 
 
 @pytest.fixture()
 def node(engine):
-    return StorageNode(0, engine=engine)
+    node = _make_node(engine)
+    yield node
+    if isinstance(node, RemoteNode):
+        node.close()
 
 
 class TestStoreContract:
@@ -206,3 +238,41 @@ class TestNodeContract:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
             StorageNode(0, engine="papyrus")
+
+
+class TestRemoteNodeSpecifics:
+    """Remote-only contract points (no local analogue)."""
+
+    def test_unknown_engine_rejected_before_spawn(self):
+        # validated in the parent, pre-fork: same error, same place
+        with pytest.raises(ValueError):
+            RemoteNode(0, engine="papyrus")
+
+    def test_store_is_the_wire_facade(self):
+        node = RemoteNode(0)
+        try:
+            assert isinstance(node.store, RemoteStore)
+            assert node.process.alive
+            assert node.server_stats()["requests"] >= 1
+        finally:
+            node.close()
+
+    def test_close_is_idempotent_and_reaps(self):
+        node = RemoteNode(0)
+        pid = node.process.pid
+        node.close()
+        node.close()
+        assert not node.process.alive
+        assert pid is not None
+
+    def test_restart_resets_store_but_keeps_counters(self):
+        node = RemoteNode(0)
+        try:
+            node.put(b"k", b"v")
+            before = node.counters_total().puts
+            node.process.sigkill()
+            node.restart()
+            assert node.get(b"k") is None  # fresh process, empty store
+            assert node.counters_total().puts == before  # client-side
+        finally:
+            node.close()
