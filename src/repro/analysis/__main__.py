@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.analysis <paths>``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,245 @@
+"""Counter-accounting checker: stats increments go through shards.
+
+PR 5 made every hot counter *thread-sharded* (:class:`repro.locks.ShardSet`):
+each thread increments a private shard, aggregates sum the shards. A
+bare ``+=`` on a *shared* stats instance silently loses increments
+under concurrency — the exact bug class the sharding removed — so this
+checker flags it.
+
+What counts as a stats field is discovered from the tree itself: every
+``@dataclass`` that defines an ``add(self, other)`` method is a
+shard-able counter set (``NodeCounters``, ``CacheStats``,
+``IndexCounters``, ...), and its annotated field names form the
+protected vocabulary. An augmented assignment to one of those field
+names is then only allowed when the receiver is provably the calling
+thread's own shard:
+
+* through a shard accessor property (``self.counters``, ``stats.local``,
+  the cache's ``_stats``) or a ``.local()`` / ``.peek()`` call;
+* through a local alias of one of those;
+* on a freshly constructed private instance (``total = NodeCounters()``
+  or a ``.copy()`` / ``thread_stats()`` / ``counters_total()`` result);
+* inside the stats dataclass's own methods (``add``/``reset`` fold
+  fields by design).
+
+Iterating ``.all()`` and mutating the yielded shards is flagged: those
+are other threads' live shards (aggregation sweeps may only *read*
+them; the one sanctioned fold lives in ``ShardSet`` itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis import config
+from repro.analysis.core import Checker, Finding, ParsedModule, Project
+
+#: call names whose result is a private copy, safe to mutate
+_FRESH_CALLS = frozenset({
+    "copy", "thread_stats", "thread_counters", "counters_total",
+    "snapshot", "replace",
+})
+
+
+def _is_dataclass_with_add(node: ast.ClassDef) -> bool:
+    decorated = any(
+        (isinstance(dec, ast.Name) and dec.id == "dataclass")
+        or (
+            isinstance(dec, ast.Call)
+            and isinstance(dec.func, ast.Name)
+            and dec.func.id == "dataclass"
+        )
+        for dec in node.decorator_list
+    )
+    if not decorated:
+        return False
+    return any(
+        isinstance(item, ast.FunctionDef) and item.name == "add"
+        for item in node.body
+    )
+
+
+def _stats_classes(project: Project) -> Dict[str, Set[str]]:
+    """name → annotated field names, for every stats dataclass."""
+    out: Dict[str, Set[str]] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_with_add(node):
+                continue
+            fields = {
+                item.target.id
+                for item in node.body
+                if isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+            }
+            out[node.name] = fields
+    return out
+
+
+def _terminal_accessor(node: ast.AST) -> Optional[str]:
+    """The last attribute/call name of a receiver chain: ``self.stats.local``
+    → ``local``; ``self._shards.local()`` → ``local`` (call form)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _FunctionState:
+    __slots__ = ("approved", "shared")
+
+    def __init__(self) -> None:
+        self.approved: Set[str] = set()
+        self.shared: Set[str] = set()
+
+
+class CounterAccountingChecker(Checker):
+    name = "counter-accounting"
+    description = (
+        "stats-dataclass fields are incremented only through per-thread "
+        "shards, never on shared instances"
+    )
+    rules = ("counter-accounting",)
+
+    def check_module(
+        self, module: ParsedModule, project: Project
+    ) -> Iterator[Finding]:
+        stats_classes = _stats_classes(project)
+        field_names: Set[str] = set()
+        for fields in stats_classes.values():
+            field_names.update(fields)
+        if not field_names:
+            return iter(())
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                if node.name in stats_classes:
+                    continue  # add()/reset() fold their own fields
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self._scan_function(
+                            module, item, stats_classes, field_names,
+                            findings,
+                        )
+            elif isinstance(node, ast.FunctionDef):
+                self._scan_function(
+                    module, node, stats_classes, field_names, findings
+                )
+        return iter(findings)
+
+    # -- receiver classification --------------------------------------------
+
+    def _classify(
+        self,
+        node: ast.AST,
+        state: _FunctionState,
+        stats_classes: Dict[str, Set[str]],
+    ) -> str:
+        """``"approved"`` / ``"shared"`` / ``"unknown"`` for a receiver."""
+        if isinstance(node, ast.Name):
+            if node.id in state.approved:
+                return "approved"
+            if node.id in state.shared:
+                return "shared"
+            return "unknown"
+        terminal = _terminal_accessor(node)
+        if terminal in config.SHARD_ACCESSORS:
+            return "approved"
+        if isinstance(node, ast.Call):
+            if terminal in config.SHARD_CALLS or terminal in _FRESH_CALLS:
+                return "approved"
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in stats_classes
+            ):
+                return "approved"  # fresh private instance
+            return "unknown"
+        if isinstance(node, ast.Attribute):
+            # self.X.field / obj.X.field with X not a shard accessor:
+            # X names a shared instance attribute
+            if isinstance(node.value, (ast.Name, ast.Attribute)):
+                return "shared"
+        return "unknown"
+
+    def _note_bindings(
+        self,
+        stmt: ast.stmt,
+        state: _FunctionState,
+        stats_classes: Dict[str, Set[str]],
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                name = stmt.targets[0].id
+                klass = self._classify(stmt.value, state, stats_classes)
+                if klass == "approved":
+                    state.approved.add(name)
+                    state.shared.discard(name)
+                elif klass == "shared":
+                    state.shared.add(name)
+                    state.approved.discard(name)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # for shard in <x>.all(): — the yielded shards belong to
+            # OTHER threads; mutating them races their owners
+            if (
+                isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.iter, ast.Call)
+                and _terminal_accessor(stmt.iter) == "all"
+            ):
+                state.shared.add(stmt.target.id)
+                state.approved.discard(stmt.target.id)
+
+    # -- the scan -----------------------------------------------------------
+
+    def _scan_function(
+        self,
+        module: ParsedModule,
+        func: ast.FunctionDef,
+        stats_classes: Dict[str, Set[str]],
+        field_names: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        state = _FunctionState()
+
+        def ordered(body) -> Iterator[ast.stmt]:
+            for stmt in body:
+                yield stmt
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        yield from ordered([child])
+                    elif hasattr(child, "body") and isinstance(
+                        child, (ast.ExceptHandler,)
+                    ):
+                        yield from ordered(child.body)
+
+        for stmt in ordered(func.body):
+            self._note_bindings(stmt, state, stats_classes)
+            if not isinstance(stmt, ast.AugAssign):
+                continue
+            target = stmt.target
+            if not isinstance(target, ast.Attribute):
+                continue
+            if target.attr not in field_names:
+                continue
+            klass = self._classify(target.value, state, stats_classes)
+            if klass == "approved" or klass == "unknown":
+                continue
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=target.lineno,
+                    col=target.col_offset,
+                    rule="counter-accounting",
+                    message=(
+                        f"increment of stats field {target.attr!r} on a "
+                        f"shared instance — route it through a per-thread "
+                        f"shard (ShardSet .local(), the `counters`/`local` "
+                        f"accessors) so concurrent increments are not lost"
+                    ),
+                )
+            )

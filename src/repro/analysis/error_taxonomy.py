@@ -1,0 +1,122 @@
+"""Error-taxonomy checker: failures travel as ``repro.errors`` types.
+
+The library promises callers one catchable hierarchy
+(:class:`repro.errors.ReproError`); swallowing everything or raising
+anonymous builtins breaks that contract. Three rules:
+
+* ``bare-except`` — ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too; never acceptable.
+* ``broad-except`` — ``except Exception`` / ``except BaseException``
+  is allowed only at documented process/connection boundaries (a node
+  server answering an app-error frame, a GC teardown safety net, the
+  service's accounting settle). Each such site carries a
+  ``# repro-lint: disable=broad-except`` with a one-line justification;
+  anywhere else it hides typed failures from callers.
+* ``foreign-raise`` — raising ``Exception`` / ``RuntimeError`` /
+  ``OSError`` (and friends) directly: cross-module failures must be
+  ``repro.errors`` types so the taxonomy stays total.
+  ``ValueError`` / ``TypeError`` / ``KeyError`` /
+  ``NotImplementedError`` / ``AssertionError`` stay allowed — local
+  argument validation and invariant checks are stdlib idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis import config
+from repro.analysis.core import Checker, Finding, ParsedModule, Project
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _exception_names(node: ast.AST) -> List[str]:
+    """Exception names of an ``except`` clause (tuple-aware)."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, ast.Tuple):
+        out: List[str] = []
+        for element in node.elts:
+            out.extend(_exception_names(element))
+        return out
+    return []
+
+
+class ErrorTaxonomyChecker(Checker):
+    name = "error-taxonomy"
+    description = (
+        "no bare excepts; broad excepts only at documented boundaries; "
+        "raises use repro.errors types"
+    )
+    rules = ("bare-except", "broad-except", "foreign-raise")
+
+    def check_module(
+        self, module: ParsedModule, project: Project
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="bare-except",
+                            message=(
+                                "bare `except:` also swallows "
+                                "KeyboardInterrupt/SystemExit — name the "
+                                "exceptions (a repro.errors type, or "
+                                "`Exception` at a documented boundary)"
+                            ),
+                        )
+                    )
+                else:
+                    broad = [
+                        name
+                        for name in _exception_names(node.type)
+                        if name in _BROAD
+                    ]
+                    if broad:
+                        findings.append(
+                            Finding(
+                                path=module.path,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                rule="broad-except",
+                                message=(
+                                    f"`except {broad[0]}` outside a "
+                                    f"documented process/connection "
+                                    f"boundary — catch repro.errors types, "
+                                    f"or suppress with a justification if "
+                                    f"this IS a boundary"
+                                ),
+                            )
+                        )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) and isinstance(
+                    exc.func, ast.Name
+                ):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                if name in config.FORBIDDEN_RAISES:
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="foreign-raise",
+                            message=(
+                                f"raise of builtin {name!r} — cross-module "
+                                f"failures must be repro.errors types so "
+                                f"callers can catch one taxonomy"
+                            ),
+                        )
+                    )
+        return iter(findings)

@@ -13,6 +13,19 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class LockError(ReproError):
+    """A concurrency primitive was misused (e.g. ``release_write`` by a
+    thread that does not own the write lock). Raised by
+    :mod:`repro.locks`; always a caller bug, never a transient state."""
+
+
+class LockOrderError(LockError):
+    """The runtime lock-order sanitizer (``REPRO_LOCKDEP=1``, see
+    :mod:`repro.lockdep`) observed acquisition orderings that form a
+    cycle — a latent deadlock. The message carries the witness stacks
+    of both sides of the inverted ordering."""
+
+
 class SchemaError(ReproError):
     """Invalid relational or KV schema definition or usage."""
 

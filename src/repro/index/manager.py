@@ -30,6 +30,7 @@ from repro.index.indexes import (
     SecondaryIndex,
 )
 from repro.kv.cluster import KVCluster
+from repro.locks import make_rlock
 from repro.relational.relation import Relation
 from repro.relational.types import Row
 
@@ -48,7 +49,7 @@ class IndexManager:
         # guards the catalog dict: DDL (create/drop/forget) is rare but
         # must not mutate it under a concurrent planner/executor read;
         # reentrant so a drop cascade can re-enter through the cluster
-        self._lock = threading.RLock()
+        self._lock = make_rlock("IndexManager._lock")
 
     # -- DDL ----------------------------------------------------------------
 

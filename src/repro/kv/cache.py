@@ -53,7 +53,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.locks import ShardSet
+from repro.locks import ShardSet, make_rlock
 
 
 @dataclass
@@ -122,7 +122,7 @@ class BlockCache:
         self.capacity_bytes = capacity_bytes
         self._entries: "OrderedDict[_CacheKey, bytes]" = OrderedDict()
         #: serializes LRU-map access across query threads
-        self._lock = threading.RLock()
+        self._lock = make_rlock("BlockCache._lock")
         #: per-thread statistic shards (each mutated only by its owner;
         #: registry survives thread death — idents are never consulted)
         self._shards: ShardSet[CacheStats] = ShardSet(CacheStats)
@@ -249,6 +249,7 @@ class BlockCache:
         """Advance the clock and remember what was invalidated
         (lock held). Records are pruned by raising the floor epoch —
         an in-flight fill older than the floor is rejected outright."""
+        # repro-lint: holds=_lock -- invalidate/invalidate_namespace/clear
         self._epoch += 1
         if key_bytes is None:
             self._invalidated_namespaces[namespace] = self._epoch

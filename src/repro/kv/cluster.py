@@ -114,7 +114,7 @@ from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
 from repro.kv.remote import RemoteNode
-from repro.locks import RWLock
+from repro.locks import RWLock, make_lock
 
 #: environment override for the default transport, so an unmodified test
 #: suite can be pointed at real node processes (the CI socket matrix
@@ -131,6 +131,8 @@ def _close_nodes(nodes: Dict[int, StorageNode]) -> None:
         if close is not None:
             try:
                 close()
+            # repro-lint: disable=broad-except -- GC/exit teardown safety
+            # net: a dying node process must not abort the sweep
             except Exception:
                 pass
 
@@ -226,9 +228,9 @@ class KVCluster:
         #: shared/exclusive lock (see "Concurrency" in the module docs):
         #: reads and ordinary writes share it, membership events and
         #: namespace drops hold it exclusively
-        self._lock = RWLock()
+        self._lock = RWLock("KVCluster._lock")
         #: guards the namespace registry (touched on the shared path)
-        self._meta_lock = threading.Lock()
+        self._meta_lock = make_lock("KVCluster._meta_lock")
         self._closed = False
         #: kills any still-running node processes if the cluster is
         #: garbage-collected without close() — tests create hundreds of
@@ -262,6 +264,8 @@ class KVCluster:
     # -- topology --------------------------------------------------------
 
     def _add_node(self, node_id: int) -> StorageNode:
+        # repro-lint: holds=_lock -- callers hold the write lock, except
+        # __init__, which owns the not-yet-shared cluster exclusively
         if self.transport == "socket":
             node: StorageNode = RemoteNode(node_id, engine=self.engine)
         else:

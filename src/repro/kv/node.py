@@ -31,7 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
-from repro.locks import ShardSet
+from repro.locks import ShardSet, make_lock
 
 
 @dataclass
@@ -125,7 +125,7 @@ class StorageNode:
         #: owning thread (see module docstring)
         self._shards: ShardSet[NodeCounters] = ShardSet(NodeCounters)
         #: serializes store access (engine internals are not reentrant)
-        self._op_lock = threading.Lock()
+        self._op_lock = make_lock("StorageNode._op_lock")
         #: cached gets+values_read across all shards — the O(1) load
         #: signal replica selection reads on every point get (benign
         #: ``+=`` races only wobble a tie-break heuristic)

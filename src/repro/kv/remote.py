@@ -39,10 +39,11 @@ from repro.errors import NodePeerError, RemoteOpError, WireProtocolError
 from repro.kv import wire
 from repro.kv.node import StorageNode
 from repro.kv.server import make_engine, serve_entry
+from repro.locks import make_lock
 
 #: live NodeProcess instances, for orphan reaping at session teardown
 _PROCESS_REGISTRY: "weakref.WeakSet[NodeProcess]" = weakref.WeakSet()
-_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_LOCK = make_lock("remote._REGISTRY_LOCK")
 
 _CONNECT_TIMEOUT = 5.0
 #: generous per-request ceiling — a hung peer must surface as a
@@ -150,7 +151,7 @@ class NodeClient:
         self.port = port
         self._pool: List[socket.socket] = []
         self._pool_size = pool_size
-        self._lock = threading.Lock()
+        self._lock = make_lock("NodeClient._lock")
         self._closed = False
 
     # -- connection management ----------------------------------------------

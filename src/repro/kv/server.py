@@ -36,6 +36,7 @@ from repro.errors import WireProtocolError
 from repro.kv import wire
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
+from repro.locks import make_lock
 
 #: engines a node process can host, by name (validated *before* spawn)
 ENGINE_FACTORIES = {"mem": MemStore, "lsm": LSMStore}
@@ -59,8 +60,8 @@ class NodeServer:
         self.store = store
         #: serializes store access across connections, like the
         #: in-process node's ``_op_lock``
-        self._store_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._store_lock = make_lock("NodeServer._store_lock")
+        self._stats_lock = make_lock("NodeServer._stats_lock")
         self._stats: Dict[str, int] = {
             "requests": 0,
             "app_errors": 0,
@@ -79,6 +80,9 @@ class NodeServer:
 
     def _run_op(self, op: int, args: tuple) -> bytes:
         """Run one decoded request against the store; returns the OK body."""
+        # repro-lint: holds=_store_lock -- _handle_request serializes every
+        # store-touching opcode under the mutex (GET_STATS skips it and
+        # touches only _stats, under _stats_lock)
         store = self.store
         if op == wire.OP_PING:
             return b""
@@ -143,6 +147,8 @@ class NodeServer:
         except WireProtocolError as exc:
             self._bump("protocol_errors")
             return wire.encode_error(wire.STATUS_PROTOCOL, str(exc))
+        # repro-lint: disable=broad-except -- THE process boundary: any app
+        # error becomes a STATUS_ERROR frame and the connection keeps serving
         except Exception as exc:  # app error: report, keep serving
             self._bump("app_errors")
             return wire.encode_error(

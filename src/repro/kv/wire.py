@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import socket
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import WireProtocolError
 
@@ -187,10 +187,10 @@ class Reader:
         return self._take(1)[0]
 
     def u32(self) -> int:
-        return _U32.unpack(self._take(_U32.size))[0]
+        return int(_U32.unpack(self._take(_U32.size))[0])
 
     def u64(self) -> int:
-        return _U64.unpack(self._take(_U64.size))[0]
+        return int(_U64.unpack(self._take(_U64.size))[0])
 
     def bytes_(self) -> bytes:
         return self._take(self.u32())
@@ -239,29 +239,29 @@ def _put_str(out: bytearray, text: str) -> None:
 # --------------------------------------------------------------------------
 
 
-def encode_request(op: int, *args: object) -> bytes:
+def encode_request(op: int, *args: Any) -> bytes:
     """Encode one request payload (the inverse of :func:`decode_request`)."""
     out = bytearray((op,))
     if op == OP_MULTI_GET or op == OP_MULTI_DELETE:
         (keys,) = args
-        out += _U32.pack(len(keys))  # type: ignore[arg-type]
-        for key in keys:  # type: ignore[union-attr]
+        out += _U32.pack(len(keys))
+        for key in keys:
             _put_bytes(out, key)
     elif op == OP_MULTI_PUT:
         (items,) = args
-        out += _U32.pack(len(items))  # type: ignore[arg-type]
-        for key, value in items:  # type: ignore[union-attr]
+        out += _U32.pack(len(items))
+        for key, value in items:
             _put_bytes(out, key)
             _put_bytes(out, value)
     elif op == OP_DELETE:
         (key,) = args
-        _put_bytes(out, key)  # type: ignore[arg-type]
+        _put_bytes(out, key)
     elif op == OP_NEXT_KEY:
         (after,) = args
-        _put_opt_bytes(out, after)  # type: ignore[arg-type]
+        _put_opt_bytes(out, after)
     elif op in _PREFIX_OPS:
         (prefix,) = args
-        _put_bytes(out, prefix)  # type: ignore[arg-type]
+        _put_bytes(out, prefix)
     elif op in _NULLARY_OPS:
         if args:
             raise WireProtocolError(f"{OP_NAMES[op]} takes no arguments")
@@ -270,13 +270,13 @@ def encode_request(op: int, *args: object) -> bytes:
     return bytes(out)
 
 
-def decode_request(payload: bytes) -> Tuple[int, tuple]:
+def decode_request(payload: bytes) -> Tuple[int, Tuple[Any, ...]]:
     """Decode a request payload to ``(opcode, args)``, strictly."""
     if not payload:
         raise WireProtocolError("empty request payload")
     reader = Reader(payload)
     op = reader.u8()
-    args: tuple
+    args: Tuple[Any, ...]
     if op == OP_MULTI_GET or op == OP_MULTI_DELETE:
         args = ([reader.bytes_() for _ in range(reader.u32())],)
     elif op == OP_MULTI_PUT:
@@ -410,7 +410,7 @@ def encode_u64(value: int) -> bytes:
 def decode_u64(body: bytes) -> int:
     if len(body) != _U64.size:
         raise WireProtocolError(f"bad u64 body of {len(body)} bytes")
-    return _U64.unpack(body)[0]
+    return int(_U64.unpack(body)[0])
 
 
 def encode_stats(stats: Dict[str, int]) -> bytes:

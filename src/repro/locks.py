@@ -23,9 +23,55 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    cast,
+)
+
+from repro import lockdep
+from repro.errors import LockError
 
 T = TypeVar("T")
+
+#: latched once at import: instrumenting later would miss early edges
+#: and make the wrapper overhead data-dependent mid-run
+_LOCKDEP = lockdep.enabled()
+
+
+def make_lock(name: str) -> Any:
+    """A ``threading.Lock``, wrapped for lock-order checking when
+    ``REPRO_LOCKDEP=1``. ``name`` should read like the field it guards
+    (``"NodeServer._store_lock"``) — it is the node label in reports.
+    Typed ``Any``: the instrumented wrapper and the raw lock share the
+    acquire/release/context-manager surface, not a nominal base."""
+    lock = threading.Lock()
+    if _LOCKDEP:
+        return lockdep.instrument(lock, name)
+    return lock
+
+
+def make_rlock(name: str) -> Any:
+    """Like :func:`make_lock`, for a reentrant lock."""
+    lock = threading.RLock()
+    if _LOCKDEP:
+        return lockdep.instrument(lock, name)
+    return lock
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A ``threading.Condition`` whose underlying RLock participates in
+    lock-order checking when ``REPRO_LOCKDEP=1`` (every ``with cond:``
+    and every re-acquire after ``wait`` feeds the graph)."""
+    if _LOCKDEP:
+        return lockdep.instrument_condition(name)
+    return threading.Condition()
 
 
 class RWLock:
@@ -44,12 +90,17 @@ class RWLock:
     critical sections flat (snapshot, release, then post-process).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "RWLock") -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writers_waiting = 0
         self._write_owner: int | None = None
         self._write_depth = 0
+        #: lock-order node: read and write side map to the SAME node —
+        #: a read/write inversion across two RWLocks is still a deadlock
+        self._dep_name = (
+            lockdep.global_registry.name_for(name) if _LOCKDEP else None
+        )
 
     # -- read side --------------------------------------------------------
 
@@ -60,6 +111,8 @@ class RWLock:
             while self._write_owner is not None or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if self._dep_name is not None:
+            lockdep.global_registry.note_acquire(self._dep_name)
 
     def release_read(self) -> None:
         if self._write_owner == threading.get_ident():
@@ -68,6 +121,8 @@ class RWLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        if self._dep_name is not None:
+            lockdep.global_registry.note_release(self._dep_name)
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -84,6 +139,8 @@ class RWLock:
         with self._cond:
             if self._write_owner == me:
                 self._write_depth += 1
+                if self._dep_name is not None:
+                    lockdep.global_registry.note_acquire(self._dep_name)
                 return
             self._writers_waiting += 1
             try:
@@ -93,15 +150,19 @@ class RWLock:
                 self._writers_waiting -= 1
             self._write_owner = me
             self._write_depth = 1
+        if self._dep_name is not None:
+            lockdep.global_registry.note_acquire(self._dep_name)
 
     def release_write(self) -> None:
         with self._cond:
             if self._write_owner != threading.get_ident():
-                raise RuntimeError("release_write by a non-owner thread")
+                raise LockError("release_write by a non-owner thread")
             self._write_depth -= 1
             if self._write_depth == 0:
                 self._write_owner = None
                 self._cond.notify_all()
+        if self._dep_name is not None:
+            lockdep.global_registry.note_release(self._dep_name)
 
     @contextmanager
     def write(self) -> Iterator[None]:
@@ -137,13 +198,14 @@ class ShardSet(Generic[T]):
         self._factory = factory
         self._local = threading.local()
         #: (owning thread, shard) for every live registration
-        self._entries: List[tuple] = []
+        self._entries: List[Tuple[threading.Thread, T]] = []
         #: folded history of finished threads (created lazily)
         self._retired: Optional[T] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("ShardSet._lock")
 
     def _sweep_locked(self) -> None:
-        survivors = []
+        # repro-lint: holds=_lock -- every caller takes self._lock first
+        survivors: List[Tuple[threading.Thread, T]] = []
         for thread, shard in self._entries:
             if thread.is_alive():
                 survivors.append((thread, shard))
@@ -156,7 +218,7 @@ class ShardSet(Generic[T]):
     def local(self) -> T:
         """The calling thread's shard (created and registered on first
         use)."""
-        shard = getattr(self._local, "shard", None)
+        shard = cast(Optional[T], getattr(self._local, "shard", None))
         if shard is None:
             shard = self._factory()
             with self._lock:
@@ -167,7 +229,7 @@ class ShardSet(Generic[T]):
 
     def peek(self) -> Optional[T]:
         """The calling thread's shard, or ``None`` if it never counted."""
-        return getattr(self._local, "shard", None)
+        return cast(Optional[T], getattr(self._local, "shard", None))
 
     def all(self) -> List[T]:
         """Every live shard plus the retired accumulator (aggregation

@@ -56,7 +56,7 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
-from repro.locks import RWLock
+from repro.locks import RWLock, make_condition
 
 #: default bound on queries waiting for a worker before load shedding
 DEFAULT_MAX_QUEUED = 16
@@ -215,9 +215,9 @@ class QueryService:
             max_workers=max_workers, thread_name_prefix="query-svc"
         )
         #: reads share / updates exclude (service-level atomicity)
-        self._rw = RWLock()
+        self._rw = RWLock("QueryService._rw")
         #: admission accounting + drain signaling
-        self._gate = threading.Condition()
+        self._gate = make_condition("QueryService._gate")
         self._stats = ServiceStats()
         self._draining = False
         self._closed = False
@@ -354,6 +354,7 @@ class QueryService:
         return self._execute_accounted(session, sql, deadline_at)
 
     def _note_peaks(self) -> None:
+        # repro-lint: holds=_gate -- called from admission paths only
         stats = self._stats
         stats.peak_in_flight = max(stats.peak_in_flight, stats.in_flight)
         stats.peak_queued = max(stats.peak_queued, stats.queued)
@@ -384,6 +385,8 @@ class QueryService:
                 self._stats.expired += 1
                 session.errors += 1
             raise
+        # repro-lint: disable=broad-except -- the worker boundary: settle
+        # the accounting for ANY query failure, then re-raise it verbatim
         except Exception:
             with self._gate:
                 self._stats.failed += 1

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceOverloadedError
+from repro.locks import make_lock
 from repro.relational.database import Database
 
 #: (relation, inserted rows, deleted rows) produced by an update sampler
@@ -433,7 +434,7 @@ class TrafficDriver:
         """
         samples: List[QuerySample] = []
         update_latencies: List[float] = []
-        samples_lock = threading.Lock()
+        samples_lock = make_lock("traffic.samples_lock")
         start_wall = time.perf_counter()
 
         def client_loop(client: int) -> None:

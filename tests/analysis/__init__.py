@@ -1,0 +1,1 @@
+"""Tests for the repro-lint static analyzer and the lockdep sanitizer."""

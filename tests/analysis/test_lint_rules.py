@@ -1,0 +1,511 @@
+"""Per-rule fixtures: each repro-lint rule has at least one snippet
+that MUST trigger it and one that MUST NOT.
+
+Fixture files are written under ``tmp_path`` with the module suffixes
+the config registry keys on (``repro/kv/cluster.py`` ...), so the
+checkers resolve the same guard specs they apply to the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cli import all_checkers
+from repro.analysis.core import Finding, run_analysis
+
+
+def lint(
+    tmp_path, files: Dict[str, str], rules: Optional[Set[str]] = None
+) -> List[Finding]:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_analysis(
+        [str(tmp_path)], all_checkers(), rules=rules, root=tmp_path
+    )
+
+
+def rules_of(findings: List[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]
+
+
+# -- guarded-field -----------------------------------------------------------
+
+
+def test_guarded_field_triggers_on_unlocked_mutation(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def bad(self):
+                    self.nodes.append(1)
+        """,
+    }, rules={"guarded-field"})
+    assert rules_of(findings) == ["guarded-field"]
+    assert "nodes" in findings[0].message
+
+
+def test_guarded_field_read_side_is_not_enough_for_rwlock(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def bad(self):
+                    with self._lock.read():
+                        self.nodes = []
+        """,
+    }, rules={"guarded-field"})
+    assert rules_of(findings) == ["guarded-field"]
+    assert "write()" in findings[0].message
+
+
+def test_guarded_field_silent_under_write_lock_and_mutex(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def good(self):
+                    with self._lock.write():
+                        self.nodes.append(1)
+
+                def also_good(self):
+                    with self._meta_lock:
+                        self._namespaces.add("x")
+        """,
+    }, rules={"guarded-field"})
+    assert findings == []
+
+
+def test_guarded_field_init_is_exempt(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def __init__(self):
+                    self.nodes = []
+                    self._namespaces = set()
+        """,
+    }, rules={"guarded-field"})
+    assert findings == []
+
+
+def test_guarded_field_holds_directive_marks_helper(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def _locked_helper(self):
+                    # repro-lint: holds=_lock -- caller takes the write lock
+                    self.nodes.append(1)
+        """,
+    }, rules={"guarded-field"})
+    assert findings == []
+
+
+def test_guarded_field_alias_mutation_is_tracked(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/cluster.py": """
+            class KVCluster:
+                def bad(self):
+                    live = self.nodes
+                    live.append(1)
+        """,
+    }, rules={"guarded-field"})
+    assert rules_of(findings) == ["guarded-field"]
+
+
+# -- raw-acquire -------------------------------------------------------------
+
+
+def test_raw_acquire_triggers_without_try_finally(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            class Worker:
+                def bad(self):
+                    self._lock.acquire()
+                    self.count = 1
+                    self._lock.release()
+        """,
+    }, rules={"raw-acquire"})
+    assert rules_of(findings) == ["raw-acquire", "raw-acquire"]
+
+
+def test_raw_acquire_silent_for_with_and_try_finally(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            class Worker:
+                def good_with(self):
+                    with self._lock:
+                        self.count = 1
+
+                def good_try(self):
+                    self._lock.acquire()
+                    try:
+                        self.count = 1
+                    finally:
+                        self._lock.release()
+        """,
+    }, rules={"raw-acquire"})
+    assert findings == []
+
+
+# -- lock-blocking-call ------------------------------------------------------
+
+
+def test_blocking_call_under_lock_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            import time
+
+            class Worker:
+                def bad(self):
+                    with self._lock:
+                        time.sleep(0.1)
+        """,
+    }, rules={"lock-blocking-call"})
+    assert rules_of(findings) == ["lock-blocking-call"]
+    assert "time.sleep" in findings[0].message
+
+
+def test_blocking_call_outside_lock_is_fine(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            import time
+
+            class Worker:
+                def good(self):
+                    with self._lock:
+                        payload = self.queue.pop()
+                    time.sleep(0.1)
+        """,
+    }, rules={"lock-blocking-call"})
+    assert findings == []
+
+
+def test_socket_io_under_lock_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            class Worker:
+                def bad(self, conn, data):
+                    with self._lock:
+                        conn.sendall(data)
+        """,
+    }, rules={"lock-blocking-call"})
+    assert rules_of(findings) == ["lock-blocking-call"]
+
+
+# -- counter-accounting ------------------------------------------------------
+
+_STATS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class NodeCounters:
+        gets: int = 0
+
+        def add(self, other):
+            self.gets += other.gets
+"""
+
+
+def test_counter_increment_on_shared_instance_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "stats.py": _STATS,
+        "mod.py": """
+            class Node:
+                def bad(self):
+                    self.stats.gets += 1
+        """,
+    }, rules={"counter-accounting"})
+    assert rules_of(findings) == ["counter-accounting"]
+    assert "gets" in findings[0].message
+
+
+def test_counter_increment_through_shard_is_fine(tmp_path):
+    findings = lint(tmp_path, {
+        "stats.py": _STATS,
+        "mod.py": """
+            class Node:
+                def good_accessor(self):
+                    self.counters.gets += 1
+
+                def good_call(self):
+                    self._shards.local().gets += 1
+
+                def good_alias(self):
+                    shard = self._shards.local()
+                    shard.gets += 1
+        """,
+    }, rules={"counter-accounting"})
+    assert findings == []
+
+
+def test_counter_fresh_private_instance_is_fine(tmp_path):
+    findings = lint(tmp_path, {
+        "stats.py": _STATS,
+        "mod.py": """
+            from stats import NodeCounters
+
+            def fold(shards):
+                total = NodeCounters()
+                for shard in shards:
+                    total.gets += shard.gets
+                return total
+        """,
+    }, rules={"counter-accounting"})
+    assert findings == []
+
+
+def test_counter_mutating_other_threads_shards_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "stats.py": _STATS,
+        "mod.py": """
+            class Node:
+                def bad_fold(self):
+                    for shard in self._shards.all():
+                        shard.gets += 1
+        """,
+    }, rules={"counter-accounting"})
+    assert rules_of(findings) == ["counter-accounting"]
+
+
+# -- error taxonomy ----------------------------------------------------------
+
+
+def test_bare_except_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def risky():
+                try:
+                    work()
+                except:
+                    pass
+        """,
+    }, rules={"bare-except"})
+    assert rules_of(findings) == ["bare-except"]
+
+
+def test_broad_except_triggers_and_narrow_does_not(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def risky():
+                try:
+                    work()
+                except Exception:
+                    pass
+
+            def narrow():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """,
+    }, rules={"broad-except"})
+    assert rules_of(findings) == ["broad-except"]
+    assert findings[0].line == 5
+
+
+def test_foreign_raise_triggers_and_taxonomy_raise_does_not(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            from repro.errors import ExecutionError
+
+            def bad():
+                raise RuntimeError("boom")
+
+            def local_validation():
+                raise ValueError("bad argument")
+
+            def taxonomy():
+                raise ExecutionError("boom")
+        """,
+    }, rules={"foreign-raise"})
+    assert rules_of(findings) == ["foreign-raise"]
+    assert "RuntimeError" in findings[0].message
+
+
+# -- wire-protocol (cross-file) ----------------------------------------------
+
+_WIRE_OK = """
+    OP_GET = 0x01
+    OP_PUT = 0x02
+
+    OP_NAMES = {OP_GET: "GET", OP_PUT: "PUT"}
+
+    def encode_request(op, args):
+        assert op in (OP_GET, OP_PUT)
+        return b""
+
+    def decode_request(payload):
+        op = payload[0]
+        assert op in (OP_GET, OP_PUT)
+        return op, ()
+"""
+
+_SERVER_OK = """
+    from repro.kv import wire
+
+    class Server:
+        def _run_op(self, op, args):
+            if op == wire.OP_GET:
+                return b"get"
+            if op == wire.OP_PUT:
+                return b"put"
+"""
+
+_REMOTE_OK = """
+    from repro.kv import wire
+
+    class Client:
+        def get(self):
+            return self.request(wire.OP_GET)
+
+        def put(self):
+            return self.request(wire.OP_PUT)
+"""
+
+
+def test_wire_complete_contract_is_clean(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/wire.py": _WIRE_OK,
+        "repro/kv/server.py": _SERVER_OK,
+        "repro/kv/remote.py": _REMOTE_OK,
+    }, rules={"wire-protocol"})
+    assert findings == []
+
+
+def test_wire_missing_server_handler_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/wire.py": _WIRE_OK,
+        "repro/kv/server.py": """
+            from repro.kv import wire
+
+            class Server:
+                def _run_op(self, op, args):
+                    if op == wire.OP_GET:
+                        return b"get"
+        """,
+        "repro/kv/remote.py": _REMOTE_OK,
+    }, rules={"wire-protocol"})
+    assert rules_of(findings) == ["wire-protocol"]
+    assert "OP_PUT" in findings[0].message
+    assert "handler" in findings[0].message
+
+
+def test_wire_opcode_outside_op_names_and_codec_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/wire.py": """
+            OP_GET = 0x01
+            OP_EXTRA = 0x7F
+
+            OP_NAMES = {OP_GET: "GET"}
+
+            def encode_request(op, args):
+                assert op == OP_GET
+                return b""
+
+            def decode_request(payload):
+                return OP_GET, ()
+        """,
+    }, rules={"wire-protocol"})
+    messages = " | ".join(finding.message for finding in findings)
+    assert "OP_EXTRA is missing from OP_NAMES" in messages
+    assert "not handled by encode_request" in messages
+    assert "not handled by decode_request" in messages
+
+
+def test_wire_double_dispatch_in_one_function_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/wire.py": _WIRE_OK,
+        "repro/kv/server.py": """
+            from repro.kv import wire
+
+            class Server:
+                def _run_op(self, op, args):
+                    if op == wire.OP_GET:
+                        return b"one"
+                    if op == wire.OP_GET:
+                        return b"two"
+                    if op == wire.OP_PUT:
+                        return b"put"
+        """,
+        "repro/kv/remote.py": _REMOTE_OK,
+    }, rules={"wire-protocol"})
+    assert rules_of(findings) == ["wire-protocol"]
+    assert "dispatched 2 times" in findings[0].message
+
+
+def test_wire_unpaired_codec_helper_triggers(tmp_path):
+    findings = lint(tmp_path, {
+        "repro/kv/wire.py": (
+            _WIRE_OK + '\n    def encode_widget(value):\n        return b""\n'
+        ),
+    }, rules={"wire-protocol"})
+    assert rules_of(findings) == ["wire-protocol"]
+    assert "decode_widget" in findings[0].message
+
+
+def test_wire_checker_is_silent_without_wire_module(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def anything():
+                return 1
+        """,
+    }, rules={"wire-protocol"})
+    assert findings == []
+
+
+# -- suppression mechanics ---------------------------------------------------
+
+
+def test_trailing_suppression_silences_one_rule(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            class Worker:
+                def shim(self):
+                    self._lock.acquire()  # repro-lint: disable=raw-acquire -- shim
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+        """,
+    }, rules={"raw-acquire"})
+    assert findings == []
+
+
+def test_standalone_suppression_covers_next_code_line(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def risky():
+                try:
+                    work()
+                # repro-lint: disable=broad-except -- fixture boundary,
+                # spanning a second comment line before the handler
+                except Exception:
+                    pass
+        """,
+    }, rules={"broad-except"})
+    assert findings == []
+
+
+def test_disable_all_silences_every_rule_on_the_line(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def risky():
+                try:
+                    work()
+                except Exception:  # repro-lint: disable=all -- fixture
+                    pass
+        """,
+    })
+    assert findings == []
+
+
+def test_suppression_of_other_rule_does_not_silence(tmp_path):
+    findings = lint(tmp_path, {
+        "mod.py": """
+            def risky():
+                try:
+                    work()
+                except Exception:  # repro-lint: disable=bare-except -- wrong rule
+                    pass
+        """,
+    }, rules={"broad-except"})
+    assert rules_of(findings) == ["broad-except"]

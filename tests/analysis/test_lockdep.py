@@ -1,0 +1,201 @@
+"""The runtime lock-order sanitizer: cycle detection with witnesses.
+
+These tests drive :mod:`repro.lockdep` through private registries, so
+they are independent of the ``REPRO_LOCKDEP`` environment flag (the CI
+job that exports it exercises the factory wiring end-to-end by running
+the whole suite).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import lockdep
+from repro.errors import LockError, LockOrderError, ReproError
+
+
+def _pair(reg):
+    lock_a = lockdep.instrument(threading.Lock(), "A", reg)
+    lock_b = lockdep.instrument(threading.Lock(), "B", reg)
+    return lock_a, lock_b
+
+
+def test_abba_ordering_raises_lock_order_error():
+    reg = lockdep.LockdepRegistry()
+    lock_a, lock_b = _pair(reg)
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with pytest.raises(LockOrderError):
+            lock_a.acquire()
+
+
+def test_cycle_report_carries_both_witness_stacks():
+    reg = lockdep.LockdepRegistry()
+    lock_a, lock_b = _pair(reg)
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with pytest.raises(LockOrderError) as excinfo:
+            lock_a.acquire()
+    message = str(excinfo.value)
+    assert "lock-order inversion" in message
+    assert "A#0" in message and "B#0" in message
+    # the edge that established the opposite ordering, with its stack
+    assert "A#0 -> B#0, first seen at:" in message
+    assert "acquisition of A#0 under B#0 at:" in message
+    assert "test_lockdep.py" in message  # stacks point at real frames
+
+
+def test_cycle_detection_is_transitive():
+    reg = lockdep.LockdepRegistry()
+    names = ("A", "B", "C")
+    locks = [lockdep.instrument(threading.Lock(), n, reg) for n in names]
+    for first, second in zip(locks, locks[1:]):  # A→B, B→C
+        with first:
+            with second:
+                pass
+    with locks[2]:
+        with pytest.raises(LockOrderError):  # C→A closes the cycle
+            locks[0].acquire()
+
+
+def test_consistent_ordering_never_raises():
+    reg = lockdep.LockdepRegistry()
+    lock_a, lock_b = _pair(reg)
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert ("A#0", "B#0") in reg.edges()
+    assert ("B#0", "A#0") not in reg.edges()
+
+
+def test_rlock_reentrancy_adds_no_edge():
+    reg = lockdep.LockdepRegistry()
+    rlock = lockdep.instrument(threading.RLock(), "R", reg)
+    with rlock:
+        with rlock:
+            pass
+    assert reg.edges() == {}
+
+
+def test_hand_over_hand_release_order_is_legal():
+    reg = lockdep.LockdepRegistry()
+    reg.note_acquire("A#0")
+    reg.note_acquire("B#0")
+    reg.note_release("A#0")  # released before B: hand-over-hand
+    reg.note_acquire("C#0")  # edge B→C only
+    reg.note_release("C#0")
+    reg.note_release("B#0")
+    assert set(reg.edges()) == {("A#0", "B#0"), ("B#0", "C#0")}
+
+
+def test_orderings_merge_across_threads():
+    """The graph is global: thread 1 doing A→B and thread 2 doing B→A
+    is the classic latent deadlock, caught without any interleaving."""
+    reg = lockdep.LockdepRegistry()
+    lock_a, lock_b = _pair(reg)
+
+    def use_ab():
+        with lock_a:
+            with lock_b:
+                pass
+
+    worker = threading.Thread(target=use_ab)
+    worker.start()
+    worker.join()
+    with lock_b:
+        with pytest.raises(LockOrderError):
+            lock_a.acquire()
+
+
+def test_instrumented_condition_participates():
+    reg = lockdep.LockdepRegistry()
+    cond_a = lockdep.instrument_condition("CA", reg)
+    cond_b = lockdep.instrument_condition("CB", reg)
+    with cond_a:
+        with cond_b:
+            pass
+    with cond_b:
+        with pytest.raises(LockOrderError):
+            with cond_a:
+                pass
+
+
+def test_condition_wait_reacquire_is_tracked():
+    reg = lockdep.LockdepRegistry()
+    cond = lockdep.instrument_condition("C", reg)
+    other = lockdep.instrument(threading.Lock(), "L", reg)
+
+    def notifier():
+        with cond:
+            cond.notify_all()
+
+    with cond:
+        worker = threading.Thread(target=notifier)
+        worker.start()
+        cond.wait(timeout=5.0)
+        worker.join()
+        # wait released C fully, then re-acquired it; the held stack
+        # must reflect C being held again
+        assert reg.held_names() == ["C#0"]
+    with other:
+        pass
+    assert reg.held_names() == []
+
+
+def test_lock_order_error_is_in_the_taxonomy():
+    assert issubclass(LockOrderError, LockError)
+    assert issubclass(LockOrderError, ReproError)
+
+
+def test_enabled_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_LOCKDEP", raising=False)
+    assert not lockdep.enabled()
+    monkeypatch.setenv("REPRO_LOCKDEP", "0")
+    assert not lockdep.enabled()
+    monkeypatch.setenv("REPRO_LOCKDEP", "1")
+    assert lockdep.enabled()
+
+
+def test_factories_instrument_only_under_env_flag():
+    """End-to-end: with REPRO_LOCKDEP=1 the ``repro.locks`` factories
+    return checked primitives and an ABBA ordering dies loudly; without
+    it they return raw threading objects (fresh interpreter per case —
+    the flag is latched at import)."""
+    program = """
+import threading
+from repro.locks import make_lock
+a = make_lock("fixture.A")
+b = make_lock("fixture.B")
+assert {flag} == (not isinstance(a, type(threading.Lock()))), type(a)
+with a:
+    with b:
+        pass
+with b:
+    with a:
+        pass
+print("no-cycle-error")
+"""
+    for flag, expect_failure in ((True, True), (False, False)):
+        proc = subprocess.run(
+            [sys.executable, "-c", program.format(flag=flag)],
+            capture_output=True,
+            text=True,
+            env={"REPRO_LOCKDEP": "1" if flag else "", "PYTHONPATH": "src"},
+            cwd=str(__import__("pathlib").Path(__file__).parents[2]),
+            timeout=60,
+        )
+        if expect_failure:
+            assert proc.returncode != 0
+            assert "LockOrderError" in proc.stderr
+        else:
+            assert proc.returncode == 0, proc.stderr
+            assert "no-cycle-error" in proc.stdout
