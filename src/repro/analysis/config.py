@@ -68,8 +68,27 @@ GUARDED_FIELDS: Dict[str, Dict[Optional[str], Tuple[GuardSpec, ...]]] = {
         "StorageNode": (
             # the engine's mutating surface must hold the per-node op
             # mutex; reads are deliberately unchecked (snapshot_scan
-            # documents the guarded-read paths)
-            _guard("_op_lock", MUTEX, "store"),
+            # documents the guarded-read paths). crash/restart swap the
+            # store object itself, so the field assignment is guarded
+            # too, as is the crash flag readers consult
+            _guard("_op_lock", MUTEX, "store", "_crashed"),
+        ),
+    },
+    "repro/kv/wal.py": {
+        "WriteAheadLog": (
+            _guard(
+                "_lock", MUTEX,
+                "_file", "_path", "_stats", "_unsynced",
+            ),
+        ),
+    },
+    "repro/kv/checkpoint.py": {
+        "NodeDurability": (
+            _guard(
+                "_lock", MUTEX,
+                "_wal", "_seq", "_records_at_checkpoint",
+                "last_recovery",
+            ),
         ),
     },
     "repro/kv/cache.py": {

@@ -103,6 +103,14 @@ class WireProtocolError(KVError):
     server answers with a protocol-error frame instead of dying."""
 
 
+class DurabilityError(KVError):
+    """On-disk durability state is unusable: a checkpoint file fails its
+    magic/CRC validation, a WAL record declares an impossible length
+    mid-log, or a data directory cannot be laid out the way recovery
+    needs. A *torn final WAL record* is NOT this error — a torn tail is
+    expected crash debris and replay discards it cleanly."""
+
+
 class RemoteOpError(KVError):
     """A node server executed the request and reported an application
     error (the remote exception's message travels back in the frame)."""

@@ -7,7 +7,14 @@ from repro.kv.cache import (
     PartitionedBlockCache,
     make_cache,
 )
-from repro.kv.cluster import ClusterStats, KVCluster, RebalanceReport, TRANSPORTS
+from repro.kv.checkpoint import NodeDurability, RecoveryReport
+from repro.kv.cluster import (
+    ClusterStats,
+    DURABILITY_MODES,
+    KVCluster,
+    RebalanceReport,
+    TRANSPORTS,
+)
 from repro.kv.hashring import HashRing
 from repro.kv.lsm import BloomFilter, LSMStore
 from repro.kv.memstore import MemStore
@@ -15,6 +22,7 @@ from repro.kv.node import NodeCounters, StorageNode
 from repro.kv.remote import NodeClient, NodeProcess, RemoteNode, RemoteStore
 from repro.kv.server import NodeServer
 from repro.kv.taav import TaaVRelation, TaaVStore
+from repro.kv.wal import FSYNC_POLICIES, WriteAheadLog, read_wal
 
 __all__ = [
     "BackendProfile",
@@ -22,6 +30,8 @@ __all__ = [
     "CacheStats",
     "CASSANDRA",
     "ClusterStats",
+    "DURABILITY_MODES",
+    "FSYNC_POLICIES",
     "HBASE",
     "HashRing",
     "KUDU",
@@ -35,13 +45,17 @@ __all__ = [
     "LSMStore",
     "MemStore",
     "NodeCounters",
+    "NodeDurability",
     "PROFILES",
     "RebalanceReport",
+    "RecoveryReport",
     "RemoteNode",
     "RemoteStore",
     "StorageNode",
     "TaaVRelation",
     "TaaVStore",
     "TRANSPORTS",
+    "WriteAheadLog",
     "profile",
+    "read_wal",
 ]

@@ -59,6 +59,12 @@ class BackendProfile:
     round_trip_ms: float           # fixed cost of one RPC round trip
     get_key_ms: float              # marginal per-key cost in a batched get
     put_key_ms: float              # marginal per-key cost in a batched put
+    #: cost of one WAL fsync on a storage node (PR 8). Modeled on
+    #: commodity-disk write-barrier latency; group commit divides it
+    #: across the batch, which is why the sweep in BENCH_durability
+    #: shows "always" ≫ "group" ≈ "never". Defaulted so profiles
+    #: predating durability stay constructible unchanged.
+    fsync_ms: float = 0.1
 
     def __post_init__(self) -> None:
         for latency, marginal in (
@@ -102,6 +108,12 @@ class BackendProfile:
             + n_values * self.write_value_ms
         )
 
+    def fsync_cost_ms(self, n_fsyncs: int) -> float:
+        """Time spent in WAL write barriers (0 for a volatile cluster)."""
+        if n_fsyncs <= 0:
+            return 0.0
+        return n_fsyncs * self.fsync_ms
+
     def transfer_ms(self, n_bytes: int, links: int = 1) -> float:
         """Time to move ``n_bytes`` over ``links`` parallel links."""
         if n_bytes <= 0:
@@ -128,6 +140,7 @@ HBASE = BackendProfile(
     round_trip_ms=0.28,
     get_key_ms=0.22,
     put_key_ms=0.02,
+    fsync_ms=0.15,   # HDFS-backed HLog sync: the heaviest barrier
 )
 
 KUDU = BackendProfile(
@@ -143,6 +156,7 @@ KUDU = BackendProfile(
     round_trip_ms=0.06,
     get_key_ms=0.04,
     put_key_ms=0.06,
+    fsync_ms=0.08,   # local-disk op log, lean barrier path
 )
 
 CASSANDRA = BackendProfile(
@@ -158,6 +172,7 @@ CASSANDRA = BackendProfile(
     round_trip_ms=0.15,
     get_key_ms=0.15,
     put_key_ms=0.03,
+    fsync_ms=0.10,   # commitlog sync, between the two
 )
 
 PROFILES: Dict[str, BackendProfile] = {

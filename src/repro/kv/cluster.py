@@ -86,15 +86,37 @@ ranges from the survivors, retry the operation — and raises
 left. ``fail_node`` keeps **partition** semantics on both transports
 (the process survives, so recovery restores its store);
 ``fail_node(kill=True)`` or an external ``SIGKILL`` models a real
-crash, and recovery then respawns an empty process and re-syncs it.
-Clusters holding processes should be ``close()``d (or used as context
-managers); a garbage-collected cluster reaps its children via a
-finalizer either way.
+crash: the node's volatile store dies *on both transports* (PR 8 fixed
+the local transport silently keeping partition semantics here), and
+recovery restarts the node — empty + full re-sync when volatile,
+replayed from its WAL when durable. Clusters holding processes should
+be ``close()``d (or used as context managers); a garbage-collected
+cluster reaps its children via a finalizer either way.
+
+Durability (PR 8)
+-----------------
+
+``durability="wal"`` (or a non-``None`` ``data_dir``, or the
+``REPRO_KV_DURABILITY`` environment variable) makes every node
+crash-consistent: each gets its own subdirectory ``node-<id>`` under
+the cluster's ``data_dir`` (an owned temporary directory, removed at
+close, unless the caller supplies one) holding a checkpoint + WAL
+generation (:mod:`repro.kv.wal` / :mod:`repro.kv.checkpoint`).
+``fsync_policy`` tunes the group-commit window and
+``checkpoint_interval`` the replay bound. A killed durable node
+recovers by **replay + delta catch-up**: restart replays its own
+checkpoint and log tail, then the recovery sweep applies only the
+tombstoned deletes and changed values it missed — strictly fewer bytes
+than the empty-respawn full re-sync a volatile node needs. A cluster
+constructed on an existing ``data_dir`` (same topology) recovers every
+node's acked writes by replay.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -110,6 +132,7 @@ from typing import (
 )
 
 from repro.errors import ClusterUnavailableError, NodePeerError
+from repro.kv import wal as walmod
 from repro.kv.codec import encode_value
 from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
@@ -122,10 +145,18 @@ from repro.locks import RWLock, make_lock
 TRANSPORT_ENV = "REPRO_KV_TRANSPORT"
 TRANSPORTS = ("local", "socket")
 
+#: environment override for the default durability mode, so an
+#: unmodified test suite runs with write-ahead logging on (the CI
+#: crash-recovery matrix sets ``REPRO_KV_DURABILITY=wal``)
+DURABILITY_ENV = "REPRO_KV_DURABILITY"
+DURABILITY_MODES = ("off", "wal")
 
-def _close_nodes(nodes: Dict[int, StorageNode]) -> None:
+
+def _close_nodes(nodes: Dict[int, StorageNode],
+                 owned_dir: Optional[str] = None) -> None:
     """GC/exit safety net: terminate any node processes still running
-    when a cluster is dropped without :meth:`KVCluster.close`."""
+    when a cluster is dropped without :meth:`KVCluster.close`, and
+    remove the cluster-owned scratch data directory (if any)."""
     for node in nodes.values():
         close = getattr(node, "close", None)
         if close is not None:
@@ -135,6 +166,8 @@ def _close_nodes(nodes: Dict[int, StorageNode]) -> None:
             # net: a dying node process must not abort the sweep
             except Exception:
                 pass
+    if owned_dir is not None:
+        shutil.rmtree(owned_dir, ignore_errors=True)
 
 
 @dataclass
@@ -187,6 +220,10 @@ class KVCluster:
         engine: str = "mem",
         replication_factor: int = 1,
         transport: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        durability: Optional[str] = None,
+        fsync_policy: str = "group",
+        checkpoint_interval: Optional[int] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -204,11 +241,40 @@ class KVCluster:
                 f"unknown transport {transport!r}; expected one of "
                 f"{list(TRANSPORTS)}"
             )
+        if durability is None:
+            if data_dir is not None:
+                durability = "wal"
+            else:
+                durability = os.environ.get(DURABILITY_ENV, "off")
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability mode {durability!r}; expected one "
+                f"of {list(DURABILITY_MODES)}"
+            )
+        if durability == "off" and data_dir is not None:
+            raise ValueError(
+                "data_dir given but durability='off' — a data directory "
+                "implies write-ahead logging"
+            )
         #: ``"local"`` = in-process node objects; ``"socket"`` = one OS
         #: process per node behind the wire protocol (see repro.kv.wire)
         self.transport = transport
         self.engine = engine
         self.replication_factor = replication_factor
+        #: ``"off"`` = volatile nodes (the default); ``"wal"`` = every
+        #: node write-ahead-logs + checkpoints under ``data_dir``
+        self.durability = durability
+        self.fsync_policy = fsync_policy
+        self.checkpoint_interval = checkpoint_interval
+        self._owns_data_dir = False
+        if durability == "wal":
+            walmod.validate_fsync_policy(fsync_policy)
+            if data_dir is None:
+                # scratch durability: crash-consistent for the cluster's
+                # lifetime, removed when it closes / is collected
+                data_dir = tempfile.mkdtemp(prefix="repro-kv-")
+                self._owns_data_dir = True
+        self.data_dir = data_dir
         self.nodes: Dict[int, StorageNode] = {}
         self.ring = HashRing(replicas=ring_replicas)
         #: node ids currently crashed (on the ring, but unreachable)
@@ -234,8 +300,12 @@ class KVCluster:
         self._closed = False
         #: kills any still-running node processes if the cluster is
         #: garbage-collected without close() — tests create hundreds of
-        #: throwaway clusters and must not leak children
-        self._finalizer = weakref.finalize(self, _close_nodes, self.nodes)
+        #: throwaway clusters and must not leak children (or scratch
+        #: data directories)
+        self._finalizer = weakref.finalize(
+            self, _close_nodes, self.nodes,
+            self.data_dir if self._owns_data_dir else None,
+        )
         for node_id in range(num_nodes):
             self._add_node(node_id)
 
@@ -263,13 +333,33 @@ class KVCluster:
 
     # -- topology --------------------------------------------------------
 
-    def _add_node(self, node_id: int) -> StorageNode:
+    def _add_node(self, node_id: int, fresh: bool = False) -> StorageNode:
         # repro-lint: holds=_lock -- callers hold the write lock, except
         # __init__, which owns the not-yet-shared cluster exclusively
+        node_dir = (
+            os.path.join(self.data_dir, f"node-{node_id}")
+            if self.data_dir is not None
+            else None
+        )
+        if fresh and node_dir is not None:
+            # a NEW member must start empty — node ids can be reused
+            # after remove_node, and replaying the removed node's stale
+            # generation would resurrect data the cluster migrated away
+            shutil.rmtree(node_dir, ignore_errors=True)
         if self.transport == "socket":
-            node: StorageNode = RemoteNode(node_id, engine=self.engine)
+            node: StorageNode = RemoteNode(
+                node_id, engine=self.engine,
+                data_dir=node_dir,
+                fsync_policy=self.fsync_policy,
+                checkpoint_interval=self.checkpoint_interval,
+            )
         else:
-            node = StorageNode(node_id, engine=self.engine)
+            node = StorageNode(
+                node_id, engine=self.engine,
+                data_dir=node_dir,
+                fsync_policy=self.fsync_policy,
+                checkpoint_interval=self.checkpoint_interval,
+            )
         self.nodes[node_id] = node
         self.ring.add_node(node_id)
         return node
@@ -363,7 +453,7 @@ class KVCluster:
         """
         with self._lock.write():
             new_id = max(self.nodes) + 1
-            node = self._add_node(new_id)
+            node = self._add_node(new_id, fresh=True)
             self.last_rebalance = self._rebalance()
             return node
 
@@ -385,16 +475,14 @@ class KVCluster:
                 self._tombstone_keys.pop(node_id, None)
                 self._tombstone_prefixes.pop(node_id, None)
                 node = self.nodes.pop(node_id)
-                if isinstance(node, RemoteNode):
-                    node.close()
+                node.close()
                 self.last_rebalance = self._rebalance()
                 return
             # live decommission: the leaving node is a valid source; the
             # sweep copies its ranges to the new owners, then empties it
             self.last_rebalance = self._rebalance()
             node = self.nodes.pop(node_id)
-            if isinstance(node, RemoteNode):
-                node.close()
+            node.close()
 
     def fail_node(self, node_id: int, kill: bool = False) -> None:
         """Crash a node: unreachable, but its disk survives for recovery.
@@ -408,9 +496,15 @@ class KVCluster:
         cluster stops talking to the node but its store survives (a
         socket node's process keeps running), so local and socket
         failover/recovery behave — and count — identically.
-        ``kill=True`` additionally terminates a socket node's process
-        (its store dies with it; recovery respawns empty and re-syncs),
-        modeling a real crash rather than a partition.
+        ``kill=True`` models a real crash instead: the node's volatile
+        store is destroyed on *both* transports (a socket node's
+        process is terminated, a local node drops its store object —
+        before PR 8 the local transport silently kept partition
+        semantics here). Recovery then restarts the node: by WAL replay
+        + delta catch-up when the cluster is durable, empty + full
+        re-sync otherwise. A node that cannot honor crash semantics
+        (an injected store) warns ``RuntimeWarning`` and keeps
+        partition semantics.
         """
         with self._lock.write():
             if node_id not in self.nodes:
@@ -420,9 +514,8 @@ class KVCluster:
             self._down.add(node_id)
             self._tombstone_keys[node_id] = set()
             self._tombstone_prefixes[node_id] = []
-            node = self.nodes[node_id]
-            if kill and isinstance(node, RemoteNode):
-                node.close()
+            if kill:
+                self.nodes[node_id].crash()
             self.last_rebalance = self._rebalance()
 
     def recover_node(self, node_id: int) -> None:
@@ -433,6 +526,13 @@ class KVCluster:
         the ranges it owns again from the replicas that kept serving,
         overwriting any stale values, and drops the failover copies the
         stand-in nodes no longer own.
+
+        A node that was *killed* (``fail_node(kill=True)`` or an
+        external ``SIGKILL``) restarts first: a durable node replays
+        its checkpoint + WAL tail and then takes the tombstones + delta
+        sweep like a partitioned node — only the writes it missed move
+        over the wire; a volatile node comes back empty, its tombstones
+        are moot, and the sweep re-syncs everything it owns.
         """
         with self._lock.write():
             if node_id not in self.nodes:
@@ -440,12 +540,12 @@ class KVCluster:
             if node_id not in self._down:
                 raise ValueError(f"node {node_id} is not down")
             node = self.nodes[node_id]
-            if isinstance(node, RemoteNode) and not node.process.alive:
-                # the process was killed (fail_node(kill=True) or an
-                # external SIGKILL): respawn a fresh, empty server — the
-                # tombstones are moot and the stale-range sweep below
-                # re-syncs everything the node owns from the survivors
+            crashed = node.is_crashed
+            if crashed:
                 node.restart()
+            if crashed and not node.durable:
+                # empty respawn: nothing to tombstone, the stale-range
+                # sweep re-syncs everything the node owns
                 self._tombstone_prefixes.pop(node_id, None)
                 self._tombstone_keys.pop(node_id, None)
             else:
@@ -976,6 +1076,21 @@ class KVCluster:
                 cache=cache_total,
             )
 
+    def wal_stats(self) -> Dict[str, int]:
+        """Aggregate WAL counters over every live node (all zeros for a
+        volatile cluster). ``fsyncs`` is what the cost model prices;
+        ``records``/``bytes`` meter the logging overhead itself."""
+        def op() -> Dict[str, int]:
+            with self._lock.read():
+                total = {"records": 0, "bytes": 0, "fsyncs": 0, "rolls": 0}
+                for node_id, node in self.nodes.items():
+                    if node_id in self._down:
+                        continue
+                    for key, value in node.wal_stats().items():
+                        total[key] = total.get(key, 0) + value
+                return total
+        return self._peer_failover(op)
+
     def server_stats(self) -> Dict[int, Dict[str, int]]:
         """Per-node server-process counters (socket transport only;
         empty for local clusters). Down nodes are skipped."""
@@ -1001,10 +1116,7 @@ class KVCluster:
                 return sum(
                     node.size_bytes()
                     for node in self.nodes.values()
-                    if not (
-                        isinstance(node, RemoteNode)
-                        and not node.process.alive
-                    )
+                    if not node.is_crashed
                 )
         return self._peer_failover(op)
 

@@ -26,6 +26,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.kv import wal as walmod
 from repro.kv.memstore import prefix_upper_bound
 
 _TOMBSTONE = object()
@@ -113,10 +114,31 @@ class LSMStore:
         #: iteration is linear overall instead of O(n²)
         self._merged: Optional[Tuple[List[bytes], List[bytes]]] = None
         self.stats = LSMStats()
+        #: durability hook (see MemStore.attach_wal — same contract)
+        self._wal: Optional[walmod.WriteAheadLog] = None
+        self._wal_depth = 0
+
+    # -- durability hook ----------------------------------------------------
+
+    def attach_wal(self, wal: Optional[walmod.WriteAheadLog]) -> None:
+        """Log every subsequent mutation to ``wal`` (``None`` detaches).
+
+        Replay rebuilds the logical contents, not the physical
+        memtable/run layout — a restart effectively compacts, which is
+        also why checkpoints snapshot live pairs via ``scan()``.
+        """
+        self._wal = wal
+
+    def _wal_log(self, op: int, *args: object) -> bool:
+        if self._wal is None or self._wal_depth:
+            return False
+        self._wal.append(op, *args)
+        return True
 
     # -- write path ---------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
+        self._wal_log(walmod.WAL_PUT, key, value)
         # liveness probe is an internal write-path read: uncounted, so
         # runs_probed / bloom_skips reflect the read amplification of
         # *reads* only
@@ -128,11 +150,19 @@ class LSMStore:
         self._maybe_flush()
 
     def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
-        """Batched write of (key, value) pairs (memtable may flush mid-batch)."""
-        for key, value in items:
-            self.put(key, value)
+        """Batched write of (key, value) pairs (memtable may flush
+        mid-batch; ONE WAL record for the whole batch)."""
+        items = list(items)
+        logged = self._wal_log(walmod.WAL_MULTI_PUT, items)
+        self._wal_depth += 1 if logged else 0
+        try:
+            for key, value in items:
+                self.put(key, value)
+        finally:
+            self._wal_depth -= 1 if logged else 0
 
     def delete(self, key: bytes) -> bool:
+        self._wal_log(walmod.WAL_DELETE, key)
         existed = self._contains_live(key)
         if existed:
             self._memtable[key] = _TOMBSTONE
@@ -143,11 +173,17 @@ class LSMStore:
 
     def multi_delete(self, keys: Sequence[bytes]) -> int:
         """Batched delete; returns how many keys were live."""
-        removed = 0
-        for key in keys:
-            if self.delete(key):
-                removed += 1
-        return removed
+        keys = list(keys)
+        logged = self._wal_log(walmod.WAL_MULTI_DELETE, keys)
+        self._wal_depth += 1 if logged else 0
+        try:
+            removed = 0
+            for key in keys:
+                if self.delete(key):
+                    removed += 1
+            return removed
+        finally:
+            self._wal_depth -= 1 if logged else 0
 
     def _maybe_flush(self) -> None:
         if len(self._memtable) < self._memtable_limit:
@@ -275,12 +311,25 @@ class LSMStore:
             yield keys[index], values[index]
 
     def drop_prefix(self, prefix: bytes = b"") -> List[bytes]:
-        """Delete every live key carrying ``prefix``; return them."""
+        """Delete every live key carrying ``prefix``; return them.
+
+        Routed through :meth:`multi_delete` as one batch (and one WAL
+        record): the doomed keys are materialized up front, so the
+        flushes/compactions individual deletes trigger mid-batch can
+        rebuild ``_merged_view`` freely without the loop iterating a
+        stale snapshot.
+        """
         keys = self._merged_view()[0]
         lo, hi = self._prefix_range(prefix)
         doomed = keys[lo:hi]
-        for key in doomed:
-            self.delete(key)
+        if not doomed:
+            return doomed
+        logged = self._wal_log(walmod.WAL_DROP_PREFIX, prefix)
+        self._wal_depth += 1 if logged else 0
+        try:
+            self.multi_delete(doomed)
+        finally:
+            self._wal_depth -= 1 if logged else 0
         return doomed
 
     # -- maintenance ---------------------------------------------------------------
@@ -290,10 +339,20 @@ class LSMStore:
         return sum(len(k) + len(v) for k, v in zip(keys, values))
 
     def clear(self) -> None:
+        """Reset to the freshly-constructed state.
+
+        Resets the amplification counters too (PR 8 bugfix): a cleared
+        store has flushed and compacted nothing, so stale
+        ``flushes``/``runs_probed`` counts would no longer reconcile
+        with the empty engine — same semantics as ``MemStore.clear``
+        and the wire ``CLEAR`` op.
+        """
+        self._wal_log(walmod.WAL_CLEAR)
         self._memtable.clear()
         self._runs = []
         self._live_count = 0
         self._merged = None
+        self.stats = LSMStats()
 
     @property
     def num_runs(self) -> int:

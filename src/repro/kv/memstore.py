@@ -12,6 +12,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.kv import wal as walmod
+
 
 def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
     """The smallest byte string greater than every key with ``prefix``
@@ -31,14 +33,43 @@ class MemStore:
     is computed lazily: the sorted key list is invalidated on writes and
     rebuilt on demand, which keeps bulk loading O(n) and scans O(n log n)
     once per write epoch.
+
+    Durability hook (PR 8): :meth:`attach_wal` hands the store a
+    :class:`~repro.kv.wal.WriteAheadLog`; every public mutation then
+    logs exactly one record *before* it is applied (batch operations
+    log one batch record, suspending the per-key inner logging), so
+    replaying the log over the last checkpoint rebuilds the store
+    byte-for-byte. Without a WAL attached the store is purely volatile,
+    exactly as before.
     """
 
-    __slots__ = ("_data", "_sorted_keys", "_dirty")
+    __slots__ = ("_data", "_sorted_keys", "_dirty", "_wal", "_wal_depth")
 
     def __init__(self) -> None:
         self._data: Dict[bytes, bytes] = {}
         self._sorted_keys: List[bytes] = []
         self._dirty = False
+        self._wal: Optional[walmod.WriteAheadLog] = None
+        #: >0 while inside a batch op that already logged its one record
+        self._wal_depth = 0
+
+    # -- durability hook ----------------------------------------------------
+
+    def attach_wal(self, wal: Optional[walmod.WriteAheadLog]) -> None:
+        """Log every subsequent mutation to ``wal`` (``None`` detaches).
+
+        Recovery replays *before* attaching, so replay never re-logs
+        its own input.
+        """
+        self._wal = wal
+
+    def _wal_log(self, op: int, *args: object) -> bool:
+        """Append one record if a WAL is attached and no enclosing batch
+        operation already logged; returns whether it logged."""
+        if self._wal is None or self._wal_depth:
+            return False
+        self._wal.append(op, *args)
+        return True
 
     def __len__(self) -> int:
         return len(self._data)
@@ -56,17 +87,25 @@ class MemStore:
         return [data.get(key) for key in keys]
 
     def put(self, key: bytes, value: bytes) -> None:
+        self._wal_log(walmod.WAL_PUT, key, value)
         if key not in self._data:
             self._dirty = True
         self._data[key] = value
 
     def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
-        """Batched write of (key, value) pairs."""
-        for key, value in items:
-            self.put(key, value)
+        """Batched write of (key, value) pairs (ONE WAL record)."""
+        items = list(items)
+        logged = self._wal_log(walmod.WAL_MULTI_PUT, items)
+        self._wal_depth += 1 if logged else 0
+        try:
+            for key, value in items:
+                self.put(key, value)
+        finally:
+            self._wal_depth -= 1 if logged else 0
 
     def delete(self, key: bytes) -> bool:
         """Delete ``key``; return True if it was present."""
+        self._wal_log(walmod.WAL_DELETE, key)
         if key in self._data:
             del self._data[key]
             self._dirty = True
@@ -75,11 +114,17 @@ class MemStore:
 
     def multi_delete(self, keys: Sequence[bytes]) -> int:
         """Batched delete; returns how many keys were present."""
-        removed = 0
-        for key in keys:
-            if self.delete(key):
-                removed += 1
-        return removed
+        keys = list(keys)
+        logged = self._wal_log(walmod.WAL_MULTI_DELETE, keys)
+        self._wal_depth += 1 if logged else 0
+        try:
+            removed = 0
+            for key in keys:
+                if self.delete(key):
+                    removed += 1
+            return removed
+        finally:
+            self._wal_depth -= 1 if logged else 0
 
     def _refresh(self) -> None:
         if self._dirty or len(self._sorted_keys) != len(self._data):
@@ -135,12 +180,14 @@ class MemStore:
 
     def drop_prefix(self, prefix: bytes = b"") -> List[bytes]:
         """Delete every key carrying ``prefix``; return the dropped keys
-        (one bulk operation, so a remote namespace drop is one frame)."""
+        (one bulk operation, so a remote namespace drop is one frame —
+        and one WAL record, replayed as the same prefix drop)."""
         lo, hi = self._prefix_range(prefix)
         doomed = self._sorted_keys[lo:hi]
-        for key in doomed:
-            del self._data[key]
         if doomed:
+            self._wal_log(walmod.WAL_DROP_PREFIX, prefix)
+            for key in doomed:
+                del self._data[key]
             self._dirty = True
         return doomed
 
@@ -149,6 +196,8 @@ class MemStore:
         return sum(len(k) + len(v) for k, v in self._data.items())
 
     def clear(self) -> None:
+        """Reset to the freshly-constructed state (contents and caches)."""
+        self._wal_log(walmod.WAL_CLEAR)
         self._data.clear()
         self._sorted_keys = []
         self._dirty = False

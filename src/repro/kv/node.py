@@ -26,9 +26,11 @@ so a node must stay correct under concurrent callers:
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.kv.checkpoint import NodeDurability, RecoveryReport
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
 from repro.locks import ShardSet, make_lock
@@ -104,23 +106,58 @@ class StorageNode:
     ``engine`` selects the per-node storage engine: ``"mem"`` (sorted
     in-memory map, the default) or ``"lsm"`` (log-structured merge tree,
     the HBase/Cassandra write path — see :mod:`repro.kv.lsm`).
+
+    Durability (PR 8): pass ``data_dir`` and the node becomes
+    crash-consistent — construction **recovers** whatever checkpoint +
+    WAL tail the directory holds (tolerating a torn final record), and
+    every subsequent mutation is write-ahead-logged before it is
+    acknowledged. ``fsync_policy`` (``"always"``/``"group"``/
+    ``"never"``) prices the machine-crash window, and a checkpoint
+    folds the log into a snapshot every ``checkpoint_interval`` records
+    so restarts replay a bounded tail. :meth:`crash` /
+    :meth:`restart` model process death and recovery-by-replay for the
+    local transport (a socket node's real SIGKILL is the same model,
+    enforced by the OS).
     """
 
-    __slots__ = ("node_id", "store", "_shards", "_op_lock", "_read_load")
+    __slots__ = (
+        "node_id", "engine", "store", "_shards", "_op_lock",
+        "_read_load", "_durability", "_owns_store", "_crashed",
+    )
 
     def __init__(self, node_id: int, engine: str = "mem",
-                 store: Optional[object] = None) -> None:
+                 store: Optional[object] = None,
+                 data_dir: Optional[str] = None,
+                 fsync_policy: str = "group",
+                 checkpoint_interval: Optional[int] = None) -> None:
         self.node_id = node_id
+        self.engine = engine
+        self._owns_store = store is None
+        self._crashed = False
         if store is not None:
             # injected engine (e.g. the RemoteStore facade of a node
-            # process) — the caller has already validated it
+            # process) — the caller has already validated it, and owns
+            # whatever durability it has (a node process logs server-side)
+            if data_dir is not None:
+                raise ValueError(
+                    "data_dir requires an owned engine store, not an "
+                    "injected one"
+                )
             self.store = store
-        elif engine == "mem":
-            self.store = MemStore()
-        elif engine == "lsm":
-            self.store = LSMStore()
         else:
-            raise ValueError(f"unknown storage engine {engine!r}")
+            self.store = self._build_store()
+        self._durability: Optional[NodeDurability] = None
+        if data_dir is not None:
+            extra = (
+                {}
+                if checkpoint_interval is None
+                else {"checkpoint_interval": checkpoint_interval}
+            )
+            durability = NodeDurability(
+                data_dir, fsync_policy=fsync_policy, **extra
+            )
+            durability.open(self.store)
+            self._durability = durability
         #: per-thread counter shards; each shard is mutated only by its
         #: owning thread (see module docstring)
         self._shards: ShardSet[NodeCounters] = ShardSet(NodeCounters)
@@ -130,6 +167,93 @@ class StorageNode:
         #: signal replica selection reads on every point get (benign
         #: ``+=`` races only wobble a tie-break heuristic)
         self._read_load = 0
+
+    def _build_store(self) -> object:
+        if self.engine == "mem":
+            return MemStore()
+        if self.engine == "lsm":
+            return LSMStore()
+        raise ValueError(f"unknown storage engine {self.engine!r}")
+
+    # -- durability / crash surface -----------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Does this node write-ahead-log to a data directory?"""
+        return self._durability is not None
+
+    @property
+    def is_crashed(self) -> bool:
+        """Has :meth:`crash` destroyed the volatile store (and not yet
+        been undone by :meth:`restart`)?"""
+        return self._crashed
+
+    @property
+    def last_recovery(self) -> Optional[RecoveryReport]:
+        """What the most recent construction/restart replayed (``None``
+        for volatile nodes)."""
+        if self._durability is None:
+            return None
+        return self._durability.last_recovery
+
+    def wal_stats(self) -> Dict[str, int]:
+        """Cumulative WAL counters (empty dict for volatile nodes)."""
+        if self._durability is None:
+            return {}
+        return self._durability.wal_stats()
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint/log-truncate cycle now (durable nodes)."""
+        if self._durability is None:
+            raise ValueError(
+                f"node {self.node_id} has no data_dir to checkpoint to"
+            )
+        with self._op_lock:
+            self._durability.checkpoint(self.store)
+
+    def crash(self) -> bool:
+        """Kill the node the way ``SIGKILL`` kills a node process: the
+        volatile store dies (WAL handle dropped *without* a final sync
+        — exactly the page-cache state a real crash leaves), and only
+        :meth:`restart` brings the node back. Returns whether crash
+        semantics were honored: a node wrapping an injected store it
+        cannot destroy warns and keeps partition semantics instead.
+        """
+        with self._op_lock:
+            if self._crashed:
+                return True
+            if not self._owns_store:
+                warnings.warn(
+                    f"StorageNode {self.node_id}: cannot destroy an "
+                    "injected store; kill degrades to partition "
+                    "semantics",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            if self._durability is not None:
+                self._durability.abandon()
+            # the store object IS the process memory: drop it
+            self.store = self._build_store()
+            self._crashed = True
+            return True
+
+    def restart(self) -> None:
+        """Bring a crashed node back up: replay checkpoint + WAL tail
+        when durable, an empty store otherwise (the caller re-syncs)."""
+        with self._op_lock:
+            if not self._crashed:
+                return
+            self.store = self._build_store()
+            if self._durability is not None:
+                self._durability.open(self.store)
+            self._crashed = False
+
+    def close(self) -> None:
+        """Orderly shutdown: sync and close the WAL. Idempotent; a
+        volatile node has nothing to do."""
+        if self._durability is not None:
+            self._durability.close()
 
     # -- counters ----------------------------------------------------------
 
@@ -231,6 +355,8 @@ class StorageNode:
     def put(self, key: bytes, value: bytes, n_values: int = 1) -> None:
         with self._op_lock:
             self.store.put(key, value)
+            if self._durability is not None:
+                self._durability.maybe_checkpoint(self.store)
         counters = self.counters
         counters.puts += 1
         counters.round_trips += 1
@@ -243,6 +369,8 @@ class StorageNode:
         """Apply a coalesced batch of puts in ONE round trip."""
         with self._op_lock:
             self.store.multi_put(items)
+            if self._durability is not None:
+                self._durability.maybe_checkpoint(self.store)
         counters = self.counters
         counters.puts += len(items)
         if items:
@@ -260,6 +388,8 @@ class StorageNode:
         """
         with self._op_lock:
             removed = self.store.delete(key)
+            if self._durability is not None:
+                self._durability.maybe_checkpoint(self.store)
         counters = self.counters
         counters.deletes += 1
         counters.round_trips += 1

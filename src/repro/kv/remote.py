@@ -36,6 +36,7 @@ import weakref
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import NodePeerError, RemoteOpError, WireProtocolError
+from repro.kv import wal as walmod
 from repro.kv import wire
 from repro.kv.node import StorageNode
 from repro.kv.server import make_engine, serve_entry
@@ -64,16 +65,29 @@ def reap_orphans() -> int:
 
 
 class NodeProcess:
-    """One storage-node server running in its own OS process."""
+    """One storage-node server running in its own OS process.
+
+    With ``data_dir`` the server write-ahead-logs into that directory
+    and :meth:`respawn` becomes *recovery*: the fresh process replays
+    checkpoint + WAL tail before accepting connections, so a SIGKILL
+    loses nothing that was acked.
+    """
 
     def __init__(self, node_id: int, engine: str = "mem",
-                 store_args: Optional[dict] = None) -> None:
-        # validate BEFORE spawning so a bad engine name raises the same
-        # ValueError, in the same place, as the in-process node
+                 store_args: Optional[dict] = None,
+                 data_dir: Optional[str] = None,
+                 fsync_policy: str = "group",
+                 checkpoint_interval: Optional[int] = None) -> None:
+        # validate BEFORE spawning so a bad engine name / fsync policy
+        # raises the same error, in the same place, as the in-process node
         make_engine(engine, store_args)
+        walmod.validate_fsync_policy(fsync_policy)
         self.node_id = node_id
         self.engine = engine
         self.store_args = dict(store_args) if store_args else None
+        self.data_dir = data_dir
+        self.fsync_policy = fsync_policy
+        self.checkpoint_interval = checkpoint_interval
         self.port: int = 0
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self._spawn()
@@ -89,7 +103,10 @@ class NodeProcess:
         ctx = multiprocessing.get_context("fork")
         self.process = ctx.Process(
             target=serve_entry,
-            args=(listener, self.engine, self.store_args),
+            args=(
+                listener, self.engine, self.store_args,
+                self.data_dir, self.fsync_policy, self.checkpoint_interval,
+            ),
             daemon=True,
             name=f"kv-node-{self.node_id}",
         )
@@ -97,7 +114,9 @@ class NodeProcess:
         listener.close()  # the child keeps its inherited copy
 
     def respawn(self) -> None:
-        """Start a fresh (empty) server process on a fresh port."""
+        """Start a fresh server process on a fresh port: empty for a
+        volatile node, recovered-by-replay when ``data_dir`` is set
+        (the new process reopens the same directory)."""
         self.kill()
         self._spawn()
 
@@ -334,13 +353,52 @@ class RemoteNode(StorageNode):
     __slots__ = ("process", "client")
 
     def __init__(self, node_id: int, engine: str = "mem",
-                 store_args: Optional[dict] = None) -> None:
-        process = NodeProcess(node_id, engine, store_args)
+                 store_args: Optional[dict] = None,
+                 data_dir: Optional[str] = None,
+                 fsync_policy: str = "group",
+                 checkpoint_interval: Optional[int] = None) -> None:
+        process = NodeProcess(
+            node_id, engine, store_args,
+            data_dir=data_dir,
+            fsync_policy=fsync_policy,
+            checkpoint_interval=checkpoint_interval,
+        )
         client = NodeClient(node_id, process.port)
+        # durability (when any) lives server-side in the node process;
+        # the client-side facade stays volatile by construction
         super().__init__(node_id, engine, store=RemoteStore(client))
         self.process = process
         self.client = client
         self._op_lock = _NullLock()
+
+    # -- durability / crash surface ------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Does the node process write-ahead-log to a data directory?"""
+        return self.process.data_dir is not None
+
+    @property
+    def is_crashed(self) -> bool:
+        """Crash state is the process state: dead means crashed."""
+        return not self.process.alive
+
+    def wal_stats(self) -> Dict[str, int]:
+        """The server process's WAL counters (empty for volatile nodes)."""
+        if not self.durable:
+            return {}
+        return {
+            key[len("wal_"):]: value
+            for key, value in self.server_stats().items()
+            if key.startswith("wal_")
+        }
+
+    def crash(self) -> bool:
+        """SIGKILL the node process — the real thing, not a simulation.
+        Always honors crash semantics (returns True)."""
+        self.client.close()
+        self.process.sigkill()
+        return True
 
     # -- transport-specific surface ------------------------------------------
 
@@ -368,9 +426,11 @@ class RemoteNode(StorageNode):
         self.process.kill()
 
     def restart(self) -> None:
-        """Respawn a fresh, EMPTY server process (crash recovery: the
-        store's contents died with the old process) and repoint the
-        client at its new port. Counters are client-side and survive."""
+        """Respawn the server process and repoint the client at its new
+        port. A volatile node comes back EMPTY (its contents died with
+        the old process); a durable one recovers by checkpoint + WAL
+        replay before it accepts the first connection. Counters are
+        client-side and survive either way."""
         self.client.close()
         self.process.respawn()
         self.client = NodeClient(self.node_id, self.process.port)

@@ -34,12 +34,23 @@ from typing import Dict, Optional
 
 from repro.errors import WireProtocolError
 from repro.kv import wire
+from repro.kv.checkpoint import NodeDurability
 from repro.kv.lsm import LSMStore
 from repro.kv.memstore import MemStore
 from repro.locks import make_lock
 
 #: engines a node process can host, by name (validated *before* spawn)
 ENGINE_FACTORIES = {"mem": MemStore, "lsm": LSMStore}
+
+#: opcodes that mutate the store — after one of these the server gives
+#: the durability manager a chance to checkpoint/truncate the WAL
+_MUTATING_OPS = frozenset({
+    wire.OP_MULTI_PUT,
+    wire.OP_DELETE,
+    wire.OP_MULTI_DELETE,
+    wire.OP_DROP_PREFIX,
+    wire.OP_CLEAR,
+})
 
 
 def make_engine(engine: str, store_args: Optional[dict] = None):
@@ -55,9 +66,12 @@ def make_engine(engine: str, store_args: Optional[dict] = None):
 class NodeServer:
     """Serve one raw store over an already-bound listening socket."""
 
-    def __init__(self, listener: socket.socket, store) -> None:
+    def __init__(self, listener: socket.socket, store,
+                 durability: Optional[NodeDurability] = None) -> None:
         self.listener = listener
         self.store = store
+        #: owns this process's WAL + checkpoints (``None`` = volatile)
+        self._durability = durability
         #: serializes store access across connections, like the
         #: in-process node's ``_op_lock``
         self._store_lock = make_lock("NodeServer._store_lock")
@@ -123,8 +137,11 @@ class NodeServer:
             store.clear()
             return b""
         if op == wire.OP_GET_STATS:
+            stats = self._durability.wal_stats() if self._durability else {}
+            stats = {f"wal_{key}": value for key, value in stats.items()}
             with self._stats_lock:
-                return wire.encode_stats(dict(self._stats))
+                stats.update(self._stats)
+                return wire.encode_stats(stats)
         raise AssertionError(f"unhandled opcode {op:#x}")
 
     def _handle_request(self, payload: bytes) -> Optional[bytes]:
@@ -144,6 +161,11 @@ class NodeServer:
             else:
                 with self._store_lock:
                     body = self._run_op(op, args)
+                    if (
+                        self._durability is not None
+                        and op in _MUTATING_OPS
+                    ):
+                        self._durability.maybe_checkpoint(self.store)
         except WireProtocolError as exc:
             self._bump("protocol_errors")
             return wire.encode_error(wire.STATUS_PROTOCOL, str(exc))
@@ -209,7 +231,28 @@ class NodeServer:
 
 
 def serve_entry(listener: socket.socket, engine: str,
-                store_args: Optional[dict]) -> None:
-    """Child-process entry point (target of the forked ``Process``)."""
+                store_args: Optional[dict],
+                data_dir: Optional[str] = None,
+                fsync_policy: str = "group",
+                checkpoint_interval: Optional[int] = None) -> None:
+    """Child-process entry point (target of the forked ``Process``).
+
+    With ``data_dir`` the process is crash-consistent: it *recovers*
+    whatever checkpoint + WAL tail the directory holds before
+    accepting connections, and write-ahead-logs every mutation — a
+    SIGKILLed process respawned on the same directory comes back with
+    every acked write.
+    """
     store = make_engine(engine, store_args)
-    NodeServer(listener, store).serve_forever()
+    durability = None
+    if data_dir is not None:
+        extra = (
+            {}
+            if checkpoint_interval is None
+            else {"checkpoint_interval": checkpoint_interval}
+        )
+        durability = NodeDurability(
+            data_dir, fsync_policy=fsync_policy, **extra
+        )
+        durability.open(store)
+    NodeServer(listener, store, durability).serve_forever()

@@ -169,12 +169,23 @@ class CostModel:
         values: int,
         bytes_in: int,
         round_trips: Optional[int] = None,
+        fsyncs: int = 0,
     ) -> StageCost:
+        """A stage that writes to the storage layer.
+
+        ``fsyncs`` is the number of WAL write barriers the durable
+        nodes paid for these puts (0 for a volatile cluster; the
+        workloads diff ``KVCluster.wal_stats()`` around the writes).
+        Barriers run on the storage nodes in parallel, so the cost
+        divides by ``storage_nodes`` like the put service time — group
+        commit shows up as fewer fsyncs, not a cheaper barrier.
+        """
         profile = self.profile
         if round_trips is None:
             round_trips = puts
-        storage = profile.batched_put_cost_ms(
-            round_trips, puts, values
+        storage = (
+            profile.batched_put_cost_ms(round_trips, puts, values)
+            + profile.fsync_cost_ms(fsyncs)
         ) / max(1, self.storage_nodes)
         links = max(1, min(self.workers, self.storage_nodes))
         transfer = profile.transfer_ms(bytes_in, links=links)
@@ -183,4 +194,5 @@ class CostModel:
             time_ms=storage + transfer,
             comm_bytes=bytes_in,
             round_trips=round_trips,
+            fsyncs=fsyncs,
         )

@@ -38,6 +38,8 @@ class StageCost:
     index_probes: int = 0
     #: posting entries read while serving those probes
     index_postings: int = 0
+    #: WAL write barriers the stage's puts paid (0 = volatile cluster)
+    fsyncs: int = 0
 
     def __str__(self) -> str:
         out = (
@@ -54,6 +56,8 @@ class StageCost:
             out += (
                 f", idx={self.index_probes}p/{self.index_postings}e"
             )
+        if self.fsyncs:
+            out += f", fsyncs={self.fsyncs}"
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -75,6 +79,7 @@ class ExecutionMetrics:
     rebalance_bytes: int = 0
     index_probes: int = 0
     index_postings: int = 0
+    fsyncs: int = 0
     stages: List[StageCost] = field(default_factory=list)
     workers: int = 1
     storage_nodes: int = 1
@@ -92,6 +97,7 @@ class ExecutionMetrics:
         self.rebalance_bytes += stage.rebalance_bytes
         self.index_probes += stage.index_probes
         self.index_postings += stage.index_postings
+        self.fsyncs += stage.fsyncs
 
     @property
     def sim_time_s(self) -> float:
@@ -116,6 +122,7 @@ class ExecutionMetrics:
         self.rebalance_bytes += other.rebalance_bytes
         self.index_probes += other.index_probes
         self.index_postings += other.index_postings
+        self.fsyncs += other.fsyncs
         self.stages.extend(other.stages)
 
     def summary(self) -> str:
@@ -157,4 +164,5 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.rebalance_bytes = sum(m.rebalance_bytes for m in metrics) // n
     out.index_probes = sum(m.index_probes for m in metrics) // n
     out.index_postings = sum(m.index_postings for m in metrics) // n
+    out.fsyncs = sum(m.fsyncs for m in metrics) // n
     return out

@@ -155,6 +155,10 @@ class SQLOverNoSQL:
     ``(rel, attr[, kind])`` tuples. With an index present, a selective
     non-key filter runs as an index probe + ``multi_get`` instead of the
     fetch-all scan; ``create_index``/``drop_index`` manage them online.
+
+    ``durability``/``data_dir``/``fsync_policy`` make the storage nodes
+    crash-consistent (per-node WAL + checkpoints, recovery by replay)
+    — see the "Durability" section of :mod:`repro.kv.cluster`.
     """
 
     def __init__(
@@ -166,16 +170,24 @@ class SQLOverNoSQL:
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
         transport: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        durability: Optional[str] = None,
+        fsync_policy: str = "group",
         indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         # transport=None defers to REPRO_KV_TRANSPORT (default "local");
-        # "socket" puts every storage node in its own OS process
+        # "socket" puts every storage node in its own OS process.
+        # durability=None defers to REPRO_KV_DURABILITY (default "off");
+        # "wal" (or a data_dir) makes every node crash-consistent
         self.cluster = KVCluster(
             storage_nodes,
             replication_factor=replication_factor,
             transport=transport,
+            data_dir=data_dir,
+            durability=durability,
+            fsync_policy=fsync_policy,
         )
         # per-key gets by default — the conventional stack the paper
         # measures; raise to model a multi-get-capable client
@@ -313,17 +325,24 @@ class ZidianSystem:
         cache_capacity_bytes: int = 0,
         replication_factor: int = 1,
         transport: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        durability: Optional[str] = None,
+        fsync_policy: str = "group",
         indexes: Sequence = (),
     ) -> None:
         self.profile: BackendProfile = get_profile(backend)
         self.workers = workers
         # R-way replicated DHT (1 = unreplicated, the paper's cluster);
         # fail_node/recover_node on the cluster model churn under load;
-        # transport="socket" puts each node in its own OS process
+        # transport="socket" puts each node in its own OS process;
+        # durability="wal" (or a data_dir) write-ahead-logs every node
         self.cluster = KVCluster(
             storage_nodes,
             replication_factor=replication_factor,
             transport=transport,
+            data_dir=data_dir,
+            durability=durability,
+            fsync_policy=fsync_policy,
         )
         # probe keys coalesced per multi-get round (1 = per-key probes)
         self.batch_size = batch_size

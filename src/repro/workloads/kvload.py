@@ -49,8 +49,12 @@ def _read_time(profile: BackendProfile, nodes: int, gets: int,
 
 
 def _write_time(profile: BackendProfile, nodes: int, puts: int,
-                values: int) -> float:
-    return profile.put_cost_ms(puts, values) / max(1, nodes)
+                values: int, fsyncs: int = 0) -> float:
+    """Write service time; ``fsyncs`` adds the WAL barriers a durable
+    cluster paid (they run on the nodes in parallel, like the puts)."""
+    return (
+        profile.put_cost_ms(puts, values) + profile.fsync_cost_ms(fsyncs)
+    ) / max(1, nodes)
 
 
 def _read_workload(
@@ -160,15 +164,19 @@ def taav_write_workload(
     """
     cluster = taav.cluster
     before = cluster.total_counters()
+    fsyncs_before = cluster.wal_stats()["fsyncs"]
     for row in rows:
         taav.insert(tuple(row))
     after = cluster.total_counters()
+    fsyncs = cluster.wal_stats()["fsyncs"] - fsyncs_before
     puts = after.puts - before.puts
     values = after.values_written - before.values_written
     logical_values = len(rows) * taav.schema.arity
     return WorkloadResult(
         "write", "taav", puts, logical_values,
-        _write_time(profile, cluster.num_live_nodes, puts, values),
+        _write_time(
+            profile, cluster.num_live_nodes, puts, values, fsyncs=fsyncs
+        ),
         cluster.num_live_nodes,
     )
 
@@ -183,14 +191,16 @@ def baav_write_workload(
     cluster = store.cluster
     maintainer = Maintainer(store)
     before = cluster.total_counters()
+    fsyncs_before = cluster.wal_stats()["fsyncs"]
     maintainer.insert(relation, [tuple(r) for r in rows])
     after = cluster.total_counters()
+    fsyncs = cluster.wal_stats()["fsyncs"] - fsyncs_before
     puts = after.puts - before.puts
     # values *processed* includes re-encoded block contents
     values = after.values_written - before.values_written
     reads = after.gets - before.gets
     time_ms = _write_time(
-        profile, cluster.num_live_nodes, puts, values
+        profile, cluster.num_live_nodes, puts, values, fsyncs=fsyncs
     ) + _read_time(profile, cluster.num_live_nodes, reads,
                    after.values_read - before.values_read)
     # logical workload size is the inserted tuples' values

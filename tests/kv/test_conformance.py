@@ -41,13 +41,29 @@ REMOTE_ENGINES = {
     "lsm@socket": ("lsm", {"memtable_limit": 4, "max_runs": 2}),
 }
 
-ALL_ENGINES = sorted(ENGINES) + sorted(REMOTE_ENGINES)
+#: durable variants (PR 8): the same engines with a WAL attached, so
+#: every contract case also proves the logging hook changes nothing
+#: observable (and the batch-suspension bookkeeping never leaks)
+DURABLE_ENGINES = {
+    "mem+wal": "mem",
+    "lsm+wal": "lsm",
+}
+
+ALL_ENGINES = (
+    sorted(ENGINES) + sorted(REMOTE_ENGINES) + sorted(DURABLE_ENGINES)
+)
 
 
-def _make_node(engine):
+def _make_node(engine, tmp_path=None):
     if engine in REMOTE_ENGINES:
         name, store_args = REMOTE_ENGINES[engine]
         return RemoteNode(0, engine=name, store_args=store_args)
+    if engine in DURABLE_ENGINES:
+        return StorageNode(
+            0,
+            engine=DURABLE_ENGINES[engine],
+            data_dir=str(tmp_path / "wal-node"),
+        )
     return StorageNode(0, engine=engine)
 
 
@@ -57,9 +73,9 @@ def engine(request):
 
 
 @pytest.fixture()
-def store(engine):
-    if engine in REMOTE_ENGINES:
-        node = _make_node(engine)
+def store(engine, tmp_path):
+    if engine in REMOTE_ENGINES or engine in DURABLE_ENGINES:
+        node = _make_node(engine, tmp_path)
         yield node.store
         node.close()
         return
@@ -67,11 +83,10 @@ def store(engine):
 
 
 @pytest.fixture()
-def node(engine):
-    node = _make_node(engine)
+def node(engine, tmp_path):
+    node = _make_node(engine, tmp_path)
     yield node
-    if isinstance(node, RemoteNode):
-        node.close()
+    node.close()
 
 
 class TestStoreContract:

@@ -187,3 +187,69 @@ class TestLSMBackedCluster:
         for i in range(200):
             store.put(f"k{i:04d}".encode(), b"v")
         assert store.stats.entries_rewritten > 200
+
+
+class TestClearResetsStats:
+    """PR 8 satellite regression: ``clear()`` returns the engine to the
+    freshly-constructed state, amplification counters included — a
+    cleared store has flushed and compacted nothing, so stale counters
+    would stop reconciling with the empty engine."""
+
+    def test_clear_resets_lsm_stats(self):
+        store = LSMStore(memtable_limit=4, max_runs=2)
+        for i in range(40):
+            store.put(f"k{i:03d}".encode(), b"v")
+        for i in range(20):
+            store.get(f"absent{i}".encode())
+        stats = store.stats
+        assert stats.flushes > 0 and stats.runs_probed + stats.bloom_skips > 0
+        store.clear()
+        fresh = LSMStore(memtable_limit=4, max_runs=2)
+        assert store.stats == fresh.stats
+        assert store.num_runs == 0
+        assert store.memtable_size == 0
+
+    def test_stats_accumulate_cleanly_after_clear(self):
+        store = LSMStore(memtable_limit=4)
+        for i in range(12):
+            store.put(f"k{i:02d}".encode(), b"v")
+        store.clear()
+        for i in range(8):
+            store.put(f"p{i:02d}".encode(), b"v")
+        assert store.stats.flushes == 2  # 8 puts / limit 4, from zero
+
+
+class TestDropPrefixBatched:
+    """PR 8 satellite regression: ``drop_prefix`` routes through ONE
+    ``multi_delete`` batch instead of a delete-per-key loop."""
+
+    def test_drop_prefix_crossing_flush_threshold(self):
+        store = LSMStore(memtable_limit=4, max_runs=2)
+        for i in range(30):
+            store.put(f"ns:{i:03d}".encode(), b"v")
+        for i in range(10):
+            store.put(f"other:{i:03d}".encode(), b"v")
+        # the doomed batch (30 tombstones) is 7x the memtable limit, so
+        # the batch itself flushes and compacts mid-delete
+        dropped = store.drop_prefix(b"ns:")
+        assert len(dropped) == 30
+        assert [k for k, _ in store.scan(b"ns:")] == []
+        assert len(store) == 10
+        for i in range(10):
+            assert store.get(f"other:{i:03d}".encode()) == b"v"
+
+    def test_drop_prefix_logs_one_wal_record(self, tmp_path):
+        from repro.kv.checkpoint import NodeDurability
+
+        dur = NodeDurability(str(tmp_path / "n0"))
+        store = LSMStore(memtable_limit=4)
+        dur.open(store)
+        store.multi_put([(f"ns:{i:02d}".encode(), b"v") for i in range(20)])
+        before = dur.wal_stats()["records"]
+        store.drop_prefix(b"ns:")
+        assert dur.wal_stats()["records"] == before + 1
+        # and that one record replays to the same post-drop state
+        dur.abandon()
+        replayed = LSMStore(memtable_limit=4)
+        NodeDurability(str(tmp_path / "n0")).open(replayed)
+        assert list(replayed.scan()) == list(store.scan())
