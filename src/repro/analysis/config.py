@@ -60,8 +60,27 @@ GUARDED_FIELDS: Dict[str, Dict[Optional[str], Tuple[GuardSpec, ...]]] = {
                 "_lock", RWLOCK,
                 "nodes", "_down", "_tombstone_keys",
                 "_tombstone_prefixes", "_caches", "_closed",
+                "_versions",
             ),
             _guard("_meta_lock", MUTEX, "_namespaces"),
+        ),
+    },
+    "repro/mvcc/versions.py": {
+        "VersionStore": (
+            _guard("_lock", MUTEX, "_birth", "_chains"),
+        ),
+    },
+    "repro/mvcc/epoch.py": {
+        "EpochManager": (
+            _guard(
+                "_lock", MUTEX,
+                "_published", "_next_commit", "_pins",
+            ),
+        ),
+    },
+    "repro/mvcc/txn.py": {
+        "TransactionManager": (
+            _guard("_commit_lock", MUTEX, "_commits_since_gc"),
         ),
     },
     "repro/kv/node.py": {

@@ -133,6 +133,7 @@ class KVInstance:
             self.namespace,
             encoded,
             lambda kb: self.cluster.get(self.namespace, kb, n_values=1),
+            versions=self.cluster.versions,
         )
 
     def _cached_multi_get(
@@ -146,6 +147,7 @@ class KVInstance:
             lambda missing: self.cluster.multi_get(
                 self.namespace, missing, n_values_each=1
             ),
+            versions=self.cluster.versions,
         )
 
     def get(self, key: Row) -> Optional[Block]:
@@ -239,6 +241,7 @@ class KVInstance:
             self.stats_namespace,
             codec.encode_key(tuple(key)),
             lambda kb: self.cluster.get(self.stats_namespace, kb, n_values=4),
+            versions=self.cluster.versions,
         )
         if data is None:
             return None

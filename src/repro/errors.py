@@ -162,3 +162,12 @@ class ServiceClosedError(ServiceError):
 
 class QueryDeadlineError(ServiceError):
     """The query's deadline expired before a worker could start it."""
+
+
+class TransactionError(ServiceError):
+    """A multi-statement transaction was misused: a statement or commit
+    after the transaction already committed/aborted, an unpin of an
+    epoch that was never pinned, or a transaction surface invoked on a
+    system without MVCC enabled. Always a caller bug — a *failed*
+    commit surfaces as the underlying storage/execution error, not as
+    this type."""

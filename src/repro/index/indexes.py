@@ -231,6 +231,7 @@ class SecondaryIndex:
             lambda missing: self.cluster.multi_get(
                 self.namespace, missing, n_values_each=1
             ),
+            versions=self.cluster.versions,
         )
         out: List[List[Tuple[Row, int]]] = []
         self.stats.local.probes += len(key_bytes_list)

@@ -51,9 +51,22 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.locks import ShardSet, make_rlock
+
+if TYPE_CHECKING:  # import cycle guard: cluster imports this module's
+    # siblings; the overlay is only ever *passed in* here
+    from repro.mvcc.versions import VersionStore
 
 
 @dataclass
@@ -423,6 +436,7 @@ def read_through(
     namespace: str,
     key_bytes: bytes,
     fetch_one: Callable[[bytes], Optional[bytes]],
+    versions: Optional["VersionStore"] = None,
 ) -> Tuple[Optional[bytes], bool]:
     """Serve one payload through ``cache``; ``(payload, reached_cluster)``.
 
@@ -431,7 +445,22 @@ def read_through(
     This is THE read-through step — every cached point-read path
     (TaaV tuples, BaaV segments, stats sidecars) goes through here or
     :func:`read_through_many`, so cache semantics live in one place.
+
+    ``versions`` is the cluster's MVCC overlay: a thread pinned at a
+    snapshot epoch must not be served the *current* value from the
+    cache when the overlay holds the one visible at its epoch, and a
+    payload the overlay answered must never be filled into the cache
+    (it would poison readers of the current state).
     """
+    snapshot_epoch = (
+        versions.read_epoch() if versions is not None else None
+    )
+    if versions is not None and snapshot_epoch is not None:
+        handled, data = versions.read_visible(
+            namespace, key_bytes, snapshot_epoch
+        )
+        if handled:
+            return data, False
     epoch = 0
     if cache is not None:
         data = cache.get(namespace, key_bytes)
@@ -440,6 +469,16 @@ def read_through(
         epoch = cache.read_epoch(namespace, key_bytes)
     data = fetch_one(key_bytes)
     if data is not None and cache is not None:
+        if (
+            versions is not None
+            and snapshot_epoch is not None
+            and versions.is_overlaid(
+                namespace, key_bytes, snapshot_epoch
+            )
+        ):
+            # a commit raced the fetch: the payload came from the
+            # overlay, not the current base — do not cache it
+            return data, True
         # guarded fill: a write that raced the fetch wins
         cache.put_if_fresh(namespace, key_bytes, data, epoch)
     return data, True
@@ -450,14 +489,38 @@ def read_through_many(
     namespace: str,
     keys: Sequence[bytes],
     fetch_many: Callable[[List[bytes]], List[Optional[bytes]]],
+    versions: Optional["VersionStore"] = None,
 ) -> List[Tuple[Optional[bytes], bool]]:
     """Batched :func:`read_through`: positional ``(payload, reached_cluster)``
-    per key; only the cache-missing keys are passed to ``fetch_many``."""
-    if cache is None:
-        return [(data, True) for data in fetch_many(list(keys))]
+    per key; only the cache-missing keys are passed to ``fetch_many``.
+    ``versions`` routes snapshot-pinned threads around the cache (see
+    :func:`read_through`)."""
+    snapshot_epoch = (
+        versions.read_epoch() if versions is not None else None
+    )
     out: List[Tuple[Optional[bytes], bool]] = [(None, False)] * len(keys)
+    pending: List[Tuple[int, bytes]] = [
+        (index, key_bytes) for index, key_bytes in enumerate(keys)
+    ]
+    if versions is not None and snapshot_epoch is not None:
+        visible = versions.read_visible_many(
+            namespace, keys, snapshot_epoch
+        )
+        pending = []
+        for index, (handled, data) in enumerate(visible):
+            if handled:
+                out[index] = (data, False)
+            else:
+                pending.append((index, keys[index]))
+        if not pending:
+            return out
+    if cache is None:
+        fetched = fetch_many([key_bytes for _, key_bytes in pending])
+        for (index, _), data in zip(pending, fetched):
+            out[index] = (data, True)
+        return out
     missing: List[Tuple[int, bytes, int]] = []
-    for index, key_bytes in enumerate(keys):
+    for index, key_bytes in pending:
         data = cache.get(namespace, key_bytes)
         if data is not None:
             out[index] = (data, False)
@@ -470,6 +533,16 @@ def read_through_many(
         for (index, key_bytes, epoch), data in zip(missing, fetched):
             out[index] = (data, True)
             if data is not None:
+                if (
+                    versions is not None
+                    and snapshot_epoch is not None
+                    and versions.is_overlaid(
+                        namespace, key_bytes, snapshot_epoch
+                    )
+                ):
+                    # a commit raced the fetch: an overlay payload must
+                    # not be cached as the current base value
+                    continue
                 # guarded fill: a write that raced the fetch wins
                 cache.put_if_fresh(namespace, key_bytes, data, epoch)
     return out

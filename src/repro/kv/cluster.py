@@ -138,6 +138,7 @@ from repro.kv.hashring import HashRing
 from repro.kv.node import NodeCounters, StorageNode
 from repro.kv.remote import RemoteNode
 from repro.locks import RWLock, make_lock
+from repro.mvcc.versions import VersionStore
 
 #: environment override for the default transport, so an unmodified test
 #: suite can be pointed at real node processes (the CI socket matrix
@@ -285,6 +286,10 @@ class KVCluster:
         self._tombstone_prefixes: Dict[int, List[bytes]] = {}
         #: client-side block caches subscribed to write invalidations
         self._caches: List = []
+        #: MVCC version overlay (attached by a transaction-enabled
+        #: system): reads pinned at a snapshot epoch are answered from
+        #: it, and commit-epoch writes record superseded values into it
+        self._versions: Optional[VersionStore] = None
         #: every namespace a write has touched (all writes flow through
         #: this client, so the registry is complete); lets namespace
         #: enumeration avoid decode-scanning the whole cluster
@@ -330,6 +335,56 @@ class KVCluster:
     def _invalidate(self, namespace: str, key_bytes: bytes) -> None:
         for cache in self._caches:
             cache.invalidate(namespace, key_bytes)
+
+    # -- MVCC overlay ------------------------------------------------------
+
+    def attach_versions(self, versions: VersionStore) -> None:
+        """Attach the MVCC version overlay (idempotent for the same
+        store; attaching a different one is refused — the overlay's
+        chains describe *this* cluster's write history)."""
+        with self._lock.write():
+            if self._versions is versions:
+                return
+            if self._versions is not None:
+                raise ValueError(
+                    "a version store is already attached"
+                )
+            self._versions = versions
+
+    @property
+    def versions(self) -> Optional[VersionStore]:
+        """The attached MVCC overlay (None = versioning off)."""
+        return self._versions
+
+    def _read_overlay_epoch(self) -> Tuple[Optional[VersionStore],
+                                           Optional[int]]:
+        """The overlay + the calling thread's pinned epoch (None, None
+        when versioning is off or the thread reads latest state)."""
+        versions = self._versions
+        if versions is None:
+            return None, None
+        return versions, versions.read_epoch()
+
+    def _record_overwrite(
+        self, namespace: str, key_bytes: bytes, full: bytes
+    ) -> None:
+        """Capture a key's superseded value before a commit overwrites
+        it. No-op outside a recording (commit) context — loads, WAL
+        replay and rebalancing are not versioned. The old value is
+        peeked OUTSIDE the version-store lock (node I/O must never run
+        under it), which is race-free because the commit mutex admits
+        one installing writer at a time."""
+        # repro-lint: holds=_lock -- called from the shared write paths
+        versions = self._versions
+        if versions is None:
+            return
+        epoch = versions.recording_epoch()
+        if epoch is None:
+            return
+        if not versions.version_needed(namespace, key_bytes, epoch):
+            return
+        old_value = self._owners(full)[0].peek(full)
+        versions.record_write(namespace, key_bytes, epoch, old_value)
 
     # -- topology --------------------------------------------------------
 
@@ -623,8 +678,30 @@ class KVCluster:
         """Point get; counts one get on the replica that served it."""
         def op() -> Optional[bytes]:
             with self._lock.read():
+                versions, epoch = self._read_overlay_epoch()
+                if versions is not None and epoch is not None:
+                    handled, value = versions.read_visible(
+                        namespace, key_bytes, epoch
+                    )
+                    if handled:
+                        # overlay read: client-side, zero #get — like a
+                        # cache hit (metered in VersionStats instead)
+                        return value
                 full = self.full_key(namespace, key_bytes)
-                return self._read_replica(full).get(full, n_values=n_values)
+                value = self._read_replica(full).get(
+                    full, n_values=n_values
+                )
+                if versions is not None and epoch is not None:
+                    # a commit may have overwritten the key between the
+                    # overlay check and the node read; its superseded
+                    # value is in the overlay by then (recorded before
+                    # the base write), so re-check
+                    handled, overlaid = versions.read_visible(
+                        namespace, key_bytes, epoch
+                    )
+                    if handled:
+                        return overlaid
+                return value
         return self._peer_failover(op)
 
     def multi_get(
@@ -646,6 +723,21 @@ class KVCluster:
         def op() -> List[Optional[bytes]]:
             with self._lock.read():
                 results: List[Optional[bytes]] = [None] * len(keys)
+                overlaid: List[bool] = [False] * len(keys)
+                versions, epoch = self._read_overlay_epoch()
+                if versions is not None and epoch is not None:
+                    # overlay pre-pass: keys answered from the version
+                    # chains never reach a node (zero #get, like a
+                    # cache hit — metered in VersionStats)
+                    visible = versions.read_visible_many(
+                        namespace, keys, epoch
+                    )
+                    for index, (handled, value) in enumerate(visible):
+                        if handled:
+                            overlaid[index] = True
+                            results[index] = value
+                    if all(overlaid):
+                        return results
                 by_node: Dict[int, List[bytes]] = {}
                 positions: Dict[Tuple[int, bytes], List[int]] = {}
                 replicated = (
@@ -658,6 +750,8 @@ class KVCluster:
                         for node in self._live_nodes()
                     }
                 for index, key_bytes in enumerate(keys):
+                    if overlaid[index]:
+                        continue
                     full = self.full_key(namespace, key_bytes)
                     if replicated:
                         owner_ids = self._live_owner_ids(full)
@@ -683,6 +777,23 @@ class KVCluster:
                     for full, value in zip(node_keys, values):
                         for index in positions[(node_id, full)]:
                             results[index] = value
+                if versions is not None and epoch is not None:
+                    # commits racing the node fetches recorded the
+                    # superseded values before overwriting; re-check so
+                    # no too-new value leaks into the snapshot
+                    recheck = versions.read_visible_many(
+                        namespace,
+                        [k for i, k in enumerate(keys)
+                         if not overlaid[i]],
+                        epoch,
+                    )
+                    fetched = iter(recheck)
+                    for index in range(len(keys)):
+                        if overlaid[index]:
+                            continue
+                        handled, value = next(fetched)
+                        if handled:
+                            results[index] = value
                 return results
         return self._peer_failover(op)
 
@@ -698,8 +809,12 @@ class KVCluster:
             with self._lock.read():
                 with self._meta_lock:
                     self._namespaces.add(namespace)
-                self._invalidate(namespace, key_bytes)
                 full = self.full_key(namespace, key_bytes)
+                # overlay BEFORE base write: a snapshot reader either
+                # sees the old base value or finds it in the overlay —
+                # never a torn in-between
+                self._record_overwrite(namespace, key_bytes, full)
+                self._invalidate(namespace, key_bytes)
                 for node in self._owners(full):
                     node.put(full, value, n_values=n_values)
         self._peer_failover(op)
@@ -720,8 +835,9 @@ class KVCluster:
                         self._namespaces.add(namespace)
                 by_node: Dict[int, List[Tuple[bytes, bytes]]] = {}
                 for key_bytes, value in items:
-                    self._invalidate(namespace, key_bytes)
                     full = self.full_key(namespace, key_bytes)
+                    self._record_overwrite(namespace, key_bytes, full)
+                    self._invalidate(namespace, key_bytes)
                     owners = self._live_owner_ids(full)
                     if not owners:
                         raise ClusterUnavailableError(
@@ -741,8 +857,9 @@ class KVCluster:
         """Replicated delete; logged as a tombstone for every down node."""
         def op() -> bool:
             with self._lock.read():
-                self._invalidate(namespace, key_bytes)
                 full = self.full_key(namespace, key_bytes)
+                self._record_overwrite(namespace, key_bytes, full)
+                self._invalidate(namespace, key_bytes)
                 removed = False
                 for node in self._owners(full):
                     removed = node.delete(full) or removed
@@ -755,8 +872,16 @@ class KVCluster:
         """Uncounted read (maintenance bookkeeping)."""
         def op() -> Optional[bytes]:
             with self._lock.read():
+                versions, epoch = self._read_overlay_epoch()
                 full = self.full_key(namespace, key_bytes)
-                return self._owners(full)[0].peek(full)
+                value = self._owners(full)[0].peek(full)
+                if versions is not None and epoch is not None:
+                    handled, overlaid = versions.read_visible(
+                        namespace, key_bytes, epoch
+                    )
+                    if handled:
+                        return overlaid
+                return value
         return self._peer_failover(op)
 
     def scan(
@@ -800,8 +925,20 @@ class KVCluster:
                         snapshot.append((node, key[plen:], value))
                 return snapshot
 
-        for node, stripped, value in self._peer_failover(take_snapshot):
-            if count_as_gets:
+        snapshot = self._peer_failover(take_snapshot)
+        versions = self._versions
+        if versions is not None:
+            epoch = versions.read_epoch()
+            if epoch is not None:
+                # rewrite the scan to state-as-of-epoch: overlay values
+                # replace too-new ones, keys inserted after the epoch
+                # drop out, and keys deleted after it come back as
+                # node-less extras (uncounted — no node served them)
+                snapshot = versions.adjust_scan(
+                    namespace, snapshot, epoch
+                )
+        for node, stripped, value in snapshot:
+            if count_as_gets and node is not None:
                 # the blind scan issues one full get (and thus one
                 # round trip) per pair — the cost BaaV removes
                 counters = node.counters
@@ -830,6 +967,9 @@ class KVCluster:
                         ):
                             continue
                         keys.append(key[plen:])
+                versions, epoch = self._read_overlay_epoch()
+                if versions is not None and epoch is not None:
+                    keys = versions.adjust_keys(namespace, keys, epoch)
                 return keys
         return self._peer_failover(op)
 
@@ -877,6 +1017,10 @@ class KVCluster:
                     dropped.update(node.store.drop_prefix(prefix))
                 for log in self._tombstone_prefixes.values():
                     log.append(prefix)
+                if self._versions is not None:
+                    # DDL is exclusive: no pinned reader is mid-query on
+                    # the namespace, so its version state goes with it
+                    self._versions.forget_namespace(namespace)
                 with self._meta_lock:
                     self._namespaces.discard(namespace)
                     remaining = sorted(self._namespaces)

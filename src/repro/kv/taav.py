@@ -107,6 +107,7 @@ class TaaVRelation:
             lambda kb: self.cluster.get(
                 self.namespace, kb, n_values=self.schema.arity
             ),
+            versions=self.cluster.versions,
         )
         if data is None:
             return None
@@ -141,6 +142,7 @@ class TaaVRelation:
             lambda missing: self.cluster.multi_get(
                 self.namespace, missing, n_values_each=n_values_each
             ),
+            versions=self.cluster.versions,
         )
         return [data for data, _ in pairs]
 

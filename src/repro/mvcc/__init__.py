@@ -1,0 +1,45 @@
+"""MVCC snapshot subsystem (PR 9).
+
+Gives every committed write a monotone **commit epoch**, every query a
+consistent **snapshot epoch**, and the service a begin/apply/commit
+transaction surface — so analytical readers never wait on the update
+stream (the HTAP split the service previously forced through a global
+writer-exclusive lock).
+
+Three pieces:
+
+* :class:`~repro.mvcc.epoch.EpochManager` — the epoch clock: a
+  published epoch readers pin (ref-counted snapshot registry), a commit
+  allocator that never reuses an epoch, and the GC **horizon** (the
+  oldest epoch any live snapshot can still see).
+* :class:`~repro.mvcc.versions.VersionStore` — a client-side
+  rollback-segment overlay: the base KV write happens in place, and the
+  *superseded* value is retained as an interval ``(birth, death,
+  value)`` until no live snapshot can see it. Readers pinned at epoch E
+  reconstruct state-as-of-E; writers install E+1 beside them.
+* :class:`~repro.mvcc.txn.TransactionManager` /
+  :class:`~repro.mvcc.txn.Transaction` — multi-statement transactions:
+  statements buffer, then replay atomically under the commit mutex at
+  one commit epoch spanning every touched relation *and* its secondary
+  indexes; snapshot readers see all-or-nothing.
+
+See "MVCC & transactions (PR 9)" in ``docs/ARCHITECTURE.md`` for the
+epoch lifecycle and the GC rule.
+"""
+
+from repro.mvcc.epoch import EpochManager
+from repro.mvcc.txn import (
+    DEFAULT_GC_INTERVAL,
+    Transaction,
+    TransactionManager,
+)
+from repro.mvcc.versions import VersionStats, VersionStore
+
+__all__ = [
+    "DEFAULT_GC_INTERVAL",
+    "EpochManager",
+    "Transaction",
+    "TransactionManager",
+    "VersionStats",
+    "VersionStore",
+]

@@ -1,0 +1,114 @@
+"""The epoch clock: published snapshots, pinned readers, the GC horizon.
+
+Epochs are the MVCC subsystem's logical time. ``0`` is the load state;
+every committed transaction owns one epoch. The manager keeps three
+facts under one mutex:
+
+* ``published`` — the newest epoch whose writes are fully installed.
+  Readers pin *this* (never an in-flight commit), so a snapshot is
+  always a fully-committed state.
+* the **pin registry** — a ref-count per pinned epoch. Pinning is how a
+  query (or an explicit snapshot) keeps its state visible: the version
+  store may not discard anything a pinned epoch can still see.
+* the **commit allocator** — ``begin_commit`` hands out each epoch at
+  most once, even when a commit fails before publishing. Reusing a
+  failed commit's epoch would merge its partially-installed writes into
+  the next transaction's atomicity unit.
+
+The **horizon** is the oldest pinned epoch (or ``published`` when
+nothing is pinned): every superseded version that died at or before the
+horizon is invisible to all current and future snapshots and may be
+reclaimed (:meth:`~repro.mvcc.versions.VersionStore.gc`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TransactionError
+from repro.locks import make_lock
+
+
+class EpochManager:
+    """Allocates commit epochs and ref-counts pinned snapshot epochs."""
+
+    def __init__(self) -> None:
+        #: guards the clock and the pin registry
+        self._lock = make_lock("EpochManager._lock")
+        self._published = 0
+        #: next epoch begin_commit may hand out — never reused, even
+        #: when a commit fails before publishing
+        self._next_commit = 1
+        #: pinned epoch -> number of live snapshots reading it
+        self._pins: Dict[int, int] = {}
+
+    # -- reader side -------------------------------------------------------
+
+    @property
+    def published(self) -> int:
+        """The newest fully-committed epoch."""
+        with self._lock:
+            return self._published
+
+    def pin(self) -> int:
+        """Pin the published epoch for a new snapshot; returns it."""
+        with self._lock:
+            epoch = self._published
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            return epoch
+
+    def unpin(self, epoch: int) -> bool:
+        """Release one pin on ``epoch``; ``True`` when no snapshot
+        remains pinned anywhere (the natural moment to run GC)."""
+        with self._lock:
+            count = self._pins.get(epoch)
+            if count is None:
+                raise TransactionError(
+                    f"epoch {epoch} is not pinned"
+                )
+            if count == 1:
+                del self._pins[epoch]
+            else:
+                self._pins[epoch] = count - 1
+            return not self._pins
+
+    def pinned(self) -> int:
+        """Total number of live pins across all epochs."""
+        with self._lock:
+            return sum(self._pins.values())
+
+    # -- writer side -------------------------------------------------------
+
+    def begin_commit(self) -> int:
+        """Allocate the next commit epoch (strictly after ``published``
+        and after every previously allocated epoch)."""
+        with self._lock:
+            epoch = max(self._next_commit, self._published + 1)
+            self._next_commit = epoch + 1
+            return epoch
+
+    def publish(self, epoch: int) -> None:
+        """Mark ``epoch`` fully installed; new pins see it."""
+        with self._lock:
+            if epoch > self._published:
+                self._published = epoch
+
+    # -- GC ----------------------------------------------------------------
+
+    def horizon(self) -> int:
+        """The oldest epoch any live snapshot can still see.
+
+        Superseded versions that died at or before the horizon are
+        unreachable by every current pin and every future pin (new pins
+        take ``published`` ≥ horizon), so the version store may reclaim
+        them.
+        """
+        with self._lock:
+            return min(self._pins) if self._pins else self._published
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"EpochManager(published={self._published}, "
+                f"pins={dict(self._pins)})"
+            )

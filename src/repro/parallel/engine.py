@@ -35,7 +35,7 @@ from repro.kv.node import NodeCounters
 from repro.kv.taav import TaaVStore
 from repro.parallel.costmodel import CostModel
 from repro.parallel.partitioner import blockset_skew
-from repro.parallel.metrics import ExecutionMetrics
+from repro.parallel.metrics import ExecutionMetrics, StageCost
 from repro.relational.database import Database
 from repro.relational.types import row_size
 from repro.sql import algebra
@@ -130,6 +130,50 @@ class _IndexStatsProbe:
         return diff
 
 
+class _SnapshotProbe:
+    """Snapshot/diff of the calling thread's MVCC overlay shard
+    (cluster without an attached overlay: every delta is zero)."""
+
+    def __init__(self, cluster: KVCluster) -> None:
+        self.versions = cluster.versions
+        self._reads, self._skipped = self._snapshot()
+
+    def _snapshot(self) -> Tuple[int, int]:
+        if self.versions is None:
+            return 0, 0
+        stats = self.versions.thread_stats()
+        return stats.overlay_reads, stats.versions_skipped
+
+    def delta(self) -> Tuple[int, int]:
+        reads, skipped = self._snapshot()
+        diff = (reads - self._reads, skipped - self._skipped)
+        self._reads, self._skipped = reads, skipped
+        return diff
+
+    def epoch(self) -> int:
+        """The calling thread's pinned epoch (-1 = latest-state read)."""
+        if self.versions is None:
+            return -1
+        epoch = self.versions.read_epoch()
+        return -1 if epoch is None else epoch
+
+    def finish(self, metrics: ExecutionMetrics) -> None:
+        """Stamp the query's snapshot metadata onto its metrics."""
+        metrics.snapshot_epoch = self.epoch()
+        overlay_reads, versions_skipped = self.delta()
+        if overlay_reads:
+            # the overlay's client-side reads cost zero #get / round
+            # trips; surfaced as their own stage so breakdowns show
+            # how much of the query the version chains answered
+            metrics.add_stage(
+                StageCost(
+                    "snapshot overlay",
+                    overlay_reads=overlay_reads,
+                    versions_skipped=versions_skipped,
+                )
+            )
+
+
 class BaselineEngine:
     """Fetch-all SQL-over-NoSQL evaluation over a TaaV store (§7.1).
 
@@ -180,8 +224,10 @@ class BaselineEngine:
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
         cache_probe = _CacheProbe(self.cache)
+        snapshot_probe = _SnapshotProbe(self.cluster)
         self.access = {}
         table = self._run(ra_plan, metrics, probe, cache_probe)
+        snapshot_probe.finish(metrics)
         metrics.wall_time_ms = (time.perf_counter() - start) * 1000.0
         return table, metrics
 
@@ -514,6 +560,7 @@ class ZidianEngine:
         metrics.add_stage(self.model.job_overhead())
         probe = _CounterProbe(self.cluster)
         cache_probe = _CacheProbe(self.cache)
+        snapshot_probe = _SnapshotProbe(self.cluster)
         self._idx_probe = _IndexStatsProbe(self.indexes)
         result = self._run(plan.root, metrics, probe, cache_probe)
 
@@ -524,6 +571,7 @@ class ZidianEngine:
         metrics.add_stage(
             self.model.compute_stage("top", _table_values(table))
         )
+        snapshot_probe.finish(metrics)
         metrics.wall_time_ms = (time.perf_counter() - start) * 1000.0
         return top, metrics
 

@@ -40,6 +40,11 @@ class StageCost:
     index_postings: int = 0
     #: WAL write barriers the stage's puts paid (0 = volatile cluster)
     fsyncs: int = 0
+    #: reads served from the MVCC overlay instead of the base (zero
+    #: #get — the snapshot's client-side version chains answered them)
+    overlay_reads: int = 0
+    #: newer versions walked past to reach the snapshot-visible one
+    versions_skipped: int = 0
 
     def __str__(self) -> str:
         out = (
@@ -58,6 +63,11 @@ class StageCost:
             )
         if self.fsyncs:
             out += f", fsyncs={self.fsyncs}"
+        if self.overlay_reads:
+            out += (
+                f", overlay={self.overlay_reads}r/"
+                f"{self.versions_skipped}skip"
+            )
         if self.skew > 1.001:
             out += f", skew={self.skew:.2f}"
         return out
@@ -80,6 +90,15 @@ class ExecutionMetrics:
     index_probes: int = 0
     index_postings: int = 0
     fsyncs: int = 0
+    #: the commit epoch this query's snapshot was pinned at (-1 = no
+    #: snapshot: MVCC off, or an unpinned latest-state read)
+    snapshot_epoch: int = -1
+    #: reads the MVCC overlay served instead of the base state
+    overlay_reads: int = 0
+    #: newer versions skipped to reach the snapshot-visible one
+    versions_skipped: int = 0
+    #: dead versions reclaimed by the GC this query's unpin triggered
+    gc_reclaimed: int = 0
     stages: List[StageCost] = field(default_factory=list)
     workers: int = 1
     storage_nodes: int = 1
@@ -98,6 +117,8 @@ class ExecutionMetrics:
         self.index_probes += stage.index_probes
         self.index_postings += stage.index_postings
         self.fsyncs += stage.fsyncs
+        self.overlay_reads += stage.overlay_reads
+        self.versions_skipped += stage.versions_skipped
 
     @property
     def sim_time_s(self) -> float:
@@ -123,6 +144,14 @@ class ExecutionMetrics:
         self.index_probes += other.index_probes
         self.index_postings += other.index_postings
         self.fsyncs += other.fsyncs
+        # compound sides share one pinned epoch; max() also does the
+        # right thing when only one side ran under a snapshot
+        self.snapshot_epoch = max(
+            self.snapshot_epoch, other.snapshot_epoch
+        )
+        self.overlay_reads += other.overlay_reads
+        self.versions_skipped += other.versions_skipped
+        self.gc_reclaimed += other.gc_reclaimed
         self.stages.extend(other.stages)
 
     def summary(self) -> str:
@@ -136,6 +165,13 @@ class ExecutionMetrics:
             out += f" cache={self.cache_hit_rate:.0%}"
         if self.index_probes:
             out += f" idx={self.index_probes}p/{self.index_postings}e"
+        if self.snapshot_epoch >= 0:
+            out += f" epoch={self.snapshot_epoch}"
+        if self.overlay_reads:
+            out += (
+                f" overlay={self.overlay_reads}r/"
+                f"{self.versions_skipped}skip"
+            )
         return out
 
     def breakdown(self) -> str:
@@ -165,4 +201,7 @@ def mean_metrics(metrics: List[ExecutionMetrics]) -> ExecutionMetrics:
     out.index_probes = sum(m.index_probes for m in metrics) // n
     out.index_postings = sum(m.index_postings for m in metrics) // n
     out.fsyncs = sum(m.fsyncs for m in metrics) // n
+    out.overlay_reads = sum(m.overlay_reads for m in metrics) // n
+    out.versions_skipped = sum(m.versions_skipped for m in metrics) // n
+    out.gc_reclaimed = sum(m.gc_reclaimed for m in metrics) // n
     return out

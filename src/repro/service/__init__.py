@@ -6,24 +6,30 @@ Public surface:
   wrapping a loaded system behind a bounded worker pool;
 * :class:`Session` / :class:`QueryTicket` — per-client handles and
   asynchronous query futures;
+* :class:`ServiceTransaction` — a session-bound multi-statement
+  transaction (PR 9: MVCC snapshot isolation, ``REPRO_MVCC`` knob);
 * :class:`ServiceStats` — snapshot-consistent service accounting;
 * the service errors live in :mod:`repro.errors`
   (``ServiceOverloadedError``, ``ServiceClosedError``,
-  ``QueryDeadlineError``).
+  ``QueryDeadlineError``, ``TransactionError``).
 """
 
 from repro.service.service import (
     DEFAULT_MAX_QUEUED,
+    MVCC_ENV,
     QueryService,
     QueryTicket,
     ServiceStats,
+    ServiceTransaction,
     Session,
 )
 
 __all__ = [
     "DEFAULT_MAX_QUEUED",
+    "MVCC_ENV",
     "QueryService",
     "QueryTicket",
     "ServiceStats",
+    "ServiceTransaction",
     "Session",
 ]

@@ -27,13 +27,22 @@ Architecture
   query may wait for a worker
   (:class:`~repro.errors.QueryDeadlineError` when it expires first);
   a queued ticket can be cancelled outright.
-* **Reads share, updates exclude**: queries run under the read side of
-  a :class:`~repro.locks.RWLock`, ``apply_updates`` (and online index
-  DDL) under the write side. Updates are therefore atomic across the
-  relational store, the TaaV/BaaV stores and every secondary index —
-  no query observes a half-applied Δ, which is what makes the
-  concurrent history linearizable (the property tests replay it
+* **MVCC by default (PR 9)**: when the system has a transaction
+  surface (``enable_transactions``) the service runs queries *and*
+  updates under the **shared** side of its
+  :class:`~repro.locks.RWLock` — readers pin a snapshot epoch and see
+  exactly one committed state while writers install the next one
+  through the version overlay (:mod:`repro.mvcc`), so the update
+  stream no longer stalls the analytic path. The write side is now
+  exclusive only for membership/DDL (online index create/drop).
+  ``mvcc=False`` (or ``REPRO_MVCC=0``) restores the PR-5 behavior:
+  updates take the write lock and queries wait. Either way no query
+  observes a half-applied Δ (the property tests replay the history
   against a single-threaded oracle).
+* **Transactions**: :meth:`Session.begin` opens a multi-statement
+  :class:`ServiceTransaction` — several ``apply_updates`` across
+  several relations commit atomically at one epoch, spanning the
+  relational store, the TaaV/BaaV stores and every secondary index.
 * **Drain / shutdown**: :meth:`drain` stops admitting and waits for
   the in-flight work; :meth:`close` drains and tears the pool down.
 
@@ -45,6 +54,7 @@ service lock only adds the read/update atomicity queries expect.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
@@ -55,11 +65,17 @@ from repro.errors import (
     QueryDeadlineError,
     ServiceClosedError,
     ServiceOverloadedError,
+    TransactionError,
 )
 from repro.locks import RWLock, make_condition
+from repro.mvcc import DEFAULT_GC_INTERVAL
 
 #: default bound on queries waiting for a worker before load shedding
 DEFAULT_MAX_QUEUED = 16
+
+#: environment override for the MVCC default ("0" restores the PR-5
+#: writer-exclusive lock; anything else — or unset — keeps MVCC on)
+MVCC_ENV = "REPRO_MVCC"
 
 
 @dataclass
@@ -79,6 +95,8 @@ class ServiceStats:
     expired: int = 0
     cancelled: int = 0
     updates_applied: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
     in_flight: int = 0
     queued: int = 0
     peak_in_flight: int = 0
@@ -87,13 +105,19 @@ class ServiceStats:
     sessions_closed: int = 0
 
     def __str__(self) -> str:
-        return (
+        out = (
             f"submitted={self.submitted} completed={self.completed} "
             f"failed={self.failed} shed={self.shed} "
             f"expired={self.expired} cancelled={self.cancelled} "
             f"updates={self.updates_applied} "
             f"peak={self.peak_in_flight}r/{self.peak_queued}q"
         )
+        if self.transactions_committed or self.transactions_aborted:
+            out += (
+                f" txn={self.transactions_committed}c/"
+                f"{self.transactions_aborted}a"
+            )
+        return out
 
 
 class QueryTicket:
@@ -163,8 +187,12 @@ class Session:
         inserts: Iterable = (),
         deletes: Iterable = (),
     ) -> None:
-        """Apply a relational Δ exclusively (no query sees it half-done)."""
+        """Apply a relational Δ atomically (no query sees it half-done)."""
         self.service.apply_updates(self, relation, inserts, deletes)
+
+    def begin(self) -> "ServiceTransaction":
+        """Open a multi-statement transaction (MVCC services only)."""
+        return self.service.begin(self)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -185,6 +213,68 @@ class Session:
         )
 
 
+class ServiceTransaction:
+    """A multi-statement transaction bound to one session.
+
+    Statements buffer client-side and install atomically at one commit
+    epoch (:meth:`commit`), spanning every touched relation and its
+    secondary indexes. The commit runs under the service's **shared**
+    lock — concurrent queries keep reading their snapshots; concurrent
+    transactions serialize on the system's commit mutex. Usable as a
+    context manager: commits on clean exit, aborts when the body
+    raised.
+    """
+
+    def __init__(self, service: "QueryService", session: Session) -> None:
+        self.service = service
+        self.session = session
+        self._txn = service.system.begin()
+
+    @property
+    def state(self) -> str:
+        """``"open"``, ``"committed"`` or ``"aborted"``."""
+        return self._txn.state
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The commit epoch (set by a successful :meth:`commit`)."""
+        return self._txn.epoch
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable = (),
+        deletes: Iterable = (),
+    ) -> None:
+        """Buffer one relational Δ; installed atomically at commit."""
+        self._txn.apply_updates(relation, inserts, deletes)
+
+    def commit(self) -> int:
+        """Install every buffered statement at one commit epoch."""
+        return self.service._commit_transaction(self.session, self._txn)
+
+    def abort(self) -> None:
+        """Discard the buffered statements (nothing was installed)."""
+        self.service._abort_transaction(self.session, self._txn)
+
+    def __enter__(self) -> "ServiceTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._txn.state != "open":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceTransaction(session={self.session.session_id}, "
+            f"{self._txn.state}, statements={self._txn.statements})"
+        )
+
+
 class QueryService:
     """A bounded, admission-controlled, multi-session query service.
 
@@ -192,6 +282,11 @@ class QueryService:
     :class:`ZidianSystem` (anything with ``execute(sql)`` and
     ``apply_updates``). ``max_workers`` defaults to the system's
     intra-query worker knob — one pool thread per modeled worker.
+
+    ``mvcc`` turns snapshot isolation + transactions on (the default
+    when the system supports it; ``None`` defers to the ``REPRO_MVCC``
+    environment variable). ``snapshot_gc_interval`` paces the version
+    store's amortized GC (commits between sweeps).
     """
 
     def __init__(
@@ -200,6 +295,8 @@ class QueryService:
         max_workers: Optional[int] = None,
         max_queued: int = DEFAULT_MAX_QUEUED,
         default_deadline_ms: Optional[float] = None,
+        mvcc: Optional[bool] = None,
+        snapshot_gc_interval: int = DEFAULT_GC_INTERVAL,
     ) -> None:
         if max_workers is None:
             max_workers = getattr(system, "workers", 4)
@@ -211,6 +308,18 @@ class QueryService:
         self.max_workers = max_workers
         self.max_queued = max_queued
         self.default_deadline_ms = default_deadline_ms
+        if mvcc is None:
+            mvcc = os.environ.get(MVCC_ENV, "1") != "0"
+        #: snapshot reads + transactions on (queries and updates share
+        #: the service lock) vs the PR-5 writer-exclusive behavior
+        self.mvcc = bool(
+            mvcc and hasattr(system, "enable_transactions")
+        )
+        self.snapshot_gc_interval = snapshot_gc_interval
+        if self.mvcc:
+            system.enable_transactions(
+                snapshot_gc_interval=snapshot_gc_interval
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="query-svc"
         )
@@ -420,7 +529,7 @@ class QueryService:
             self._stats.cancelled += 1
             self._gate.notify_all()
 
-    # -- writes (exclusive) ----------------------------------------------
+    # -- writes -----------------------------------------------------------
 
     def apply_updates(
         self,
@@ -429,21 +538,70 @@ class QueryService:
         inserts: Iterable = (),
         deletes: Iterable = (),
     ) -> None:
-        """Apply a relational Δ under the write lock (atomic vs queries).
+        """Apply a relational Δ atomically with respect to queries.
 
-        Runs on the calling thread: writers are their own workers, and
-        the exclusive lock already serializes them, so queueing writes
-        behind the pool would only add latency.
+        With MVCC on (the default) the Δ commits through the version
+        overlay under the *shared* lock: snapshot-pinned queries keep
+        running and never see it half-applied. Without MVCC it takes
+        the write lock and queries wait (the PR-5 behavior). Runs on
+        the calling thread: writers are their own workers, and the
+        commit mutex (or the exclusive lock) already serializes them,
+        so queueing writes behind the pool would only add latency.
         """
         with self._gate:
             self._check_open(session)
-        with self._rw.write():
-            self.system.apply_updates(
-                relation, inserts=inserts, deletes=deletes
-            )
+        if self.mvcc:
+            with self._rw.read():
+                self.system.apply_updates(
+                    relation, inserts=inserts, deletes=deletes
+                )
+        else:
+            with self._rw.write():
+                self.system.apply_updates(
+                    relation, inserts=inserts, deletes=deletes
+                )
         with self._gate:
             self._stats.updates_applied += 1
             session.updates += 1
+
+    def begin(self, session: Session) -> ServiceTransaction:
+        """Open a multi-statement transaction for ``session``."""
+        with self._gate:
+            self._check_open(session)
+        if not self.mvcc:
+            raise TransactionError(
+                "transactions need MVCC (service constructed with "
+                "mvcc=False, REPRO_MVCC=0, or a system without a "
+                "transaction surface)"
+            )
+        return ServiceTransaction(self, session)
+
+    def _commit_transaction(self, session: Session, txn) -> int:
+        """Commit a session's transaction under the shared lock."""
+        with self._gate:
+            self._check_open(session)
+        statements = txn.statements
+        try:
+            with self._rw.read():
+                epoch = txn.commit()
+        # repro-lint: disable=broad-except -- stats bookkeeping only:
+        # the abort counter must tick for every failure mode, and the
+        # exception is re-raised unchanged
+        except BaseException:
+            with self._gate:
+                self._stats.transactions_aborted += 1
+                session.errors += 1
+            raise
+        with self._gate:
+            self._stats.transactions_committed += 1
+            self._stats.updates_applied += statements
+            session.updates += statements
+        return epoch
+
+    def _abort_transaction(self, session: Session, txn) -> None:
+        txn.abort()
+        with self._gate:
+            self._stats.transactions_aborted += 1
 
     def create_index(
         self, session: Session, relation: str, attr: str,
@@ -540,9 +698,11 @@ class QueryService:
 
 __all__ = [
     "DEFAULT_MAX_QUEUED",
+    "MVCC_ENV",
     "QueryService",
     "QueryTicket",
     "ServiceStats",
+    "ServiceTransaction",
     "Session",
     "CancelledError",
 ]

@@ -26,6 +26,14 @@ from repro.kv.cache import CacheStats, make_cache
 from repro.kv.cluster import KVCluster
 from repro.kv.taav import TaaVStore
 from repro.kba.executor import DEFAULT_BATCH_SIZE
+from repro.locks import make_lock
+from repro.mvcc import (
+    DEFAULT_GC_INTERVAL,
+    EpochManager,
+    Transaction,
+    TransactionManager,
+    VersionStore,
+)
 from repro.parallel.engine import BaselineEngine, ZidianEngine
 from repro.parallel.metrics import ExecutionMetrics
 from repro.relational.database import Database
@@ -136,7 +144,108 @@ def _zidian_plan_summary(plan) -> str:
     return "\n".join(lines)
 
 
-class SQLOverNoSQL:
+#: serializes concurrent enable_transactions() calls (begin() may
+#: auto-enable from any service thread); leaf-ordered before the
+#: cluster lock that attach_versions takes
+_ENABLE_LOCK = make_lock("systems.enable_transactions")
+
+
+class TransactionalMixin:
+    """The MVCC surface both systems share (see :mod:`repro.mvcc`).
+
+    ``enable_transactions()`` attaches a version overlay to the cluster
+    and builds the epoch clock + transaction manager whose ``apply_fn``
+    is the system's :meth:`_apply_base` (relational rows, TaaV/BaaV
+    stores and secondary indexes). From then on:
+
+    * every ``apply_updates`` routes through an auto-commit transaction
+      (record superseded values → install base writes → publish);
+    * every ``execute`` pins the published epoch for its whole run, so
+      it sees exactly one committed state even while writers install
+      the next one;
+    * :meth:`begin` opens an explicit multi-statement transaction
+      spanning several relations (and their indexes) atomically.
+    """
+
+    cluster: KVCluster
+    transactions: Optional[TransactionManager]
+
+    def _apply_base(
+        self,
+        relation: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> None:
+        raise NotImplementedError
+
+    def enable_transactions(
+        self,
+        snapshot_gc_interval: int = DEFAULT_GC_INTERVAL,
+        gc_period_s: Optional[float] = None,
+    ) -> TransactionManager:
+        """Switch the system to MVCC snapshots + transactions.
+
+        Idempotent (the first call's knobs win). ``snapshot_gc_interval``
+        sets how many commits may pass between amortized version-GC
+        sweeps; ``gc_period_s`` additionally starts a background GC
+        thread (off by default).
+        """
+        with _ENABLE_LOCK:
+            if self.transactions is None:
+                versions = VersionStore()
+                self.cluster.attach_versions(versions)
+                self.transactions = TransactionManager(
+                    EpochManager(),
+                    versions,
+                    self._apply_base,
+                    gc_interval=snapshot_gc_interval,
+                    gc_period_s=gc_period_s,
+                )
+            return self.transactions
+
+    def begin(self) -> Transaction:
+        """Open a multi-statement transaction (auto-enables MVCC)."""
+        return self.enable_transactions().begin()
+
+    def apply_updates(
+        self,
+        relation: str,
+        inserts: Iterable[Row] = (),
+        deletes: Iterable[Row] = (),
+    ) -> None:
+        """Apply one Δ; an auto-commit transaction when MVCC is on."""
+        if self.transactions is not None:
+            with self.transactions.begin() as txn:
+                txn.apply_updates(relation, inserts, deletes)
+            return
+        self._apply_base(relation, inserts, deletes)
+
+    def _snapshot_execute(self, run) -> "QueryResult":
+        """Run a query pinned at the published epoch (when MVCC is on).
+
+        Re-entrant: a thread already holding a snapshot (a compound
+        query's sides, a nested call) keeps its epoch. The GC work this
+        query's unpin triggered is stamped onto its metrics.
+        """
+        manager = self.transactions
+        if manager is None or manager.versions.read_epoch() is not None:
+            return run()
+        reclaimed = manager.versions.thread_stats().gc_reclaimed
+        with manager.snapshot():
+            result = run()
+        # repro-lint: disable=counter-accounting -- metrics is this
+        # query's private result object, not a shared stats instance
+        result.metrics.gc_reclaimed += (
+            manager.versions.thread_stats().gc_reclaimed - reclaimed
+        )
+        return result
+
+    def _close_transactions(self) -> None:
+        if self.transactions is not None:
+            self.transactions.close()
+
+
+class SQLOverNoSQL(TransactionalMixin):
     """A baseline SQL-over-NoSQL system (TaaV storage, fetch-all plans).
 
     ``cache_capacity_bytes`` enables a client-side read-through block
@@ -197,6 +306,8 @@ class SQLOverNoSQL:
         self._requested_indexes = [_parse_index_spec(s) for s in indexes]
         self.database: Optional[Database] = None
         self.taav: Optional[TaaVStore] = None
+        #: MVCC transaction surface (None until enable_transactions())
+        self.transactions: Optional[TransactionManager] = None
 
     @property
     def name(self) -> str:
@@ -248,6 +359,9 @@ class SQLOverNoSQL:
     def execute(self, sql: str) -> QueryResult:
         if self.database is None or self.taav is None:
             raise ExecutionError("load() a database first")
+        return self._snapshot_execute(lambda: self._execute(sql))
+
+    def _execute(self, sql: str) -> QueryResult:
         bound = bind_any(parse(sql), self.database.schema)
         ra_plan = build_plan_any(bound)
         # per-thread reset: concurrent queries on other service threads
@@ -274,7 +388,7 @@ class SQLOverNoSQL:
             f"{alias} -> {desc}" for alias, desc in sorted(access.items())
         )
 
-    def apply_updates(
+    def _apply_base(
         self,
         relation: str,
         inserts: Iterable[Row] = (),
@@ -298,6 +412,7 @@ class SQLOverNoSQL:
 
     def close(self) -> None:
         """Shut the cluster down (reaps node processes; idempotent)."""
+        self._close_transactions()
         self.cluster.close()
 
     def __enter__(self) -> "SQLOverNoSQL":
@@ -307,7 +422,7 @@ class SQLOverNoSQL:
         self.close()
 
 
-class ZidianSystem:
+class ZidianSystem(TransactionalMixin):
     """A baseline system with Zidian plugged in (§8.2 deployment)."""
 
     def __init__(
@@ -364,6 +479,8 @@ class ZidianSystem:
         self.store: Optional[BaaVStore] = None
         self.middleware: Optional[Zidian] = None
         self.maintainer: Optional[Maintainer] = None
+        #: MVCC transaction surface (None until enable_transactions())
+        self.transactions: Optional[TransactionManager] = None
 
     @property
     def name(self) -> str:
@@ -460,6 +577,11 @@ class ZidianSystem:
     def execute(self, sql: str) -> QueryResult:
         if self.middleware is None or self.store is None:
             raise ExecutionError("load() a database first")
+        # the snapshot pin wraps the whole statement, so both sides of
+        # a compound query read the same epoch
+        return self._snapshot_execute(lambda: self._run(sql))
+
+    def _run(self, sql: str) -> QueryResult:
         stmt = parse(sql)
         if isinstance(stmt, ast.CompoundSelect):
             return self._execute_compound(stmt)
@@ -529,7 +651,7 @@ class ZidianSystem:
         sub.append(right.decision)
         return QueryResult(relation, metrics, None, sub_decisions=sub)
 
-    def apply_updates(
+    def _apply_base(
         self,
         relation: str,
         inserts: Iterable[Row] = (),
@@ -562,6 +684,7 @@ class ZidianSystem:
 
     def close(self) -> None:
         """Shut the cluster down (reaps node processes; idempotent)."""
+        self._close_transactions()
         self.cluster.close()
 
     def __enter__(self) -> "ZidianSystem":

@@ -255,16 +255,23 @@ class TrafficDriver:
         via the service's synchronous path) and contributes its
         simulated service time; ``max_workers`` virtual workers and the
         ``max_queued`` admission bound shape waiting and shedding
-        exactly like the live service would. The writer stream models
-        the service's writer-preferring exclusive lock faithfully: a
-        pending write first waits for the in-flight queries to drain
-        (new dispatches queue behind it — writer preference), then
-        blocks every query for its service time, so the reported p99
-        includes the read/write interference the live service has.
+        exactly like the live service would. The writer stream follows
+        the service's concurrency-control mode:
+
+        * **MVCC on** (``service.mvcc``, the PR 9 default): writes
+          commit concurrently with snapshot reads — the Δ applies at
+          its event instant, occupies no query worker, and never gates
+          dispatch, so reader p99 stays flat under a sustained writer.
+        * **MVCC off**: the legacy writer-preferring exclusive lock is
+          modeled faithfully — a pending write first waits for the
+          in-flight queries to drain (new dispatches queue behind it),
+          then blocks every query for its service time, so the
+          reported p99 includes the read/write stall the lock causes.
         """
         rng = random.Random(self.seed)
         workers = self.service.max_workers
         max_queued = self.service.max_queued
+        mvcc = bool(getattr(self.service, "mvcc", False))
         start_wall = time.perf_counter()
         sessions = [
             self.service.open_session(client=f"client-{i}")
@@ -304,6 +311,10 @@ class TrafficDriver:
         now = 0.0
 
         def can_dispatch(at_ms: float) -> bool:
+            if mvcc:
+                # snapshot reads never wait on the writer: a free
+                # worker is the only admission condition
+                return busy < workers
             return (
                 busy < workers
                 and write_requested is None
@@ -330,6 +341,30 @@ class TrafficDriver:
             while queue and can_dispatch(at_ms):
                 enq_ms, q_client, q_klass, q_sql = queue.popleft()
                 dispatch(at_ms, q_client, q_klass, q_sql, enq_ms)
+
+        def apply_write_now(at_ms: float) -> None:
+            """MVCC mode: the Δ commits concurrently with the readers.
+
+            No drain, no gate — the write's latency is just its own
+            service time, and the next Δ is scheduled after it.
+            """
+            nonlocal updates_left
+            updates_left -= 1
+            index = updates - updates_left - 1
+            relation, inserts, deletes = self.update_stream.make_update(
+                rng, index
+            )
+            write_ms = self._update_service_ms(
+                lambda: writer_session.apply_updates(
+                    relation, inserts, deletes
+                )
+            )
+            update_latencies.append(write_ms)
+            if updates_left > 0:
+                push(
+                    at_ms + write_ms + self.update_stream.think_ms,
+                    "write", -1,
+                )
 
         def start_write(at_ms: float) -> None:
             """The exclusive lock is granted: apply the Δ for real."""
@@ -385,6 +420,9 @@ class TrafficDriver:
                     push(now + self.think_ms, "issue", client)
             elif kind == "write":
                 if updates_left <= 0:
+                    continue
+                if mvcc:
+                    apply_write_now(now)
                     continue
                 write_requested = now
                 if busy == 0 and now >= write_until:

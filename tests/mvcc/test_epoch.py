@@ -1,0 +1,89 @@
+"""Unit tests of the epoch clock (publish / pin / horizon)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.mvcc import EpochManager
+
+
+class TestClock:
+    def test_starts_at_load_state(self):
+        epochs = EpochManager()
+        assert epochs.published == 0
+        assert epochs.pinned() == 0
+        assert epochs.horizon() == 0
+
+    def test_begin_commit_allocates_after_published(self):
+        epochs = EpochManager()
+        assert epochs.begin_commit() == 1
+        epochs.publish(1)
+        assert epochs.published == 1
+        assert epochs.begin_commit() == 2
+
+    def test_failed_commit_epoch_is_never_reused(self):
+        epochs = EpochManager()
+        burned = epochs.begin_commit()  # commit fails: never published
+        assert epochs.published == 0
+        assert epochs.begin_commit() == burned + 1
+
+    def test_publish_is_monotone(self):
+        epochs = EpochManager()
+        a = epochs.begin_commit()
+        b = epochs.begin_commit()
+        epochs.publish(b)
+        epochs.publish(a)  # late publish of an older epoch: ignored
+        assert epochs.published == b
+
+
+class TestPins:
+    def test_pin_takes_published_and_refcounts(self):
+        epochs = EpochManager()
+        epochs.publish(epochs.begin_commit())
+        assert epochs.pin() == 1
+        assert epochs.pin() == 1
+        assert epochs.pinned() == 2
+        assert epochs.unpin(1) is False  # one snapshot still live
+        assert epochs.unpin(1) is True   # last one: GC moment
+        assert epochs.pinned() == 0
+
+    def test_unpin_unpinned_epoch_raises(self):
+        epochs = EpochManager()
+        with pytest.raises(TransactionError):
+            epochs.unpin(0)
+
+    def test_unpin_reports_remaining_pins_on_other_epochs(self):
+        epochs = EpochManager()
+        epochs.pin()  # epoch 0
+        epochs.publish(epochs.begin_commit())
+        epochs.pin()  # epoch 1
+        # releasing epoch 1 is not the last pin anywhere: 0 still held
+        assert epochs.unpin(1) is False
+        assert epochs.unpin(0) is True
+
+
+class TestHorizon:
+    def test_horizon_is_oldest_pin(self):
+        epochs = EpochManager()
+        epochs.pin()  # pin 0
+        epochs.publish(epochs.begin_commit())
+        epochs.pin()  # pin 1
+        assert epochs.horizon() == 0
+        epochs.unpin(0)
+        assert epochs.horizon() == 1
+        epochs.unpin(1)
+        assert epochs.horizon() == 1  # falls back to published
+
+    def test_horizon_never_moves_backwards_for_new_pins(self):
+        epochs = EpochManager()
+        epochs.publish(epochs.begin_commit())
+        epochs.publish(epochs.begin_commit())
+        assert epochs.pin() == 2  # new pins always take published
+        assert epochs.horizon() == 2
+
+    def test_repr_mentions_state(self):
+        epochs = EpochManager()
+        epochs.pin()
+        assert "published=0" in repr(epochs)
+        assert "pins={0: 1}" in repr(epochs)

@@ -1,0 +1,239 @@
+"""Property: every read is a state at ONE commit epoch (PR 9, MVCC).
+
+A writer session commits multi-statement transactions — each Δ spans
+two relations (and a secondary index) — while reader threads stream
+aggregate queries through the :class:`QueryService`. Under snapshot
+isolation every result must equal the database state at exactly the
+epoch stamped on its metrics: not merely *some* legal prefix (the
+linearizability property), but the one the snapshot pinned — and never
+a torn Δ where one relation (or the index) shows a commit the other
+does not. Hypothesis drives the transaction shapes and the replication
+factor; a deterministic twin runs the same check over the socket
+transport.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import AttrType, Database, RelationSchema
+from repro.service import QueryService
+from repro.systems import SQLOverNoSQL
+
+REC = RelationSchema.of(
+    "REC", {"k": AttrType.INT, "v": AttrType.INT}, ["k"]
+)
+AUX = RelationSchema.of(
+    "AUX", {"k": AttrType.INT, "w": AttrType.INT}, ["k"]
+)
+
+#: spans both relations: a commit visible in REC but not AUX (or vice
+#: versa) yields a (n, s, t) no single epoch produces
+JOIN_SQL = (
+    "select count(*) as n, sum(R.v) as s, sum(A.w) as t "
+    "from REC R, AUX A where R.k = A.k"
+)
+#: rides the secondary index on REC.v: a commit visible in the index
+#: but not the blocks (or vice versa) breaks the epoch-exact count
+INDEX_SQL = (
+    "select count(*) as n, sum(R.v) as s from REC R where R.v >= 0"
+)
+
+
+def oracle_states(initial, txns):
+    """Expected (join, index) answers after every commit epoch."""
+    live = dict(initial)  # k -> (v, w)
+    states = {}
+
+    def record(epoch):
+        n = len(live)
+        s = sum(v for v, _ in live.values()) if live else None
+        t = sum(w for _, w in live.values()) if live else None
+        states[epoch] = ((n, s, t), (n, s))
+
+    record(0)
+    for epoch, (inserts, deletes) in enumerate(txns, start=1):
+        for k in deletes:
+            del live[k]
+        live.update(inserts)
+        record(epoch)
+    return states
+
+
+@st.composite
+def txn_workloads(draw):
+    """Initial rows plus multi-relation transactions (inserts+deletes).
+
+    ``v``/``w`` encode the commit epoch, so states at different epochs
+    differ in sum even when counts collide.
+    """
+    n_initial = draw(st.integers(min_value=1, max_value=3))
+    initial = {
+        k: (k, 10_000 + k) for k in range(n_initial)
+    }
+    n_txns = draw(st.integers(min_value=2, max_value=4))
+    next_key = n_initial
+    live = dict(initial)
+    txns = []
+    for index in range(n_txns):
+        inserts = {}
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            inserts[next_key] = (
+                (index + 1) * 100 + next_key,
+                10_000 + (index + 1) * 100 + next_key,
+            )
+            next_key += 1
+        deletes = []
+        if len(live) > 1 and draw(st.booleans()):
+            keys = sorted(live)
+            deletes.append(keys[draw(
+                st.integers(min_value=0, max_value=len(keys) - 1)
+            )])
+        for k in deletes:
+            del live[k]
+        live.update(inserts)
+        txns.append((inserts, deletes))
+    return initial, txns
+
+
+def build_system(initial, replication_factor, transport=None):
+    database = Database.from_dict(
+        [REC, AUX],
+        {
+            "REC": [(k, v) for k, (v, _) in sorted(initial.items())],
+            "AUX": [(k, w) for k, (_, w) in sorted(initial.items())],
+        },
+    )
+    system = SQLOverNoSQL(
+        workers=2,
+        storage_nodes=2,
+        batch_size=4,
+        replication_factor=replication_factor,
+        indexes=["REC.v:ordered"],
+        transport=transport,
+    )
+    system.load(database)
+    return system
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workload=txn_workloads(),
+    replication_factor=st.sampled_from([1, 2]),
+)
+def test_snapshots_are_epoch_exact(workload, replication_factor):
+    initial, txns = workload
+    states = oracle_states(initial, txns)
+    system = build_system(initial, replication_factor)
+    run_check(system, initial, txns, states)
+
+
+def test_snapshots_are_epoch_exact_over_sockets():
+    """Deterministic twin of the property over the socket transport."""
+    initial = {0: (0, 10_000), 1: (1, 10_001)}
+    txns = [
+        ({2: (102, 10_102)}, []),
+        ({3: (203, 10_203), 4: (204, 10_204)}, [0]),
+        ({5: (305, 10_305)}, [2]),
+    ]
+    states = oracle_states(initial, txns)
+    system = build_system(initial, 2, transport="socket")
+    run_check(system, initial, txns, states)
+
+
+def run_check(system, initial, txns, states):
+    live = dict(initial)
+    observations = {0: [], 1: []}
+    failures = []
+    writer_done = threading.Event()
+
+    with QueryService(system, max_workers=3, max_queued=8) as service:
+
+        def reader(reader_id: int) -> None:
+            try:
+                with service.open_session(f"r{reader_id}") as session:
+                    while True:
+                        for sql, which in (
+                            (JOIN_SQL, 0), (INDEX_SQL, 1),
+                        ):
+                            result = session.submit(sql).result(
+                                timeout=30.0
+                            )
+                            observations[reader_id].append(
+                                (
+                                    result.metrics.snapshot_epoch,
+                                    which,
+                                    result.rows[0],
+                                )
+                            )
+                        if writer_done.is_set():
+                            return
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in observations
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            with service.open_session("writer") as writer:
+                for inserts, deletes in txns:
+                    with writer.begin() as txn:
+                        txn.apply_updates(
+                            "REC",
+                            inserts=[
+                                (k, v) for k, (v, _) in inserts.items()
+                            ],
+                            deletes=[
+                                (k, live[k][0]) for k in deletes
+                            ],
+                        )
+                        txn.apply_updates(
+                            "AUX",
+                            inserts=[
+                                (k, w) for k, (_, w) in inserts.items()
+                            ],
+                            deletes=[
+                                (k, live[k][1]) for k in deletes
+                            ],
+                        )
+                    for k in deletes:
+                        del live[k]
+                    live.update(inserts)
+        finally:
+            writer_done.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+        assert failures == []
+        final_epoch = len(txns)
+        for reader_id, seen in observations.items():
+            assert seen, f"reader {reader_id} observed nothing"
+            epochs = []
+            for epoch, which, row in seen:
+                assert epoch in states, (
+                    f"reader {reader_id} pinned unknown epoch {epoch}"
+                )
+                want = states[epoch][which]
+                assert tuple(row) == want, (
+                    f"reader {reader_id} at epoch {epoch} saw {row}, "
+                    f"expected {want} "
+                    f"({'join' if which == 0 else 'index'} read)"
+                )
+                epochs.append(epoch)
+            # snapshots move forward: a session's successive reads pin
+            # non-decreasing epochs
+            assert epochs == sorted(epochs), (
+                f"reader {reader_id} went back in time: {epochs}"
+            )
+        # after the writer finished, a fresh snapshot pins the final
+        # epoch and sees the fully-committed state
+        with service.open_session("check") as session:
+            result = session.execute(JOIN_SQL)
+            assert result.metrics.snapshot_epoch == final_epoch
+            assert tuple(result.rows[0]) == states[final_epoch][0]
+    system.close()
