@@ -11,10 +11,22 @@ attributes, which answer whole-block aggregates without touching rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.kv import codec
 from repro.relational.types import Row
+
+if TYPE_CHECKING:
+    from repro.baav.frame import ColumnFrame
 
 
 @dataclass(frozen=True)
@@ -141,6 +153,25 @@ class Block:
         return out
 
     # -- codec ----------------------------------------------------------------
+
+    def to_frame(self, attrs: Optional[Sequence[str]] = None) -> "ColumnFrame":
+        """Columnar view of this block (PR 10).
+
+        ``attrs`` names the value attributes; positional ``c0..cN``
+        names are generated when omitted (a bare block does not know
+        its schema).
+        """
+        from repro.baav.frame import ColumnFrame
+
+        if attrs is None:
+            width = len(self.entries[0][0]) if self.entries else 0
+            attrs = tuple(f"c{i}" for i in range(width))
+        return ColumnFrame.from_entries(tuple(attrs), self.entries)
+
+    @classmethod
+    def from_frame(cls, frame: "ColumnFrame") -> "Block":
+        """Rebuild a block from a columnar frame (inverse of to_frame)."""
+        return cls(frame.to_entries())
 
     def encode(self) -> bytes:
         return codec.encode_entries(self.entries)

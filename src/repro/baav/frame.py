@@ -1,0 +1,401 @@
+"""Columnar frames: the vectorized view of blocks and block sets (PR 10).
+
+A :class:`ColumnFrame` re-encodes decoded entries ``(row, count)`` into
+per-attribute columns so selection, projection, joins and group-bys run as
+batch kernels over whole frames instead of per-row interpreter loops.
+
+Layout. Each column is either
+
+* an ``array('q')`` / ``array('d')`` when every present value is a plain
+  ``int`` / ``float`` (``bool`` is deliberately excluded so round-trips
+  preserve types), with NULLs stored as ``0`` placeholders behind a
+  validity mask, or
+* a plain ``list`` holding the raw values (``None`` in place) for mixed
+  or non-numeric columns.
+
+The validity mask per column is either ``None`` — every entry valid — or a
+``list[bool]`` with ``False`` marking NULL slots. ``counts`` carries the
+per-entry multiplicities of the compressed block representation, so a
+frame of *n* entries can describe far more than *n* logical tuples.
+
+:class:`BlockSetFrame` is the execution-time sibling: a lazy columnar view
+over a :class:`~repro.kba.blockset.BlockSet` that materializes only the
+columns an operator actually touches (a selection on one attribute of a
+wide block never builds the other columns). Both classes expose the same
+column protocol — ``dense(pos)`` / ``values(pos)`` / ``n`` — which the
+compiled kernels of :mod:`repro.kba.compile` are written against.
+
+The module-level batch kernels (:func:`select_mask`, :func:`project`,
+:func:`hash_probe`, :func:`group_fold`) are the building blocks the
+compiled plans use; they are also usable directly on frames.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError
+from repro.relational.types import Row
+
+Column = Union[array, List[object]]
+ValidMask = Optional[List[bool]]
+
+#: largest magnitude storable in a signed 64-bit ``array('q')`` slot
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _pack_column(values: List[object]) -> Tuple[Column, ValidMask]:
+    """Encode one column as (typed array | list, validity mask).
+
+    Typed arrays are used only when every present value is a plain
+    ``int`` (in 64-bit range) or every present value is a plain
+    ``float`` — mixing the two would coerce ints to floats and break
+    the round-trip, so mixed numeric columns stay as lists.
+    """
+    has_null = False
+    all_int = True
+    all_float = True
+    for v in values:
+        if v is None:
+            has_null = True
+        elif type(v) is int:
+            all_float = False
+            if not _INT64_MIN <= v <= _INT64_MAX:
+                all_int = False
+        elif type(v) is float:
+            all_int = False
+        else:
+            all_int = all_float = False
+        if not all_int and not all_float:
+            break
+    mask: ValidMask = None
+    if has_null:
+        mask = [v is not None for v in values]
+    if all_int and all_float:
+        # column is empty or all-NULL: keep the raw list
+        return list(values), mask
+    if all_int:
+        if mask is None:
+            return array("q", values), None
+        return array("q", [0 if v is None else v for v in values]), mask
+    if all_float:
+        if mask is None:
+            return array("d", values), None
+        return array("d", [0.0 if v is None else v for v in values]), mask
+    return list(values), mask
+
+
+def _unpack_column(column: Column, mask: ValidMask) -> List[object]:
+    """Decode a packed column back to a value list with ``None`` holes."""
+    if mask is None:
+        return list(column)
+    if isinstance(column, array):
+        return [v if ok else None for v, ok in zip(column, mask)]
+    # list columns keep None in place; the mask is advisory
+    return list(column)
+
+
+class ColumnFrame:
+    """A fully materialized columnar frame over entries ``(row, count)``."""
+
+    __slots__ = ("attrs", "columns", "valid", "counts")
+
+    def __init__(
+        self,
+        attrs: Tuple[str, ...],
+        columns: List[Column],
+        valid: List[ValidMask],
+        counts: List[int],
+    ) -> None:
+        if len(columns) != len(attrs) or len(valid) != len(attrs):
+            raise ExecutionError(
+                f"frame width mismatch: {len(attrs)} attrs, "
+                f"{len(columns)} columns, {len(valid)} masks"
+            )
+        for column in columns:
+            if len(column) != len(counts):
+                raise ExecutionError(
+                    f"frame length mismatch: column of {len(column)} "
+                    f"entries vs {len(counts)} counts"
+                )
+        self.attrs = attrs
+        self.columns = columns
+        self.valid = valid
+        self.counts = counts
+
+    @classmethod
+    def from_entries(
+        cls, attrs: Sequence[str], entries: Sequence[Tuple[Row, int]]
+    ) -> "ColumnFrame":
+        """Pivot row-major entries into per-attribute columns."""
+        attrs = tuple(attrs)
+        width = len(attrs)
+        for row, _ in entries:
+            if len(row) != width:
+                raise ExecutionError(
+                    f"entry width {len(row)} does not match "
+                    f"{width} frame attributes"
+                )
+        columns: List[Column] = []
+        valid: List[ValidMask] = []
+        for pos in range(width):
+            packed, mask = _pack_column([row[pos] for row, _ in entries])
+            columns.append(packed)
+            valid.append(mask)
+        counts = [count for _, count in entries]
+        return cls(attrs, columns, valid, counts)
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Distinct entries held (the compressed length)."""
+        return len(self.counts)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.counts)
+
+    @property
+    def num_tuples(self) -> int:
+        """Logical tuple count — entries weighted by multiplicity."""
+        return sum(self.counts)
+
+    @property
+    def width(self) -> int:
+        return len(self.attrs)
+
+    def num_values(self) -> int:
+        """Logical values held (entries × width), the #data unit."""
+        return len(self.counts) * len(self.attrs)
+
+    # -- column access -----------------------------------------------------
+
+    def dense(self, pos: int) -> Tuple[Column, ValidMask]:
+        """Raw column storage: ``(column, mask)``; mask ``None`` ⇔ no NULLs.
+
+        Typed-array columns hold placeholders in masked slots; list
+        columns keep ``None`` in place. Kernels use the mask to skip
+        NULL slots without per-value ``is None`` checks on clean columns.
+        """
+        return self.columns[pos], self.valid[pos]
+
+    def values(self, pos: int) -> Sequence[object]:
+        """The decoded column: values with ``None`` in NULL slots."""
+        column, mask = self.columns[pos], self.valid[pos]
+        if mask is None or not isinstance(column, array):
+            return column
+        return [v if ok else None for v, ok in zip(column, mask)]
+
+    def to_entries(self) -> List[Tuple[Row, int]]:
+        """Rebuild row-major entries from the columnar storage."""
+        decoded = [
+            _unpack_column(column, mask)
+            for column, mask in zip(self.columns, self.valid)
+        ]
+        if not decoded:
+            return [((), count) for count in self.counts]
+        return [
+            (row, count) for row, count in zip(zip(*decoded), self.counts)
+        ]
+
+    # -- comparison --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnFrame):
+            return NotImplemented
+        return (
+            self.attrs == other.attrs
+            and self.counts == other.counts
+            and self.to_entries() == other.to_entries()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnFrame({len(self.attrs)} cols, {self.n} entries, "
+            f"{self.num_tuples} tuples)"
+        )
+
+
+class BlockSetFrame:
+    """Lazy columnar view over a BlockSet's entries.
+
+    Columns are materialized (and cached) on first access, so operators
+    touch only the attributes they reference. The underlying
+    ``triples`` — ``(key, value_row, count)`` in blockset iteration
+    order — stay available so operators can rebuild exact output entries
+    without a row round-trip through the columns.
+    """
+
+    __slots__ = (
+        "attrs", "n_key", "triples",
+        "_cols", "_masks", "_counts", "_keys", "_values",
+    )
+
+    def __init__(self, blockset) -> None:
+        self.attrs: Tuple[str, ...] = blockset.attrs
+        self.n_key = len(blockset.key_attrs)
+        # same order as blockset.iter_entries(); inlined because the
+        # generator's per-item resumption dominates on wide block sets
+        self.triples: List[Tuple[Row, Row, int]] = [
+            (key, value, count)
+            for key, entries in blockset.data.items()
+            for value, count in entries
+        ]
+        self._cols: Dict[int, Column] = {}
+        self._masks: Dict[int, ValidMask] = {}
+        self._counts: Optional[List[int]] = None
+        self._keys: Optional[List[Row]] = None
+        self._values: Optional[List[Row]] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.triples)
+
+    @property
+    def counts(self) -> List[int]:
+        if self._counts is None:
+            self._counts = list(map(itemgetter(2), self.triples))
+        return self._counts
+
+    def dense(self, pos: int) -> Tuple[Column, ValidMask]:
+        """Materialize (once) and return ``(column, mask)`` for ``pos``.
+
+        Extraction runs as two chained ``map(itemgetter(...))`` passes —
+        both loops stay in C — with the key/value row lists cached across
+        columns of the same side.
+        """
+        column = self._cols.get(pos)
+        if column is None:
+            n_key = self.n_key
+            if pos < n_key:
+                if self._keys is None:
+                    self._keys = list(map(itemgetter(0), self.triples))
+                column = list(map(itemgetter(pos), self._keys))
+            else:
+                if self._values is None:
+                    self._values = list(map(itemgetter(1), self.triples))
+                column = list(map(itemgetter(pos - n_key), self._values))
+            mask: ValidMask = None
+            if None in column:
+                mask = [v is not None for v in column]
+            self._cols[pos] = column
+            self._masks[pos] = mask
+        return column, self._masks[pos]
+
+    def values(self, pos: int) -> Sequence[object]:
+        """The decoded column (list columns keep ``None`` in place)."""
+        return self.dense(pos)[0]
+
+
+#: the structural protocol shared by ColumnFrame and BlockSetFrame
+Frame = Union[ColumnFrame, BlockSetFrame]
+
+
+# -- batch kernels -------------------------------------------------------------
+
+
+def select_mask(frame: ColumnFrame, mask: Sequence[object]) -> ColumnFrame:
+    """Keep the entries whose mask slot is truthy (σ as one take pass)."""
+    if len(mask) != frame.n:
+        raise ExecutionError(
+            f"mask length {len(mask)} does not match frame of {frame.n}"
+        )
+    take = [i for i, keep in enumerate(mask) if keep]
+    columns: List[Column] = []
+    valid: List[ValidMask] = []
+    for column, col_mask in zip(frame.columns, frame.valid):
+        if isinstance(column, array):
+            taken: Column = array(column.typecode, (column[i] for i in take))
+        else:
+            taken = [column[i] for i in take]
+        columns.append(taken)
+        valid.append(
+            None if col_mask is None else [col_mask[i] for i in take]
+        )
+    counts = [frame.counts[i] for i in take]
+    return ColumnFrame(frame.attrs, columns, valid, counts)
+
+
+def project(
+    frame: ColumnFrame,
+    positions: Sequence[int],
+    attrs: Optional[Tuple[str, ...]] = None,
+) -> ColumnFrame:
+    """π without multiplicity folding: reorder/drop columns by position."""
+    if attrs is None:
+        attrs = tuple(frame.attrs[p] for p in positions)
+    columns = [frame.columns[p] for p in positions]
+    valid = [frame.valid[p] for p in positions]
+    return ColumnFrame(attrs, columns, valid, list(frame.counts))
+
+
+def hash_probe(
+    build: Frame,
+    build_positions: Sequence[int],
+    probe: Frame,
+    probe_positions: Sequence[int],
+) -> List[List[int]]:
+    """Batch hash join core: for each probe entry, the matching build rows.
+
+    Builds a hash table over ``build``'s join-key columns once, then
+    answers every probe entry in one pass. Entries whose join key
+    contains a NULL match nothing (SQL join semantics). The returned
+    build-row indices preserve build order, so callers produce the same
+    output order as a per-row nested probe.
+    """
+    table: Dict[Row, List[int]] = {}
+    build_cols = [build.values(p) for p in build_positions]
+    if build_cols:
+        for i, key in enumerate(zip(*build_cols)):
+            if None in key:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = bucket = []
+            bucket.append(i)
+    else:
+        table[()] = list(range(build.n))
+    probe_cols = [probe.values(p) for p in probe_positions]
+    empty: List[int] = []
+    if not probe_cols:
+        hit = table.get((), empty)
+        return [hit] * probe.n
+    return [
+        empty if None in key else table.get(key, empty)
+        for key in zip(*probe_cols)
+    ]
+
+
+def group_fold(
+    frame: Frame,
+    key_positions: Sequence[int],
+    arg_columns: Sequence[Optional[Sequence[object]]],
+    make_accumulators: Callable[[], List],
+) -> Dict[Row, List]:
+    """Fold entries into per-group accumulator lists (γ core).
+
+    ``arg_columns`` supplies one per-entry input column per accumulator;
+    ``None`` feeds the constant ``True`` (the ``COUNT(*)`` shape). Group
+    keys appear in first-encounter order, matching the row-at-a-time
+    fold exactly.
+    """
+    key_cols = [frame.values(p) for p in key_positions]
+    if key_cols:
+        keys: Sequence[Row] = list(zip(*key_cols))
+    else:
+        keys = [()] * frame.n
+    counts = frame.counts
+    groups: Dict[Row, List] = {}
+    for i, group_key in enumerate(keys):
+        accs = groups.get(group_key)
+        if accs is None:
+            accs = make_accumulators()
+            groups[group_key] = accs
+        count = counts[i]
+        for column, acc in zip(arg_columns, accs):
+            acc.add(True if column is None else column[i], count)
+    return groups

@@ -143,6 +143,14 @@ class ExecutionError(ReproError):
     """A plan failed during execution."""
 
 
+class CompileError(ExecutionError):
+    """An expression or plan fragment is outside the vectorizing
+    compiler's subset (aggregate calls, unknown operators, unbound
+    columns). Internal to :mod:`repro.kba.compile`: handlers catch it
+    and fall back to row-at-a-time execution, so it never escapes to
+    callers of a vectorized plan."""
+
+
 class ServiceError(ReproError):
     """Base class for query-service errors."""
 

@@ -1,0 +1,155 @@
+"""Frame codec edge cases + to_frame()/from_frame() round trips (PR 10)."""
+
+from array import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baav import ColumnFrame, select_mask
+from repro.baav.block import Block
+from repro.baav.frame import _pack_column, _unpack_column
+from repro.errors import ExecutionError
+
+
+class TestPackColumn:
+    def test_pure_ints_pack_as_int64_array(self):
+        column, mask = _pack_column([1, 2, 3])
+        assert isinstance(column, array) and column.typecode == "q"
+        assert mask is None
+
+    def test_pure_floats_pack_as_double_array(self):
+        column, mask = _pack_column([1.5, -2.0])
+        assert isinstance(column, array) and column.typecode == "d"
+        assert mask is None
+
+    def test_mixed_numeric_stays_list(self):
+        """int+float would coerce in an array and break the round trip."""
+        column, mask = _pack_column([1, 2.5])
+        assert isinstance(column, list)
+        assert _unpack_column(column, mask) == [1, 2.5]
+        assert type(_unpack_column(column, mask)[0]) is int
+
+    def test_bool_is_not_an_int(self):
+        """bools stay bools: no array('q') coercion to 0/1 ints."""
+        column, _ = _pack_column([True, False])
+        assert isinstance(column, list)
+        assert _unpack_column(column, None) == [True, False]
+
+    def test_nulls_hide_behind_validity_mask(self):
+        column, mask = _pack_column([7, None, 9])
+        assert isinstance(column, array) and column.typecode == "q"
+        assert mask == [True, False, True]
+        assert _unpack_column(column, mask) == [7, None, 9]
+
+    def test_all_null_column_stays_raw_list(self):
+        column, mask = _pack_column([None, None])
+        assert isinstance(column, list)
+        assert mask == [False, False]
+        assert _unpack_column(column, mask) == [None, None]
+
+    def test_int64_overflow_falls_back_to_list(self):
+        big = 2**63
+        column, _ = _pack_column([1, big])
+        assert isinstance(column, list)
+        assert _unpack_column(column, None) == [1, big]
+
+    def test_strings_stay_list(self):
+        column, mask = _pack_column(["a", None])
+        assert isinstance(column, list)
+        assert _unpack_column(column, mask) == ["a", None]
+
+
+class TestColumnFrame:
+    def test_round_trip_preserves_entries(self):
+        entries = [((1, "a", 2.5), 1), ((2, None, 0.5), 3)]
+        frame = ColumnFrame.from_entries(("x", "y", "z"), entries)
+        assert frame.to_entries() == entries
+
+    def test_empty_frame(self):
+        frame = ColumnFrame.from_entries(("x",), [])
+        assert frame.n == 0
+        assert frame.num_tuples == 0
+        assert frame.num_values() == 0
+        assert frame.to_entries() == []
+
+    def test_zero_width_frame_keeps_counts(self):
+        frame = ColumnFrame.from_entries((), [((), 2), ((), 1)])
+        assert frame.num_tuples == 3
+        assert frame.to_entries() == [((), 2), ((), 1)]
+
+    def test_single_tuple_frame(self):
+        frame = ColumnFrame.from_entries(("x",), [((42,), 1)])
+        assert frame.n == 1 and frame.num_tuples == 1
+        assert list(frame.values(0)) == [42]
+
+    def test_counts_carry_multiplicities(self):
+        frame = ColumnFrame.from_entries(("x",), [((1,), 4), ((2,), 2)])
+        assert frame.n == 2
+        assert frame.num_tuples == 6
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ExecutionError):
+            ColumnFrame.from_entries(("x", "y"), [((1,), 1)])
+
+    def test_column_length_mismatch_raises(self):
+        with pytest.raises(ExecutionError):
+            ColumnFrame(("x",), [[1, 2]], [None], [1])
+
+    def test_values_decodes_masked_slots(self):
+        frame = ColumnFrame.from_entries(("x",), [((5,), 1), ((None,), 1)])
+        column, mask = frame.dense(0)
+        assert isinstance(column, array)
+        assert mask == [True, False]
+        assert frame.values(0) == [5, None]
+
+
+class TestBlockFrameBridge:
+    def test_block_to_frame_round_trip(self):
+        block = Block.from_rows([(1, "a"), (1, "a"), (2, None)])
+        frame = block.to_frame(("x", "y"))
+        back = Block.from_frame(frame)
+        assert back.entries == block.entries
+
+    def test_to_frame_generates_names_when_omitted(self):
+        block = Block.from_rows([(1, "a")])
+        frame = block.to_frame()
+        assert frame.attrs == ("c0", "c1")
+
+    def test_empty_block_round_trip(self):
+        block = Block()
+        assert Block.from_frame(block.to_frame()).entries == []
+
+    def test_select_mask_kernel_respects_counts(self):
+        block = Block.from_rows([(1,), (1,), (2,), (3,)])
+        frame = block.to_frame(("x",))
+        kept = select_mask(frame, [True, False, True][: frame.n])
+        assert list(Block.from_frame(kept).expand()) == [(1,), (1,), (3,)]
+
+
+values_strategy = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.floats(allow_nan=False),
+    st.booleans(),
+    st.text(max_size=4),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.tuples(values_strategy, values_strategy),
+            st.integers(min_value=1, max_value=4),
+        ),
+        max_size=12,
+    )
+)
+def test_round_trip_property(entries):
+    """from_entries → to_entries is the identity, types included."""
+    frame = ColumnFrame.from_entries(("x", "y"), entries)
+    back = frame.to_entries()
+    assert back == entries
+    assert [
+        [type(v) for v in row] for row, _ in back
+    ] == [[type(v) for v in row] for row, _ in entries]

@@ -1,0 +1,184 @@
+"""Compiled kernels ≡ ``Expr.eval`` + fusion + knob plumbing (PR 10)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CompileError, ExecutionError
+from repro.kba import (
+    BlockSet,
+    Constant,
+    ExecContext,
+    ProjectK,
+    SelectK,
+    execute,
+    resolve_vectorized,
+)
+from repro.kba.compile import compile_mask, compile_plan, compile_row
+from repro.kba.executor import VECTORIZED_ENV
+from repro.sql import ast
+
+
+def col(name):
+    return ast.Column(name)
+
+
+def lit(value):
+    return ast.Lit(value)
+
+
+ATTRS = ("a", "b", "s")
+ROWS = [
+    (1, 10, "apple"),
+    (2, None, "banana"),
+    (None, 30, None),
+    (4, 4, "avocado"),
+]
+
+EXPRS = [
+    ast.Cmp(">", col("a"), lit(1)),
+    ast.Cmp("=", lit(2), col("a")),
+    ast.Cmp("<=", col("a"), col("b")),
+    ast.Cmp(">", col("a"), lit(None)),
+    ast.And([ast.Cmp(">", col("a"), lit(0)), ast.Cmp("<", col("b"), lit(20))]),
+    ast.Or([ast.Cmp("=", col("a"), lit(4)), ast.Cmp("=", col("b"), lit(30))]),
+    ast.Not(ast.Cmp(">", col("a"), lit(2))),
+    ast.Arith("+", col("a"), col("b")),
+    ast.Arith("/", col("a"), lit(0)),
+    ast.Arith("*", col("a"), lit(3)),
+    ast.Neg(col("a")),
+    ast.InList(col("a"), [1, 4]),
+    ast.InList(col("s"), ["apple", "pear"]),
+    ast.Between(col("a"), lit(1), lit(3)),
+    ast.Like(col("s"), "a%"),
+    ast.Like(col("s"), "_anana"),
+    ast.And([lit(True), ast.Cmp(">", col("a"), lit(1))]),
+    ast.Or([lit(False), ast.Cmp(">", col("a"), lit(1))]),
+    lit(7),
+]
+
+
+def frame_of(rows):
+    bs = BlockSet.constant(ATTRS, rows)
+    from repro.baav.frame import BlockSetFrame
+
+    return BlockSetFrame(bs)
+
+
+class TestCompiledEqualsEval:
+    """NULL semantics included: compiled output == eval output, exactly."""
+
+    @pytest.mark.parametrize("expr", EXPRS, ids=str)
+    def test_row_closure_matches_eval(self, expr):
+        fn = compile_row(expr, ATTRS)
+        for row in ROWS:
+            expected = expr.eval(dict(zip(ATTRS, row)))
+            assert fn(row) == expected, f"{expr} on {row}"
+
+    @pytest.mark.parametrize("expr", EXPRS, ids=str)
+    def test_mask_kernel_matches_eval(self, expr):
+        fn = compile_mask(expr, ATTRS)
+        out = list(fn(frame_of(ROWS)))
+        expected = [expr.eval(dict(zip(ATTRS, row))) for row in ROWS]
+        assert out == expected, str(expr)
+
+    def test_unbound_column_raises_compile_error(self):
+        with pytest.raises(CompileError):
+            compile_row(col("missing"), ATTRS)
+        with pytest.raises(CompileError):
+            compile_mask(col("missing"), ATTRS)
+
+    def test_aggregate_call_raises_compile_error(self):
+        agg = ast.AggCall("SUM", col("a"))
+        with pytest.raises(CompileError):
+            compile_row(agg, ATTRS)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-5, 5)),
+            st.one_of(st.none(), st.integers(-5, 5)),
+            st.one_of(st.none(), st.sampled_from(["ab", "ba", ""])),
+        ),
+        max_size=8,
+        unique=True,
+    ),
+    st.sampled_from(EXPRS),
+)
+def test_compiled_matches_eval_property(rows, expr):
+    fn = compile_row(expr, ATTRS)
+    mask_fn = compile_mask(expr, ATTRS)
+    expected = [expr.eval(dict(zip(ATTRS, row))) for row in rows]
+    assert [fn(row) for row in rows] == expected
+    assert list(mask_fn(frame_of(rows))) == expected
+
+
+class TestPlanCompilation:
+    def plan(self):
+        leaf = Constant(ATTRS, tuple(ROWS))
+        return ProjectK(
+            SelectK(leaf, ast.Cmp(">", col("a"), lit(1))), ("a", "s")
+        )
+
+    def test_fused_select_project_matches_row_path(self):
+        plan = self.plan()
+        row_out = execute(plan, ExecContext(None, vectorized=False))
+        vec_out = execute(plan, ExecContext(None, vectorized=True))
+        assert row_out.attrs == vec_out.attrs
+        assert row_out.data == vec_out.data
+
+    def test_fusion_survives_uncompilable_predicate(self):
+        """CompileError inside the fused pair falls back per-operator."""
+        leaf = Constant(ATTRS, tuple(ROWS))
+        plan = ProjectK(
+            SelectK(leaf, ast.Cmp(">", col("zzz.not_here"), lit(1))),
+            ("a",),
+        )
+        row_ctx = ExecContext(None, vectorized=False)
+        vec_ctx = ExecContext(None, vectorized=True)
+        with pytest.raises(ExecutionError):
+            execute(plan, row_ctx)
+        with pytest.raises(ExecutionError):
+            execute(plan, vec_ctx)
+
+    def test_compile_plan_is_reusable(self):
+        fn = compile_plan(self.plan())
+        ctx = ExecContext(None, vectorized=True)
+        assert fn(ctx).data == fn(ctx).data
+
+
+class TestKnobs:
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(VECTORIZED_ENV, "1")
+        assert resolve_vectorized(False) is False
+        monkeypatch.setenv(VECTORIZED_ENV, "0")
+        assert resolve_vectorized(True) is True
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(VECTORIZED_ENV, "1")
+        assert resolve_vectorized(None) is True
+        monkeypatch.setenv(VECTORIZED_ENV, "0")
+        assert resolve_vectorized(None) is False
+        monkeypatch.setenv(VECTORIZED_ENV, "")
+        assert resolve_vectorized(None) is False
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(VECTORIZED_ENV, raising=False)
+        assert resolve_vectorized(None) is False
+        assert ExecContext(None).vectorized is False
+
+    def test_context_resolves_flag(self, monkeypatch):
+        monkeypatch.setenv(VECTORIZED_ENV, "1")
+        assert ExecContext(None).vectorized is True
+        assert ExecContext(None, vectorized=False).vectorized is False
+
+    def test_batch_partitions_below_one_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecContext(None, batch_partitions=0)
+        with pytest.raises(ExecutionError):
+            ExecContext(None, batch_partitions=-2)
+
+    def test_batch_size_below_one_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecContext(None, batch_size=0)

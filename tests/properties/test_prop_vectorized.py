@@ -1,0 +1,128 @@
+"""Property: vectorized execution is invisible except in wall-clock (PR 10).
+
+Random select-project-join(-aggregate) queries over a random database
+run twice on each engine — ``vectorized=False`` (per-row ``Expr.eval``)
+and ``vectorized=True`` (compiled columnar kernels) — and must agree on
+
+* the answer, as a bag, and
+* every storage/cost counter the engines meter: gets, round trips,
+  values, bytes, cache hits/misses, index probes/postings, simulated
+  time, and — under MVCC snapshots — overlay reads, versions skipped
+  and the pinned epoch.
+
+That is the compiled-plan contract of :mod:`repro.kba.compile`: cost
+accounting is representation-invariant, so Table-2 style numbers never
+depend on which execution mode produced them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import bag_diff, bag_equal
+from repro.systems import SQLOverNoSQL, ZidianSystem
+from tests.properties.test_prop_equivalence import (
+    BAAV,
+    database_strategy,
+    query_strategy,
+)
+
+#: every counter a mode could plausibly perturb; sim_time_ms is the
+#: whole cost model, snapshot_epoch/overlay the MVCC read path
+COUNTER_FIELDS = (
+    "sim_time_ms",
+    "n_get",
+    "n_round_trips",
+    "data_values",
+    "comm_bytes",
+    "cache_hits",
+    "cache_misses",
+    "index_probes",
+    "index_postings",
+    "overlay_reads",
+    "versions_skipped",
+    "snapshot_epoch",
+)
+
+
+def counters(metrics):
+    return {f: getattr(metrics, f) for f in COUNTER_FIELDS}
+
+
+def assert_modes_agree(make_system, load, sql):
+    results = {}
+    for vectorized in (False, True):
+        system = make_system(vectorized)
+        load(system)
+        results[vectorized] = system.execute(sql)
+    row_result, vec_result = results[False], results[True]
+    assert bag_equal(row_result.relation, vec_result.relation), (
+        sql + "\n" + bag_diff(row_result.relation, vec_result.relation)
+    )
+    assert counters(row_result.metrics) == counters(vec_result.metrics), sql
+
+
+@given(database_strategy(), query_strategy())
+@settings(max_examples=40, deadline=None)
+def test_baseline_engine_mode_invariant(db, sql):
+    assert_modes_agree(
+        lambda vectorized: SQLOverNoSQL(
+            "kudu",
+            workers=2,
+            storage_nodes=2,
+            indexes=["E.score:ordered"],
+            vectorized=vectorized,
+        ),
+        lambda system: system.load(db.copy()),
+        sql,
+    )
+
+
+@given(database_strategy(), query_strategy())
+@settings(max_examples=40, deadline=None)
+def test_zidian_engine_mode_invariant(db, sql):
+    assert_modes_agree(
+        lambda vectorized: ZidianSystem(
+            "kudu", workers=2, storage_nodes=2, vectorized=vectorized
+        ),
+        lambda system: system.load(db.copy(), BAAV),
+        sql,
+    )
+
+
+@given(
+    database_strategy(),
+    query_strategy(),
+    st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_mvcc_snapshot_mode_invariant(db, sql, n_updates):
+    """Under a pinned snapshot with post-pin commits, the overlay
+    resolution (reads served, versions skipped, epoch) is identical
+    across modes — the vectorized Extend replays the exact same probes.
+    """
+
+    def run(vectorized):
+        system = SQLOverNoSQL(
+            "kudu", workers=2, storage_nodes=2, vectorized=vectorized
+        )
+        system.load(db.copy())
+        manager = system.enable_transactions()
+        events = list(db.relation("E").rows)
+        with manager.snapshot():
+            # commits land after the pin: the snapshot must answer from
+            # the overlay's superseded versions, in both modes
+            for i in range(n_updates):
+                with system.begin() as txn:
+                    txn.apply_updates(
+                        "E",
+                        inserts=[(1000 + i, 0, "pass", 99)],
+                        deletes=[events[i]] if i < len(events) else [],
+                    )
+            return system.execute(sql)
+
+    row_result = run(False)
+    vec_result = run(True)
+    assert bag_equal(row_result.relation, vec_result.relation), (
+        sql + "\n" + bag_diff(row_result.relation, vec_result.relation)
+    )
+    assert counters(row_result.metrics) == counters(vec_result.metrics), sql
